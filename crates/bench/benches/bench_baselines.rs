@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks comparing the algorithms' running costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftclust_bench::families::{udg_workload, Family};
+use ftclust_core::baselines::{greedy_kmds, grid_clustering, jrs_kmds, local_heuristic};
+use ftclust_core::general::GeneralPipeline;
+use ftclust_core::udg::UdgAlgorithm;
+use ftclust_core::validate::Semantics;
+use ftclust_core::Instance;
+use std::hint::black_box;
+
+fn bench_general_graph_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmds_2000_nodes_k2");
+    let g = Family::Gnp.build(2000, 5);
+    let inst = Instance::uniform_clamped(&g, 2);
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_kmds(black_box(&inst), Semantics::CoverSelf));
+    });
+    group.bench_function("pipeline_t4", |b| {
+        let p = GeneralPipeline::new(4).seed(1);
+        b.iter(|| p.run(black_box(&inst)).unwrap());
+    });
+    group.bench_function("jrs", |b| {
+        b.iter(|| jrs_kmds(black_box(&inst), Semantics::CoverSelf, 1));
+    });
+    group.bench_function("local_heuristic", |b| {
+        b.iter(|| local_heuristic(black_box(&inst)));
+    });
+    group.finish();
+}
+
+fn bench_udg_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_10000_nodes_k2");
+    let udg = udg_workload(10_000, 12.0, 9);
+    group.bench_function("udg_algorithm", |b| {
+        let config = UdgAlgorithm::new(2).seed(1);
+        b.iter(|| config.run(black_box(&udg)).unwrap());
+    });
+    group.bench_function("grid_clustering", |b| {
+        b.iter(|| grid_clustering(black_box(&udg), 2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_general_graph_algorithms, bench_udg_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for Algorithm 1 (engine and protocol).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclust_bench::families::Family;
+use ftclust_core::fractional::{
+    protocol::run_fractional_protocol, solve_fractional, FractionalParams,
+};
+use ftclust_core::Instance;
+use std::hint::black_box;
+
+fn bench_engine_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fractional_engine_n");
+    for n in [500u32, 2000, 8000] {
+        let g = Family::Gnp.build(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let inst = Instance::uniform_clamped(g, 2);
+            let params = FractionalParams::new(4);
+            b.iter(|| solve_fractional(black_box(&inst), &params).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_scaling_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fractional_engine_t");
+    let g = Family::Gnp.build(2000, 2);
+    let inst = Instance::uniform_clamped(&g, 2);
+    for t in [1u32, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let params = FractionalParams::new(t);
+            b.iter(|| solve_fractional(black_box(&inst), &params).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fractional_protocol");
+    let g = Family::Gnp.build(500, 3);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let params = FractionalParams::new(3);
+    group.bench_function("metered_500", |b| {
+        b.iter(|| run_fractional_protocol(black_box(&inst), &params).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_scaling_n, bench_engine_scaling_t, bench_protocol_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the substrates: graph generation, UDG
+//! construction, spatial-grid queries and the LP solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclust_geometry::{Point, SpatialGrid};
+use ftclust_graphs::generators;
+use ftclust_lp::solve;
+use ftclust_core::Instance;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_udg_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_build");
+    for n in [10_000u32, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| generators::random_udg(black_box(n), 12.0, 1.0, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnp_generation(c: &mut Criterion) {
+    c.bench_function("gnp_100k_avg_deg_10", |b| {
+        b.iter(|| generators::gnp(black_box(100_000), 1e-4, 3));
+    });
+}
+
+fn bench_grid_queries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts: Vec<Point> = (0..100_000)
+        .map(|_| Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+        .collect();
+    let grid = SpatialGrid::build(&pts, 1.0);
+    c.bench_function("grid_10k_range_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in pts.iter().take(10_000) {
+                acc += grid.count_within(*p, 1.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_lp_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex_kmds");
+    for n in [60u32, 120] {
+        let g = generators::gnp(n, 10.0 / n as f64, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let inst = Instance::uniform_clamped(g, 2);
+            let lp = inst.to_lp();
+            b.iter(|| solve(black_box(&lp)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_udg_construction, bench_gnp_generation, bench_grid_queries, bench_lp_simplex
+);
+criterion_main!(benches);

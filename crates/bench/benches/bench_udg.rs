@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for Algorithm 3 (the O(log log n) UDG
+//! algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclust_bench::families::udg_workload;
+use ftclust_core::udg::{protocol::run_udg_protocol, UdgAlgorithm};
+use std::hint::black_box;
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_engine_n");
+    for n in [1000u32, 10_000, 100_000] {
+        let udg = udg_workload(n, 12.0, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &udg, |b, udg| {
+            let config = UdgAlgorithm::new(2).seed(1);
+            b.iter(|| config.run(black_box(udg)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_engine_k");
+    let udg = udg_workload(10_000, 12.0, 7);
+    for k in [1u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let config = UdgAlgorithm::new(k).seed(1);
+            b.iter(|| config.run(black_box(&udg)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_protocol");
+    let udg = udg_workload(2000, 10.0, 3);
+    group.bench_function("metered_2000", |b| {
+        let config = UdgAlgorithm::new(2).seed(1);
+        b.iter(|| run_udg_protocol(black_box(&udg), &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_scaling, bench_k_sweep, bench_protocol
+);
+criterion_main!(benches);

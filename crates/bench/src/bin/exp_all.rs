@@ -1,0 +1,59 @@
+//! Runs every experiment binary in sequence — convenience wrapper for
+//! regenerating the whole of EXPERIMENTS.md in one command:
+//!
+//! ```text
+//! cargo run -p ftclust-bench --release --bin exp_all
+//! ```
+//!
+//! Each experiment remains individually runnable; this wrapper shells out
+//! to the sibling binaries in the same target directory.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_e1_fractional_ratio",
+    "exp_e2_rounds_bits",
+    "exp_e3_rounding",
+    "exp_e4_end_to_end",
+    "exp_e5_udg_scaling",
+    "exp_e6_leaders_per_disk",
+    "exp_e7_active_decay",
+    "exp_e8_message_bits",
+    "exp_e9_fault_tolerance",
+    "exp_e10_tradeoff",
+    "exp_e11_baselines",
+    "exp_e12_geometry",
+    "exp_e13_ablations",
+];
+
+fn main() -> ExitCode {
+    let me = std::env::current_exe().expect("current executable path");
+    let dir: PathBuf = me.parent().expect("executable directory").to_path_buf();
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("================================================================");
+        println!("=== {name}");
+        println!("================================================================");
+        let path = dir.join(name);
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!("cannot run {} ({e}); build with `cargo build --release -p ftclust-bench --bins` first", path.display());
+                failed.push(*name);
+            }
+        }
+        println!();
+    }
+    if failed.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("failed experiments: {failed:?}");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,53 @@
+//! **E10 — the time–approximation trade-off**: the measured frontier of
+//! Algorithm 1 (+ rounding) against the `Ω(Δ^{1/t}/t)` locality lower
+//! bound of \[13\] and the Theorem 4.5 upper bound.
+
+use ftclust_bench::families::Family;
+use ftclust_bench::stats::mean;
+use ftclust_bench::table::{f2, f3, Table};
+use ftclust_core::bounds::{kmw_lower_bound, theorem_4_5_bound};
+use ftclust_core::fractional::{solve_fractional, FractionalParams};
+use ftclust_core::general::GeneralPipeline;
+use ftclust_core::Instance;
+use ftclust_lp::solve as lp_solve;
+
+fn main() {
+    println!("E10: time vs approximation (the paper's framing of its contribution)");
+    println!("frac_ratio = fractional value / exact LP optimum (measured)");
+    println!("int_ratio  = rounded set size / exact LP optimum (mean of 10 seeds)");
+    println!();
+    let g = Family::Gnp.build(150, 21);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let delta = g.max_degree();
+    let opt = lp_solve(&inst.to_lp()).expect("n=150 fits the simplex").value;
+    let mut table = Table::new(&[
+        "t", "rounds(2t^2+3)", "kmw_lb", "frac_ratio", "bound45", "int_ratio",
+    ]);
+    for t in [1u32, 2, 3, 4, 6, 8, 10] {
+        let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();
+        let int_sizes: Vec<f64> = (0..10u64)
+            .map(|s| {
+                GeneralPipeline::new(t)
+                    .seed(s)
+                    .run(&inst)
+                    .expect("pipeline")
+                    .set
+                    .len() as f64
+            })
+            .collect();
+        table.row(&[
+            &t,
+            &(2 * t * t + 3),
+            &f3(kmw_lower_bound(t, delta)),
+            &f3(sol.value / opt),
+            &f2(theorem_4_5_bound(t, delta)),
+            &f3(mean(&int_sizes) / opt),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("expected shape: the measured frac_ratio sits between the locality");
+    println!("lower-bound curve (falling like Δ^(1/t)/t) and the Theorem 4.5 curve;");
+    println!("both measured ratios improve steeply from t=1 and then flatten —");
+    println!("the 'not too far from optimum' trade-off claimed in Section 1.");
+}

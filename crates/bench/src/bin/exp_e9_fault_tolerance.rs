@@ -1,0 +1,93 @@
+//! **E9 — the motivation**: k-fold dominating sets survive node failures.
+//! Deterministic guarantee (any k−1 dominator crashes leave everyone
+//! covered) plus survivability curves under i.i.d. failures.
+
+use ftclust_bench::families::udg_workload;
+use ftclust_bench::table::Table;
+use ftclust_core::fault::{
+    guarantee_holds, regional_survivability, survivability, FailureModel,
+};
+use ftclust_core::udg::UdgAlgorithm;
+use ftclust_core::Instance;
+
+const TRIALS: u32 = 60;
+
+fn main() {
+    println!("E9: survivability of k-fold backbones ({TRIALS} trials per cell)");
+    println!("cells: mean fraction of surviving clients with ≥1 alive dominator");
+    println!();
+    let udg = udg_workload(2000, 12.0, 77);
+    let inst = Instance::uniform_clamped(udg.graph(), 1);
+    let probs = [0.05f64, 0.1, 0.2, 0.3, 0.5];
+    let mut table = {
+        let mut headers = vec!["k".to_string(), "|S|".to_string(), "guarantee".to_string()];
+        headers.extend(probs.iter().map(|p| format!("p={p:.2}")));
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        Table::new(&hdr_refs)
+    };
+    for k in [1u32, 2, 3, 5] {
+        let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
+        let guar = guarantee_holds(&inst, &run.set, k, 300, 11);
+        assert!(guar, "deterministic guarantee violated at k={k}");
+        let mut cells: Vec<String> =
+            vec![k.to_string(), run.set.len().to_string(), "holds".into()];
+        for &p in &probs {
+            let rep = survivability(
+                &inst,
+                &run.set,
+                FailureModel::IidNodeFailure { prob: p },
+                TRIALS,
+                k as u64 * 100 + (p * 100.0) as u64,
+            );
+            cells.push(format!("{:.4}", rep.mean_covered_fraction));
+        }
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&refs);
+    }
+    table.print();
+    println!();
+    println!("adversarial model: killing exactly k−1 dominators (worst case allowed");
+    println!("by the definition) — coverage must be exactly 1.0:");
+    let mut adv = Table::new(&["k", "killed", "min_covered"]);
+    for k in [2u32, 3, 5] {
+        let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
+        let rep = survivability(
+            &inst,
+            &run.set,
+            FailureModel::KillDominators { count: (k - 1) as usize },
+            TRIALS,
+            500 + k as u64,
+        );
+        assert_eq!(rep.min_covered_fraction, 1.0);
+        adv.row(&[&k, &(k - 1), &format!("{:.4}", rep.min_covered_fraction)]);
+    }
+    adv.print();
+    println!();
+    println!("correlated regional failures (a disaster disk wipes out everything");
+    println!("inside it) — redundancy helps the survivors at the disaster's edge,");
+    println!("but no k protects nodes whose entire neighborhood burned:");
+    let mut reg = Table::new(&["k", "all r=2", "at-risk r=1", "at-risk r=2", "at-risk r=4"]);
+    for k in [1u32, 3, 5] {
+        let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
+        let mut cells: Vec<String> = vec![k.to_string()];
+        let overall = regional_survivability(&udg, &inst, &run.set, 2.0, TRIALS, 900 + k as u64);
+        cells.push(format!("{:.4}", overall.mean_covered_fraction));
+        for radius in [1.0, 2.0, 4.0] {
+            let rep = regional_survivability(&udg, &inst, &run.set, radius, TRIALS, 900 + k as u64);
+            cells.push(format!(
+                "{:.4}",
+                rep.mean_at_risk_covered_fraction.expect("regional report")
+            ));
+        }
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        reg.row(&refs);
+    }
+    reg.print();
+    println!();
+    println!("expected shape: survivability rises monotonically with k at every");
+    println!("failure rate; the adversarial column is identically 1.0; regional");
+    println!("columns improve with k only marginally (correlated failures defeat");
+    println!("scattered redundancy — an honest limitation of the k-fold model).");
+}

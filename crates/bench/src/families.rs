@@ -1,0 +1,85 @@
+//! The standard graph-family workloads of the experiment sweeps.
+
+use ftclust_graphs::{generators, Graph, UnitDiskGraph};
+
+/// The general-graph families the experiments sweep over. Densities are
+/// chosen so that the expected average degree stays ≈ 10 independent of
+/// `n` (so `Δ` grows slowly and ratios are comparable across sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Erdős–Rényi `G(n, p)` with `p = 10/n`.
+    Gnp,
+    /// Barabási–Albert with 5 attachments (heavy-tailed degrees).
+    Ba,
+    /// A √n × √n grid (maximum locality, Δ = 4).
+    Grid,
+    /// Random geometric graph with average degree ≈ 10.
+    Rgg,
+    /// Uniform random recursive tree (sparse, hub-ish roots).
+    Tree,
+}
+
+impl Family {
+    /// All families, in presentation order.
+    pub const ALL: [Family; 5] =
+        [Family::Gnp, Family::Ba, Family::Grid, Family::Rgg, Family::Tree];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Gnp => "gnp",
+            Family::Ba => "ba",
+            Family::Grid => "grid",
+            Family::Rgg => "rgg",
+            Family::Tree => "tree",
+        }
+    }
+
+    /// Builds an `n`-node instance of this family.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 8` (the sweeps never go that low).
+    pub fn build(self, n: u32, seed: u64) -> Graph {
+        assert!(n >= 8, "family workloads start at n = 8");
+        match self {
+            Family::Gnp => generators::gnp(n, (10.0 / n as f64).min(1.0), seed),
+            Family::Ba => generators::barabasi_albert(n, 5, seed),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round() as u32;
+                generators::grid_2d(side.max(2), side.max(2))
+            }
+            Family::Rgg => generators::random_udg(n, 10.0, 1.0, seed).graph().clone(),
+            Family::Tree => generators::random_tree(n, seed),
+        }
+    }
+}
+
+/// Builds the standard UDG workload: average degree ≈ `avg_deg`, radius 1.
+pub fn udg_workload(n: u32, avg_deg: f64, seed: u64) -> UnitDiskGraph {
+    generators::random_udg(n, avg_deg, 1.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_at_requested_sizes() {
+        for f in Family::ALL {
+            let g = f.build(100, 1);
+            // Grid rounds to 100 exactly (10×10); others are exact.
+            assert!(g.node_count() >= 90 && g.node_count() <= 110, "{}", f.name());
+            assert!(!f.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn densities_are_comparable() {
+        for f in [Family::Gnp, Family::Ba, Family::Rgg] {
+            let g = f.build(400, 2);
+            let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+            assert!(mean > 4.0 && mean < 16.0, "{}: mean degree {mean}", f.name());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! The paper (ICDCS 2006) is theory-only — it has no evaluation tables.
+//! The harness therefore regenerates **one experiment per theorem, lemma
+//! and modeling claim**; the mapping is documented in `DESIGN.md` §4 and
+//! the measured results in `EXPERIMENTS.md`. Each experiment is a binary
+//! under `src/bin/exp_*.rs`:
+//!
+//! ```text
+//! cargo run -p ftclust-bench --release --bin exp_e1_fractional_ratio
+//! ```
+//!
+//! This library provides the pieces the binaries share: fixed-width table
+//! printing, the standard graph-family workloads, and small statistics
+//! helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,109 @@
+//! Baseline algorithms the paper's results are measured against.
+//!
+//! * [`greedy_kmds`] — the centralized greedy multi-cover algorithm
+//!   (\[20, 21\] in the paper): an `H(Δ+1)`-approximation and the standard
+//!   quality yardstick.
+//! * [`exact_kmds`] — exact branch-and-bound optimum for small instances
+//!   (the denominator of true approximation ratios).
+//! * [`jrs_kmds`] — a randomized distributed baseline in the spirit of
+//!   Jia, Rajaraman & Suel \[9\], the only prior distributed k-MDS bound.
+//! * [`local_heuristic`] — a one-round local rule: every node nominates
+//!   its `k` highest-degree closed neighbors.
+//! * [`grid_clustering`] — a geometric heuristic for UDGs: pick `k` nodes
+//!   per occupied grid cell of diameter `r`.
+//! * [`trivial_all`] — every node joins; the upper anchor.
+
+mod exact;
+mod greedy;
+mod jrs;
+mod udg_grid;
+
+pub use exact::exact_kmds;
+pub use greedy::greedy_kmds;
+pub use jrs::{jrs_kmds, JrsOutcome};
+pub use udg_grid::grid_clustering;
+
+use crate::{DominatingSet, Instance};
+use ftclust_graphs::NodeId;
+
+/// The trivial k-fold dominating set: every node (valid for every `k`
+/// under both semantics).
+pub fn trivial_all(inst: &Instance<'_>) -> DominatingSet {
+    DominatingSet::full(inst.graph().node_count())
+}
+
+/// A one-round local heuristic: every node nominates the `k_v`
+/// highest-degree members of its closed neighborhood (ties broken by lowest
+/// id); the set is the union of nominations. Always feasible under
+/// [`Semantics::CoverSelf`](crate::validate::Semantics) (hence also
+/// `Strict`) because each
+/// node's nominees lie in its own closed neighborhood.
+///
+/// This is the kind of cheap heuristic practitioners reach for first; the
+/// experiments show how much the LP pipeline and the UDG algorithm save
+/// over it.
+pub fn local_heuristic(inst: &Instance<'_>) -> DominatingSet {
+    let g = inst.graph();
+    let mut set = DominatingSet::empty(g.node_count());
+    for v in g.nodes() {
+        let k = inst.demand(v) as usize;
+        if k == 0 {
+            continue;
+        }
+        let mut closed: Vec<NodeId> = g.closed_neighbors(v).collect();
+        closed.sort_by_key(|&w| (std::cmp::Reverse(g.degree(w)), w));
+        for &w in closed.iter().take(k) {
+            set.insert(w);
+        }
+    }
+    set
+}
+
+/// Re-exported for convenience: which k-domination semantics a baseline
+/// should target.
+pub use crate::validate::Semantics as BaselineSemantics;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_k_dominating_instance, Semantics};
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn trivial_is_always_feasible() {
+        let g = generators::gnp(30, 0.2, 1);
+        let inst = Instance::uniform_clamped(&g, 3);
+        let set = trivial_all(&inst);
+        assert!(is_k_dominating_instance(&inst, &set, Semantics::CoverSelf));
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn local_heuristic_is_feasible_and_smaller_than_trivial() {
+        for seed in 0..5 {
+            let g = generators::gnp(80, 0.15, seed);
+            let inst = Instance::uniform_clamped(&g, 2);
+            let set = local_heuristic(&inst);
+            assert!(is_k_dominating_instance(&inst, &set, Semantics::CoverSelf));
+            assert!(set.len() <= 80);
+        }
+    }
+
+    #[test]
+    fn local_heuristic_prefers_hubs() {
+        let g = generators::star(10);
+        let inst = Instance::uniform_clamped(&g, 1);
+        let set = local_heuristic(&inst);
+        // Every leaf nominates the center (degree 9); the center nominates
+        // itself. Result: just the center.
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn local_heuristic_respects_zero_demand() {
+        let g = generators::path(3);
+        let inst = Instance::with_demands(&g, vec![0, 0, 0]).unwrap();
+        assert_eq!(local_heuristic(&inst).len(), 0);
+    }
+}

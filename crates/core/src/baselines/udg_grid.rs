@@ -1,0 +1,95 @@
+//! Grid-cell clustering heuristic for unit disk graphs.
+
+use crate::DominatingSet;
+use ftclust_graphs::{NodeId, UnitDiskGraph};
+use std::collections::HashMap;
+
+/// A geometric heuristic baseline: partition the plane into square cells
+/// of side `r/√2` (so any two nodes in a cell are within distance `r` of
+/// each other) and select the `k` lowest-id nodes of every occupied cell
+/// (all of them when a cell holds fewer than `k`).
+///
+/// The result is always a valid k-fold dominating set under
+/// [`Semantics::Strict`](crate::validate::Semantics): a non-selected node shares its cell with `k`
+/// selected nodes, all of which are its neighbors; cells with fewer than
+/// `k` nodes are selected wholesale.
+///
+/// Quality: `O(k)` per cell with `Θ(1/r²)` cells per unit area — a
+/// constant-factor competitor to Algorithm 3 on *uniform* deployments, but
+/// without its adaptivity (it pays for every occupied cell even where one
+/// cluster head would cover many cells; E11 quantifies the gap).
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::baselines::grid_clustering;
+/// use ftclust_core::validate::{is_k_dominating, Semantics};
+/// use ftclust_graphs::generators;
+///
+/// let udg = generators::random_udg(300, 8.0, 1.0, 4);
+/// let set = grid_clustering(&udg, 2);
+/// assert!(is_k_dominating(udg.graph(), &set, 2, Semantics::Strict));
+/// ```
+pub fn grid_clustering(udg: &UnitDiskGraph, k: u32) -> DominatingSet {
+    let n = udg.node_count();
+    let cell = udg.radius() / 2f64.sqrt();
+    let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for (i, p) in udg.positions().iter().enumerate() {
+        let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        cells.entry(key).or_default().push(i as u32);
+    }
+    let mut set = DominatingSet::empty(n);
+    for bucket in cells.values_mut() {
+        bucket.sort_unstable();
+        for &i in bucket.iter().take(k as usize) {
+            set.insert(NodeId::new(i));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_k_dominating, Semantics};
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn strict_feasible_across_densities_and_k() {
+        for (n, deg) in [(100u32, 4.0), (300, 10.0), (500, 20.0)] {
+            for k in [1u32, 2, 4] {
+                let udg = generators::random_udg(n, deg, 1.0, (n + k) as u64);
+                let set = grid_clustering(&udg, k);
+                assert!(
+                    is_k_dominating(udg.graph(), &set, k, Semantics::Strict),
+                    "n={n}, deg={deg}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_cells_pick_everyone() {
+        // Nodes pairwise far apart: every node is its own cell.
+        let pts: Vec<_> = (0..5)
+            .map(|i| ftclust_geometry::Point::new(3.0 * i as f64, 0.0))
+            .collect();
+        let udg = ftclust_graphs::UnitDiskGraph::build(pts, 1.0).unwrap();
+        assert_eq!(grid_clustering(&udg, 2).len(), 5);
+    }
+
+    #[test]
+    fn dense_cell_capped_at_k() {
+        let pts: Vec<_> = (0..20)
+            .map(|i| ftclust_geometry::Point::new(1e-3 * i as f64, 0.0))
+            .collect();
+        let udg = ftclust_graphs::UnitDiskGraph::build(pts, 1.0).unwrap();
+        assert_eq!(grid_clustering(&udg, 3).len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let udg = generators::random_udg(80, 6.0, 1.0, 2);
+        assert_eq!(grid_clustering(&udg, 2), grid_clustering(&udg, 2));
+    }
+}

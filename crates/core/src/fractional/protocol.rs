@@ -1,0 +1,441 @@
+//! Message-passing implementation of Algorithm 1 on [`ftclust_netsim`].
+//!
+//! Executes the pseudocode exactly as written: each inner-loop iteration
+//! takes **two rounds** (one to exchange `x_i, x_i^+, δ̃_i`, one to exchange
+//! colors — the accounting used in the proof of Theorem 4.5), preceded by
+//! one round to exchange initial colors (nodes with zero demand start
+//! gray) and followed by two rounds to exchange the dual shares needed for
+//! `z_i` (line 27). Total: `2t² + 3` rounds.
+//!
+//! ### Message-size accounting
+//!
+//! Numeric values (`x`, `x⁺`, `α`, `β`, `y`) are metered at
+//! [`VALUE_BITS`] = 32 bits each — a fixed-point encoding with more
+//! precision than the algorithm needs: every transmitted value is a sum of
+//! at most `t²` known powers `(Δ+1)^{-q/t}`, so an index-based encoding of
+//! `O(t log t + log Δ) ⊆ O(log n)` bits exists; we charge a fixed 32 bits
+//! for simplicity, which dominates that bound for all tested sizes.
+//! Dynamic degrees are charged their actual width, colors 1 bit.
+//!
+//! The protocol performs the same floating-point operations in the same
+//! order as [`super::solve_fractional`]; their outputs are bit-identical
+//! (asserted in the tests and in experiment E13).
+
+use super::engine::{account, AlgoState};
+use super::{FractionalParams, FractionalSolution};
+use crate::{Instance, KmdsError};
+use ftclust_graphs::NodeId;
+use ftclust_netsim::{
+    bits_for_ids, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+};
+
+/// Bits charged per transmitted numeric value (see the module docs).
+pub const VALUE_BITS: usize = 32;
+
+/// Wire messages of the LP protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpMsg {
+    /// A node's current color (line 23).
+    Color {
+        /// `true` while the node is not yet fully covered.
+        white: bool,
+    },
+    /// The per-iteration share `x_i, x_i^+, δ̃_i` (line 9).
+    Share {
+        /// Current LP value `x_i`.
+        x: f64,
+        /// This iteration's raise `x_i^+`.
+        xplus: f64,
+        /// Dynamic degree `δ̃_i`.
+        dyndeg: u32,
+    },
+    /// The final dual share: node `i` sends `(α_{j,i}, β_{j,i}, y_i)` to
+    /// each neighbor `j` so that `j` can evaluate line 27.
+    Dual {
+        /// `α_{j,i}` — recipient-specific.
+        alpha: f64,
+        /// `β_{j,i}` — recipient-specific.
+        beta: f64,
+        /// The sender's dual variable `y_i`.
+        y: f64,
+    },
+}
+
+impl Payload for LpMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            LpMsg::Color { .. } => 1,
+            LpMsg::Share { dyndeg, .. } => 2 * VALUE_BITS + bits_for_ids(*dyndeg as usize + 2),
+            LpMsg::Dual { .. } => 3 * VALUE_BITS,
+        }
+    }
+}
+
+/// Per-node protocol state for Algorithm 1.
+#[derive(Debug)]
+pub struct LpNode {
+    k: f64,
+    t: u32,
+    d1: f64,
+    x: f64,
+    xplus: f64,
+    cov: f64,
+    white: bool,
+    dyndeg: u32,
+    /// `α_{j,me}` / `β_{j,me}` per neighbor, aligned with the sorted
+    /// neighbor list; `_self` entries hold `α_{me,me}` / `β_{me,me}`.
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    alpha_self: f64,
+    beta_self: f64,
+    y: f64,
+    z: f64,
+    lemma41_violations: u64,
+}
+
+impl LpNode {
+    fn new(k: u32, t: u32, delta: usize) -> Self {
+        LpNode {
+            k: k as f64,
+            t,
+            d1: (delta + 1) as f64,
+            x: 0.0,
+            xplus: 0.0,
+            cov: 0.0,
+            white: k > 0,
+            dyndeg: 0,
+            alpha: Vec::new(),
+            beta: Vec::new(),
+            alpha_self: 0.0,
+            beta_self: 0.0,
+            y: 0.0,
+            z: 0.0,
+            lemma41_violations: 0,
+        }
+    }
+
+    fn update_dyndeg(&mut self, inbox: &[Envelope<LpMsg>]) {
+        let mut count = u32::from(self.white);
+        for env in inbox {
+            match env.payload {
+                LpMsg::Color { white } => count += u32::from(white),
+                _ => unreachable!("expected Color messages"),
+            }
+        }
+        self.dyndeg = count;
+    }
+}
+
+impl NodeLogic for LpNode {
+    type Payload = LpMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<LpMsg>], ctx: &mut Context<'_, LpMsg>) -> Control {
+        let r = ctx.round();
+        let t = self.t as u64;
+        let total_iters = t * t;
+        if r == 0 {
+            // Initial color exchange; also size the per-neighbor duals.
+            self.alpha = vec![0.0; ctx.degree()];
+            self.beta = vec![0.0; ctx.degree()];
+            ctx.broadcast(LpMsg::Color { white: self.white });
+            return Control::Continue;
+        }
+        if r <= 2 * total_iters {
+            let m = (r - 1) / 2; // inner-loop iteration index
+            let p = (self.t - 1 - (m / t) as u32) as f64;
+            let q = (self.t - 1 - (m % t) as u32) as f64;
+            let threshold = self.d1.powf(p / self.t as f64);
+            if (r - 1) % 2 == 0 {
+                // Phase A: refresh δ̃ from the colors just received, then
+                // raise and share.
+                self.update_dyndeg(inbox);
+                // Lemma 4.1 measurement at the start of each outer
+                // iteration after the first.
+                if m % t == 0 && m > 0 {
+                    let bound = self.d1.powf((p + 1.0) / self.t as f64);
+                    if self.x < 1.0 - 1e-12 && self.dyndeg as f64 > bound + 1e-9 {
+                        self.lemma41_violations += 1;
+                    }
+                }
+                let inc = self.d1.powf(-q / self.t as f64);
+                self.xplus =
+                    if self.x < 1.0 - 1e-12 && (self.dyndeg as f64) >= threshold - 1e-9 {
+                        let xp = inc.min(1.0 - self.x);
+                        self.x += xp;
+                        if self.x > 1.0 - 1e-12 {
+                            self.x = 1.0;
+                        }
+                        xp
+                    } else {
+                        0.0
+                    };
+                ctx.broadcast(LpMsg::Share { x: self.x, xplus: self.xplus, dyndeg: self.dyndeg });
+            } else {
+                // Phase B: dual accounting from the shares, then color.
+                if self.white {
+                    let mut cplus = self.xplus;
+                    for env in inbox {
+                        match env.payload {
+                            LpMsg::Share { xplus, .. } => cplus += xplus,
+                            _ => unreachable!("expected Share messages"),
+                        }
+                    }
+                    let neighbor_xplus = inbox.iter().map(|env| match env.payload {
+                        LpMsg::Share { xplus, .. } => xplus,
+                        _ => unreachable!(),
+                    });
+                    let (alpha, beta) = (&mut self.alpha, &mut self.beta);
+                    let turned_gray = account(
+                        self.k,
+                        threshold,
+                        &mut self.cov,
+                        cplus,
+                        self.xplus,
+                        &mut self.alpha_self,
+                        &mut self.beta_self,
+                        neighbor_xplus,
+                        |o, da, db| {
+                            alpha[o] += da;
+                            beta[o] += db;
+                        },
+                    );
+                    if let Some(y) = turned_gray {
+                        self.white = false;
+                        self.y = y;
+                    }
+                }
+                ctx.broadcast(LpMsg::Color { white: self.white });
+            }
+            return Control::Continue;
+        }
+        if r == 2 * total_iters + 1 {
+            // Dual exchange: send (α_{j,me}, β_{j,me}, y_me) to each j.
+            // (The final color inbox needs no processing.)
+            for (o, &j) in ctx.neighbors().iter().enumerate() {
+                ctx.send(j, LpMsg::Dual { alpha: self.alpha[o], beta: self.beta[o], y: self.y });
+            }
+            return Control::Continue;
+        }
+        // Final round: assemble z (line 27) and halt. Inbox arrives in
+        // ascending sender order, matching the engine's summation order.
+        let mut z = self.alpha_self * self.y - self.beta_self;
+        for env in inbox {
+            match env.payload {
+                LpMsg::Dual { alpha, beta, y } => z += alpha * y - beta,
+                _ => unreachable!("expected Dual messages"),
+            }
+        }
+        self.z = z;
+        Control::Halt
+    }
+}
+
+/// The result of a protocol execution: the solution plus communication
+/// metrics.
+#[derive(Debug, Clone)]
+pub struct FractionalProtocolRun {
+    /// The computed solution (identical to the engine's).
+    pub solution: FractionalSolution,
+    /// Rounds, messages and bits used.
+    pub metrics: Metrics,
+}
+
+/// Runs Algorithm 1 as a message-passing protocol and collects metrics.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the simulation exceeds its round budget
+/// (cannot happen for well-formed instances; the budget is `2t² + 8`).
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::fractional::{protocol::run_fractional_protocol, FractionalParams};
+/// use ftclust_core::Instance;
+/// use ftclust_graphs::generators;
+///
+/// let g = generators::cycle(12);
+/// let inst = Instance::uniform(&g, 2)?;
+/// let run = run_fractional_protocol(&inst, &FractionalParams::new(3))?;
+/// assert_eq!(run.metrics.rounds, 2 * 9 + 3); // 2t² + 3
+/// assert!(run.solution.is_primal_feasible(&inst, 1e-9));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_fractional_protocol(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+) -> Result<FractionalProtocolRun, KmdsError> {
+    assert_eq!(
+        params.knowledge,
+        super::DeltaKnowledge::Global,
+        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
+    );
+    let g = inst.graph();
+    let t = params.t;
+    let delta = params.resolve_delta(inst);
+    let topo = Topology::from_graph(g);
+    let mut sim = Simulator::new(topo, |v: NodeId| LpNode::new(inst.demand(v), t, delta), 0);
+    let budget = 2 * (t as u64) * (t as u64) + 8;
+    sim.run(budget)?;
+
+    let n = g.node_count();
+    let mut st = AlgoState::new(inst); // reuse the layout for assembly
+    let mut z = vec![0.0f64; n];
+    let mut lemma41_violations = 0;
+    for v in g.nodes() {
+        let node = sim.logic(v);
+        let i = v.index();
+        st.x[i] = node.x;
+        st.y[i] = node.y;
+        z[i] = node.z;
+        lemma41_violations += node.lemma41_violations;
+    }
+    let d1 = (delta + 1) as f64;
+    let kappa = t as f64 * d1.powf(1.0 / t as f64);
+    let dual_raw: f64 = (0..n)
+        .map(|i| inst.demands()[i] as f64 * st.y[i] - z[i])
+        .sum();
+    let value: f64 = st.x.iter().sum();
+    Ok(FractionalProtocolRun {
+        solution: FractionalSolution {
+            x: st.x,
+            y: st.y,
+            z,
+            kappa,
+            lower_bound: (dual_raw / kappa).max(0.0),
+            value,
+            t,
+            delta,
+            lemma41_violations,
+        },
+        metrics: sim.metrics().clone(),
+    })
+}
+
+/// Runs Algorithm 1 on an **asynchronous** network with random message
+/// delays up to `max_delay` ticks, using the α-synchronizer of
+/// [`ftclust_netsim::synchronizer`] — the reduction the paper invokes in
+/// Section 3 ("every synchronous message-passing algorithm can be turned
+/// into an asynchronous algorithm with the same time complexity").
+///
+/// The returned solution is identical to the synchronous protocol's and to
+/// the engine's.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the local-round budget is exceeded
+/// (cannot happen for well-formed instances).
+pub fn run_fractional_protocol_async(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+    max_delay: u64,
+) -> Result<FractionalSolution, KmdsError> {
+    assert_eq!(
+        params.knowledge,
+        super::DeltaKnowledge::Global,
+        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
+    );
+    let g = inst.graph();
+    let t = params.t;
+    let delta = params.resolve_delta(inst);
+    let topo = Topology::from_graph(g);
+    let budget = 2 * (t as u64) * (t as u64) + 8;
+    let run = ftclust_netsim::synchronizer::run_asynchronously(
+        topo,
+        |v: NodeId| LpNode::new(inst.demand(v), t, delta),
+        0,
+        max_delay,
+        budget,
+    )?;
+    let n = g.node_count();
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut lemma41_violations = 0;
+    for (i, node) in run.logics.iter().enumerate() {
+        x[i] = node.x;
+        y[i] = node.y;
+        z[i] = node.z;
+        lemma41_violations += node.lemma41_violations;
+    }
+    let d1 = (delta + 1) as f64;
+    let kappa = t as f64 * d1.powf(1.0 / t as f64);
+    let dual_raw: f64 = (0..n).map(|i| inst.demands()[i] as f64 * y[i] - z[i]).sum();
+    let value: f64 = x.iter().sum();
+    Ok(FractionalSolution {
+        x,
+        y,
+        z,
+        kappa,
+        lower_bound: (dual_raw / kappa).max(0.0),
+        value,
+        t,
+        delta,
+        lemma41_violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fractional::solve_fractional;
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn asynchronous_execution_matches_engine() {
+        let g = generators::gnp(30, 0.2, 6);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let params = FractionalParams::new(2);
+        let engine = solve_fractional(&inst, &params).unwrap();
+        let asynced = run_fractional_protocol_async(&inst, &params, 5).unwrap();
+        assert_eq!(engine, asynced);
+    }
+
+    #[test]
+    fn protocol_equals_engine_bit_for_bit() {
+        for (g, k) in [
+            (generators::cycle(10), 2u32),
+            (generators::gnp(40, 0.15, 3), 2),
+            (generators::star(8), 1),
+            (generators::grid_2d(5, 4), 3),
+            (generators::empty(4), 1),
+        ] {
+            let inst = Instance::uniform_clamped(&g, k);
+            for t in [1, 2, 3] {
+                let params = FractionalParams::new(t);
+                let engine = solve_fractional(&inst, &params).unwrap();
+                let proto = run_fractional_protocol(&inst, &params).unwrap().solution;
+                assert_eq!(engine, proto, "engine/protocol divergence at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_complexity_is_2t2_plus_3() {
+        let g = generators::gnp(30, 0.2, 1);
+        let inst = Instance::uniform_clamped(&g, 2);
+        for t in [1, 2, 4] {
+            let run = run_fractional_protocol(&inst, &FractionalParams::new(t)).unwrap();
+            assert_eq!(run.metrics.rounds, 2 * (t as u64).pow(2) + 3);
+        }
+    }
+
+    #[test]
+    fn message_bits_are_logarithmic() {
+        let g = generators::gnp(200, 0.05, 9);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let run = run_fractional_protocol(&inst, &FractionalParams::new(3)).unwrap();
+        // 2 values + a degree: comfortably O(log n).
+        assert!(run.metrics.max_message_bits <= 3 * VALUE_BITS);
+        assert!(run.metrics.messages > 0);
+    }
+
+    #[test]
+    fn isolated_nodes_complete_locally() {
+        let g = generators::empty(3);
+        let inst = Instance::uniform_clamped(&g, 1);
+        let run = run_fractional_protocol(&inst, &FractionalParams::new(2)).unwrap();
+        assert_eq!(run.solution.x, vec![1.0, 1.0, 1.0]);
+        assert_eq!(run.metrics.messages, 0);
+    }
+}

@@ -1,0 +1,197 @@
+use crate::KmdsError;
+use ftclust_graphs::{Graph, NodeId};
+use ftclust_lp::CoveringLp;
+
+/// A k-fold domination instance: a graph together with per-node coverage
+/// demands `k_i`.
+///
+/// The paper's LP `(PP)` allows the demand to *"vary for different nodes"*;
+/// [`Instance::uniform`] is the common `k_i = k` case. Under the `(PP)`
+/// semantics a node can be covered at most `δ(v)+1` times (by its closed
+/// neighborhood), so feasibility requires `k_v ≤ δ(v)+1` — validated at
+/// construction, with [`Instance::uniform_clamped`] as the pragmatic
+/// alternative for graphs containing low-degree nodes.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::Instance;
+/// use ftclust_graphs::generators;
+///
+/// let g = generators::cycle(6);
+/// let inst = Instance::uniform(&g, 2)?;       // fine: |N[v]| = 3 ≥ 2
+/// assert!(Instance::uniform(&g, 4).is_err()); // 4 > 3: infeasible
+/// assert_eq!(Instance::uniform_clamped(&g, 4).demand(ftclust_graphs::NodeId::new(0)), 3);
+/// assert_eq!(inst.total_demand(), 12);
+/// # Ok::<(), ftclust_core::KmdsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instance<'a> {
+    graph: &'a Graph,
+    demands: Vec<u32>,
+}
+
+impl<'a> Instance<'a> {
+    /// An instance with the same demand `k` at every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmdsError::InfeasibleDemand`] if some node has
+    /// `k > δ(v) + 1`.
+    pub fn uniform(graph: &'a Graph, k: u32) -> Result<Self, KmdsError> {
+        Self::with_demands(graph, vec![k; graph.node_count()])
+    }
+
+    /// An instance demanding `min(k, δ(v)+1)` at every node — always
+    /// feasible. The clamp only affects nodes whose entire closed
+    /// neighborhood must join the dominating set anyway.
+    pub fn uniform_clamped(graph: &'a Graph, k: u32) -> Self {
+        let demands = graph
+            .nodes()
+            .map(|v| k.min(graph.degree(v) as u32 + 1))
+            .collect();
+        Instance { graph, demands }
+    }
+
+    /// An instance with per-node demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmdsError::DemandLengthMismatch`] or
+    /// [`KmdsError::InfeasibleDemand`].
+    pub fn with_demands(graph: &'a Graph, demands: Vec<u32>) -> Result<Self, KmdsError> {
+        if demands.len() != graph.node_count() {
+            return Err(KmdsError::DemandLengthMismatch {
+                demands: demands.len(),
+                nodes: graph.node_count(),
+            });
+        }
+        for v in graph.nodes() {
+            let closed = graph.degree(v) as u32 + 1;
+            let k = demands[v.index()];
+            if k > closed {
+                return Err(KmdsError::InfeasibleDemand {
+                    node: v.raw(),
+                    demand: k,
+                    closed_neighborhood: closed,
+                });
+            }
+        }
+        Ok(Instance { graph, demands })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The demand `k_v` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn demand(&self, v: NodeId) -> u32 {
+        self.demands[v.index()]
+    }
+
+    /// All demands, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn demands(&self) -> &[u32] {
+        &self.demands
+    }
+
+    /// The largest demand (0 for an empty graph).
+    pub fn max_demand(&self) -> u32 {
+        self.demands.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The sum of all demands.
+    pub fn total_demand(&self) -> u64 {
+        self.demands.iter().map(|&k| k as u64).sum()
+    }
+
+    /// Builds the paper's LP `(PP)`:
+    /// `min Σ x_j  s.t.  Σ_{j ∈ N[i]} x_j ≥ k_i,  0 ≤ x ≤ 1`.
+    pub fn to_lp(&self) -> CoveringLp {
+        let n = self.graph.node_count();
+        let mut lp = CoveringLp::new(n);
+        for v in self.graph.nodes() {
+            let entries = self
+                .graph
+                .closed_neighbors(v)
+                .map(|w| (w.index(), 1.0))
+                .collect();
+            lp.add_constraint(entries, self.demand(v) as f64)
+                .expect("instance data is validated");
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclust_graphs::generators;
+    use ftclust_lp::solve;
+
+    #[test]
+    fn uniform_validates_feasibility() {
+        let g = generators::path(3); // endpoints have |N[v]| = 2
+        assert!(Instance::uniform(&g, 2).is_ok());
+        let err = Instance::uniform(&g, 3).unwrap_err();
+        assert_eq!(
+            err,
+            KmdsError::InfeasibleDemand { node: 0, demand: 3, closed_neighborhood: 2 }
+        );
+    }
+
+    #[test]
+    fn clamped_lowers_only_where_needed() {
+        let g = generators::star(5); // center degree 4, leaves degree 1
+        let inst = Instance::uniform_clamped(&g, 3);
+        assert_eq!(inst.demand(NodeId::new(0)), 3);
+        assert_eq!(inst.demand(NodeId::new(1)), 2);
+        assert_eq!(inst.max_demand(), 3);
+    }
+
+    #[test]
+    fn with_demands_checks_length() {
+        let g = generators::path(3);
+        assert_eq!(
+            Instance::with_demands(&g, vec![1, 1]).unwrap_err(),
+            KmdsError::DemandLengthMismatch { demands: 2, nodes: 3 }
+        );
+        let inst = Instance::with_demands(&g, vec![0, 2, 1]).unwrap();
+        assert_eq!(inst.total_demand(), 3);
+    }
+
+    #[test]
+    fn lp_matches_known_optimum() {
+        // C_9 with k = 1: LP optimum n/3 = 3.
+        let g = generators::cycle(9);
+        let inst = Instance::uniform(&g, 1).unwrap();
+        let lp = inst.to_lp();
+        assert_eq!(lp.num_constraints(), 9);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.value - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lp_respects_per_node_demands() {
+        // K_4 with demands (1, 1, 1, 3): LP optimum is 3.
+        let g = generators::complete(4);
+        let inst = Instance::with_demands(&g, vec![1, 1, 1, 3]).unwrap();
+        let sol = solve(&inst.to_lp()).unwrap();
+        assert!((sol.value - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn empty_graph_instance() {
+        let g = generators::empty(0);
+        let inst = Instance::uniform(&g, 5).unwrap(); // vacuously feasible
+        assert_eq!(inst.total_demand(), 0);
+        assert_eq!(inst.max_demand(), 0);
+    }
+}

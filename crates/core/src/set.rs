@@ -1,0 +1,247 @@
+use ftclust_graphs::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of nodes, the output of every clustering algorithm in this crate.
+///
+/// Stored as a membership bitmap over `0..node_count` for `O(1)` queries
+/// and cheap set algebra.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::DominatingSet;
+/// use ftclust_graphs::NodeId;
+///
+/// let mut s = DominatingSet::empty(4);
+/// s.insert(NodeId::new(1));
+/// s.insert(NodeId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(NodeId::new(3)));
+/// assert_eq!(s.ids().collect::<Vec<_>>(), vec![NodeId::new(1), NodeId::new(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DominatingSet {
+    members: Vec<bool>,
+    len: usize,
+}
+
+impl DominatingSet {
+    /// The empty set over a universe of `node_count` nodes.
+    pub fn empty(node_count: usize) -> Self {
+        DominatingSet { members: vec![false; node_count], len: 0 }
+    }
+
+    /// The full set (every node selected) — the trivial k-fold dominating
+    /// set.
+    pub fn full(node_count: usize) -> Self {
+        DominatingSet { members: vec![true; node_count], len: node_count }
+    }
+
+    /// Builds a set from a membership bitmap.
+    pub fn from_members(members: Vec<bool>) -> Self {
+        let len = members.iter().filter(|&&b| b).count();
+        DominatingSet { members, len }
+    }
+
+    /// Builds a set from node ids (duplicates are fine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `≥ node_count`.
+    pub fn from_ids<I: IntoIterator<Item = NodeId>>(node_count: usize, ids: I) -> Self {
+        let mut s = DominatingSet::empty(node_count);
+        for v in ids {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Number of selected nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no node is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the universe (the graph's node count).
+    pub fn universe(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if `v` is selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members[v.index()]
+    }
+
+    /// Selects `v`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        if self.members[v.index()] {
+            false
+        } else {
+            self.members[v.index()] = true;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Deselects `v`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        if self.members[v.index()] {
+            self.members[v.index()] = false;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over the selected node ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// The membership bitmap.
+    pub fn as_members(&self) -> &[bool] {
+        &self.members
+    }
+
+    /// The union of two sets over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &DominatingSet) -> DominatingSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        DominatingSet::from_members(
+            self.members
+                .iter()
+                .zip(&other.members)
+                .map(|(&a, &b)| a || b)
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<NodeId> for DominatingSet {
+    /// Collects ids into a set whose universe is just large enough.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        DominatingSet::from_ids(universe, ids)
+    }
+}
+
+impl Extend<NodeId> for DominatingSet {
+    /// Inserts the ids into the existing universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of the universe's range.
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Display for DominatingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.ids().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}} ({} of {})", self.len(), self.universe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_len() {
+        let mut s = DominatingSet::empty(5);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(2)));
+        assert!(!s.insert(NodeId::new(2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId::new(2)));
+        assert!(!s.remove(NodeId::new(2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DominatingSet::full(3).len(), 3);
+        let s = DominatingSet::from_members(vec![true, false, true]);
+        assert_eq!(s.len(), 2);
+        let s = DominatingSet::from_ids(4, [NodeId::new(1), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(s.len(), 2);
+        let s: DominatingSet = [NodeId::new(0), NodeId::new(4)].into_iter().collect();
+        assert_eq!(s.universe(), 5);
+        assert_eq!(s.len(), 2);
+        let empty: DominatingSet = std::iter::empty().collect();
+        assert_eq!(empty.universe(), 0);
+    }
+
+    #[test]
+    fn extend_inserts_with_dedup() {
+        let mut s = DominatingSet::empty(5);
+        s.extend([NodeId::new(1), NodeId::new(3), NodeId::new(1)]);
+        assert_eq!(s.len(), 2);
+        s.extend(std::iter::empty());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn ids_ascending() {
+        let s = DominatingSet::from_ids(6, [NodeId::new(5), NodeId::new(0), NodeId::new(3)]);
+        let ids: Vec<u32> = s.ids().map(NodeId::raw).collect();
+        assert_eq!(ids, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = DominatingSet::from_ids(4, [NodeId::new(0)]);
+        let b = DominatingSet::from_ids(4, [NodeId::new(0), NodeId::new(2)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn union_requires_same_universe() {
+        let _ = DominatingSet::empty(2).union(&DominatingSet::empty(3));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s = DominatingSet::from_ids(4, [NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(s.to_string(), "{v1, v2} (2 of 4)");
+    }
+}

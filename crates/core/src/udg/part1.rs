@@ -1,0 +1,216 @@
+//! Part I of Algorithm 3: radius-doubling sparsification into leaders.
+
+use super::IdMode;
+use crate::DominatingSet;
+use ftclust_geometry::SpatialGrid;
+use ftclust_graphs::{NodeId, UnitDiskGraph};
+use ftclust_netsim::node_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The consideration-radius schedule `θ_1, …, θ_R` in **absolute** units
+/// (multiples of `radius`):
+///
+/// * `ξ = 3/2`, `R = max(1, ⌈log_ξ log₂ n⌉)` rounds,
+/// * `θ_i = min(1/2, 2^{i-1}·(log₂ n)^{-1/log₂ ξ}) · radius`.
+///
+/// The final `θ_R` always equals `radius/2`, so Lemma 5.1's coverage radius
+/// `2·θ_R = radius` holds exactly.
+pub fn theta_schedule(n: usize, radius: f64) -> Vec<f64> {
+    assert!(radius > 0.0, "radius must be positive");
+    let log2n = (n.max(4) as f64).log2(); // clamp so tiny n behave sanely
+    let xi: f64 = 1.5;
+    let rounds = ((log2n.ln() / xi.ln()).ceil() as usize).max(1);
+    let theta1 = log2n.powf(-1.0 / xi.log2());
+    let mut schedule: Vec<f64> = (0..rounds)
+        .map(|i| (2f64.powi(i as i32) * theta1).min(0.5) * radius)
+        .collect();
+    // Guarantee the last round reaches exactly radius/2 (the ceiling can
+    // leave it a shade below otherwise).
+    *schedule.last_mut().expect("rounds >= 1") = 0.5 * radius;
+    schedule
+}
+
+/// The u64 cap for the paper's identifier range `[1, n⁴]`.
+pub(crate) fn id_cap(n: usize) -> u64 {
+    (n.max(2) as u128).pow(4).min(u64::MAX as u128) as u64
+}
+
+#[derive(Debug)]
+pub(crate) struct Part1Outcome {
+    pub leaders: DominatingSet,
+    pub rounds: u32,
+    pub active_history: Vec<usize>,
+    /// Active masks at the start of each round, plus the final mask —
+    /// `active_masks.len() == rounds + 1`. Used by the Lemma 5.2 per-disk
+    /// census in [`super::analysis`].
+    pub active_masks: Vec<Vec<bool>>,
+    /// Per-node RNG streams in their post-Part-I state, so Part II
+    /// continues exactly where the protocol implementation's streams are.
+    pub rngs: Vec<StdRng>,
+}
+
+/// Runs Part I in memory. Random identifiers come from the per-node
+/// streams of [`ftclust_netsim::node_rng`], drawn once per round while the
+/// node is active — exactly the draws the protocol implementation makes,
+/// so both agree seed-for-seed.
+pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part1Outcome {
+    let n = udg.node_count();
+    if n == 0 {
+        return Part1Outcome {
+            leaders: DominatingSet::empty(0),
+            rounds: 0,
+            active_history: vec![],
+            active_masks: vec![],
+            rngs: vec![],
+        };
+    }
+    let schedule = theta_schedule(n, udg.radius());
+    let cap = id_cap(n);
+    let mut rngs: Vec<StdRng> = (0..n)
+        .map(|i| node_rng(seed, NodeId::new(i as u32)))
+        .collect();
+    let mut active = vec![true; n];
+    let mut ids = vec![0u64; n];
+    let mut fixed_drawn = vec![false; n];
+    let mut history = Vec::with_capacity(schedule.len());
+    let mut masks: Vec<Vec<bool>> = Vec::with_capacity(schedule.len() + 1);
+
+    for &theta in &schedule {
+        masks.push(active.clone());
+        // Draw identifiers for the active nodes (line 5).
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            match id_mode {
+                IdMode::FreshPerRound => ids[i] = rngs[i].random_range(1..=cap),
+                IdMode::FixedAtStart => {
+                    if !fixed_drawn[i] {
+                        ids[i] = rngs[i].random_range(1..=cap);
+                        fixed_drawn[i] = true;
+                    }
+                }
+            }
+        }
+        // Build a grid over the active nodes only.
+        let active_ids: Vec<u32> =
+            (0..n).filter(|&i| active[i]).map(|i| i as u32).collect();
+        let active_pos: Vec<_> =
+            active_ids.iter().map(|&i| udg.position(NodeId::new(i))).collect();
+        let grid = SpatialGrid::build(&active_pos, theta.max(1e-12));
+        // Election (lines 8–12): each active node elects the max-identifier
+        // active node within θ (ties by node id), possibly itself.
+        let mut elected = vec![false; n];
+        for (gi, &i) in active_ids.iter().enumerate() {
+            let mut best = (ids[i as usize], i);
+            grid.for_each_within(active_pos[gi], theta, |gj| {
+                let j = active_ids[gj as usize];
+                let key = (ids[j as usize], j);
+                if key > best {
+                    best = key;
+                }
+            });
+            elected[best.1 as usize] = true;
+        }
+        for i in 0..n {
+            active[i] = active[i] && elected[i];
+        }
+        history.push(active.iter().filter(|&&a| a).count());
+    }
+    masks.push(active.clone());
+
+    Part1Outcome {
+        leaders: DominatingSet::from_members(active),
+        rounds: schedule.len() as u32,
+        active_history: history,
+        active_masks: masks,
+        rngs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_k_dominating, Semantics};
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn schedule_ends_at_half_radius() {
+        for n in [1usize, 2, 10, 100, 10_000, 1_000_000] {
+            for r in [1.0, 2.5] {
+                let s = theta_schedule(n, r);
+                assert!(!s.is_empty());
+                assert!((s.last().unwrap() - 0.5 * r).abs() < 1e-12, "n={n}");
+                // Doubling until the cap.
+                for w in s.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-12);
+                    assert!(w[1] <= 2.0 * w[0] + 1e-12);
+                }
+                assert!(s.iter().all(|&t| t <= 0.5 * r + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn id_cap_saturates() {
+        assert_eq!(id_cap(2), 16);
+        assert_eq!(id_cap(10), 10_000);
+        assert_eq!(id_cap(100_000), u64::MAX); // 10²⁰ > u64::MAX
+    }
+
+    #[test]
+    fn dense_clique_keeps_one_leader() {
+        // All nodes within θ₁ of each other: a single election winner
+        // survives every round.
+        let pts: Vec<_> = (0..50)
+            .map(|i| ftclust_geometry::Point::new(1e-6 * i as f64, 0.0))
+            .collect();
+        let udg = ftclust_graphs::UnitDiskGraph::build(pts, 1.0).unwrap();
+        let out = run_part1(&udg, 3, IdMode::FreshPerRound);
+        assert_eq!(out.leaders.len(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_all_become_leaders() {
+        let pts: Vec<_> = (0..6)
+            .map(|i| ftclust_geometry::Point::new(5.0 * i as f64, 0.0))
+            .collect();
+        let udg = ftclust_graphs::UnitDiskGraph::build(pts, 1.0).unwrap();
+        let out = run_part1(&udg, 0, IdMode::FreshPerRound);
+        assert_eq!(out.leaders.len(), 6);
+    }
+
+    #[test]
+    fn lemma_5_1_leaders_dominate() {
+        for seed in 0..5 {
+            let udg = generators::random_udg(500, 9.0, 1.0, 100 + seed);
+            let out = run_part1(&udg, seed, IdMode::FreshPerRound);
+            assert!(
+                is_k_dominating(udg.graph(), &out.leaders, 1, Semantics::Strict),
+                "Lemma 5.1 violated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparsification_shrinks_dense_deployments() {
+        // 2000 nodes in a 4×4 area (radius 1): the leader density is
+        // governed by the area (Lemma 5.5: O(1) per radius-1/2 disk ⇒
+        // a few dozen overall), not by n.
+        let udg = generators::random_udg_in_square(2000, 4.0, 1.0, 8);
+        let out = run_part1(&udg, 1, IdMode::FreshPerRound);
+        assert!(
+            out.leaders.len() < 200,
+            "no sparsification: {} leaders in a 16-unit² area",
+            out.leaders.len()
+        );
+    }
+
+    #[test]
+    fn fixed_ids_still_dominate() {
+        let udg = generators::random_udg(300, 10.0, 1.0, 12);
+        let out = run_part1(&udg, 2, IdMode::FixedAtStart);
+        assert!(is_k_dominating(udg.graph(), &out.leaders, 1, Semantics::Strict));
+    }
+}

@@ -1,0 +1,208 @@
+//! Part II of Algorithm 3: extending the leader set to a k-fold
+//! dominating set.
+
+use super::PromotionRule;
+use crate::{DominatingSet, KmdsError};
+use ftclust_graphs::{Graph, NodeId};
+use ftclust_netsim::node_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Where Part II gets its per-node random streams from.
+#[derive(Debug)]
+pub(crate) enum RngSource {
+    /// Derive fresh per-node streams from a master seed.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests and standalone callers
+    Seed(u64),
+    /// Continue existing streams (the post-Part-I state).
+    Streams(Vec<StdRng>),
+}
+
+/// Picks up to `k` promotion targets from the (ascending) list of needy
+/// neighbors, per the configured rule. Shared with the protocol so both
+/// implementations draw identically.
+pub(crate) fn select_promotions(
+    needy: &[NodeId],
+    coverage: impl Fn(NodeId) -> u32,
+    k: usize,
+    rule: PromotionRule,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    if needy.len() <= k {
+        return needy.to_vec();
+    }
+    match rule {
+        PromotionRule::LowestId => needy[..k].to_vec(),
+        PromotionRule::MostDeficient => {
+            let mut sorted = needy.to_vec();
+            sorted.sort_by_key(|&v| (coverage(v), v));
+            sorted.truncate(k);
+            sorted
+        }
+        PromotionRule::Random => {
+            let mut pool = needy.to_vec();
+            let mut chosen = Vec::with_capacity(k);
+            for _ in 0..k {
+                let idx = rng.random_range(0..pool.len());
+                chosen.push(pool.swap_remove(idx));
+            }
+            chosen
+        }
+    }
+}
+
+/// Runs Part II in memory: synchronous iterations in which every leader
+/// promotes up to `k` of its uncovered neighbors, until every non-leader
+/// has at least `k` leader neighbors.
+///
+/// `rngs` are the per-node random streams (pass the post-Part-I streams to
+/// match the protocol; `None` derives fresh streams from `seed`).
+///
+/// Returns the final set and the number of while-loop iterations.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::IterationLimit`] if an iteration makes no progress
+/// — impossible when the input `leaders` dominate the graph (Lemma 5.1),
+/// checked defensively.
+pub(crate) fn run_part2(
+    g: &Graph,
+    leaders: &DominatingSet,
+    k: u32,
+    rng_source: RngSource,
+    rule: PromotionRule,
+) -> Result<(DominatingSet, u32), KmdsError> {
+    let n = g.node_count();
+    let mut leader: Vec<bool> = leaders.as_members().to_vec();
+    let mut rngs: Vec<StdRng> = match rng_source {
+        RngSource::Seed(seed) => {
+            (0..n).map(|i| node_rng(seed, NodeId::new(i as u32))).collect()
+        }
+        RngSource::Streams(rngs) => {
+            assert_eq!(rngs.len(), n, "rng stream count mismatch");
+            rngs
+        }
+    };
+    let mut iterations = 0u32;
+    loop {
+        // Coverage snapshot: number of leaders in each closed neighborhood
+        // (for a non-leader this equals the leader count among neighbors).
+        let cov: Vec<u32> = g
+            .nodes()
+            .map(|v| g.closed_neighbors(v).filter(|w| leader[w.index()]).count() as u32)
+            .collect();
+        let needy: Vec<bool> = (0..n).map(|i| !leader[i] && cov[i] < k).collect();
+        if !needy.iter().any(|&b| b) {
+            break;
+        }
+        iterations += 1;
+        let mut promoted = vec![false; n];
+        for v in g.nodes() {
+            let i = v.index();
+            if !leader[i] {
+                continue;
+            }
+            let u: Vec<NodeId> =
+                g.neighbors(v).iter().copied().filter(|w| needy[w.index()]).collect();
+            if u.is_empty() {
+                continue;
+            }
+            for w in
+                select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut rngs[i])
+            {
+                promoted[w.index()] = true;
+            }
+        }
+        let progress = promoted.iter().enumerate().any(|(i, &p)| p && !leader[i]);
+        if !progress {
+            return Err(KmdsError::IterationLimit { stage: "udg part 2", limit: iterations as u64 });
+        }
+        for i in 0..n {
+            leader[i] = leader[i] || promoted[i];
+        }
+    }
+    Ok((DominatingSet::from_members(leader), iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_k_dominating, Semantics};
+    use ftclust_graphs::generators;
+
+    fn dominating_seed(g: &Graph) -> DominatingSet {
+        // A trivially valid starting point: a maximal independent set by
+        // greedy scan is a dominating set.
+        let mut set = DominatingSet::empty(g.node_count());
+        for v in g.nodes() {
+            if g.closed_neighbors(v).all(|w| !set.contains(w)) {
+                set.insert(v);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn extends_to_k_fold() {
+        for k in [1u32, 2, 3] {
+            let g = generators::gnp(80, 0.15, k as u64);
+            let leaders = dominating_seed(&g);
+            let (set, iters) = run_part2(&g, &leaders, k, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
+            assert!(is_k_dominating(&g, &set, k, Semantics::Strict), "k={k}");
+            if k == 1 {
+                // A dominating set needs no extension.
+                assert_eq!(iters, 0);
+                assert_eq!(set, leaders);
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_rules_all_terminate_quickly() {
+        let g = generators::gnp(120, 0.1, 5);
+        let leaders = dominating_seed(&g);
+        for rule in
+            [PromotionRule::LowestId, PromotionRule::MostDeficient, PromotionRule::Random]
+        {
+            let (set, iters) = run_part2(&g, &leaders, 3, RngSource::Seed(1), rule).unwrap();
+            assert!(is_k_dominating(&g, &set, 3, Semantics::Strict));
+            assert!(iters <= 10, "{rule:?} took {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn select_promotions_rules() {
+        let needy: Vec<NodeId> = [1u32, 2, 3, 4].into_iter().map(NodeId::new).collect();
+        let cov = |v: NodeId| match v.raw() {
+            2 => 0u32,
+            4 => 1,
+            _ => 5,
+        };
+        let mut rng = node_rng(0, NodeId::new(0));
+        assert_eq!(
+            select_promotions(&needy, cov, 2, PromotionRule::LowestId, &mut rng),
+            vec![NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            select_promotions(&needy, cov, 2, PromotionRule::MostDeficient, &mut rng),
+            vec![NodeId::new(2), NodeId::new(4)]
+        );
+        let random = select_promotions(&needy, cov, 2, PromotionRule::Random, &mut rng);
+        assert_eq!(random.len(), 2);
+        assert!(random.iter().all(|v| needy.contains(v)));
+        // Fewer needy than k: take all, regardless of rule.
+        assert_eq!(
+            select_promotions(&needy, cov, 9, PromotionRule::Random, &mut rng),
+            needy
+        );
+    }
+
+    #[test]
+    fn full_leader_set_is_already_done() {
+        let g = generators::cycle(8);
+        let all = DominatingSet::full(8);
+        let (set, iters) = run_part2(&g, &all, 2, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
+        assert_eq!(set.len(), 8);
+        assert_eq!(iters, 0);
+    }
+}

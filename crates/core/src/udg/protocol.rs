@@ -1,0 +1,391 @@
+//! Message-passing implementation of Algorithm 3 on [`ftclust_netsim`].
+//!
+//! **Part I** takes two simulator rounds per paper round `i`:
+//!
+//! * phase 0: (process last round's election messages;) active nodes draw
+//!   `ID_i ∈ [1, n⁴]` and send it to every neighbor within `θ_i`
+//!   (lines 5–7),
+//! * phase 1: active nodes elect the maximum identifier among the received
+//!   ones and their own, and send `M` to the winner — possibly themselves
+//!   (lines 8–9); a node that receives no `M` turns passive (lines 10–12).
+//!
+//! **Part II** runs iterations of three rounds: leader-status broadcast,
+//! needy announcements (`c(v) < k`), and promotions. A node halts once
+//! neither it nor any neighbor is needy; leader statuses are cached so
+//! halted neighbors (whose status can no longer change) stay correctly
+//! known.
+//!
+//! Identifier messages are metered at `4·⌈log₂ n⌉` bits — the paper's
+//! `[1, n⁴]` range — plus a bit; everything else is `O(log k)` or a single
+//! bit. This is the protocol whose maximum message size scales visibly as
+//! `Θ(log n)` in experiment E8.
+//!
+//! Seed-for-seed identical to the engine ([`super::UdgAlgorithm::run`]).
+
+use super::part1::{id_cap, theta_schedule};
+use super::part2::select_promotions;
+use super::{IdMode, PromotionRule, UdgAlgorithm, UdgRun};
+use crate::{DominatingSet, KmdsError};
+use ftclust_graphs::{NodeId, UnitDiskGraph};
+use ftclust_netsim::{
+    bits_for_ids, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+};
+use rand::Rng;
+
+/// Wire messages of the UDG protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdgMsg {
+    /// Part I identifier announcement; `id_bits` is the metered width of
+    /// the identifier (4·⌈log₂ n⌉ for the `[1, n⁴]` range).
+    Id {
+        /// The round's random identifier.
+        id: u64,
+        /// Metered identifier width in bits.
+        id_bits: u16,
+    },
+    /// Part I election message `M`.
+    Elect,
+    /// Part II leader-status broadcast.
+    Status {
+        /// Whether the sender is currently a leader.
+        leader: bool,
+    },
+    /// Part II "I am needy" announcement with the sender's current
+    /// coverage (needed by the `MostDeficient` promotion rule).
+    Needy {
+        /// Leaders currently covering the sender (`< k`).
+        cov: u32,
+    },
+    /// Part II promotion order.
+    Promote,
+}
+
+impl Payload for UdgMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            UdgMsg::Id { id_bits, .. } => 1 + *id_bits as usize,
+            UdgMsg::Elect | UdgMsg::Promote => 1,
+            UdgMsg::Status { .. } => 1,
+            UdgMsg::Needy { cov } => 1 + bits_for_ids(*cov as usize + 2),
+        }
+    }
+}
+
+/// Per-node protocol state for Algorithm 3.
+#[derive(Debug)]
+pub struct UdgNode {
+    k: u32,
+    id_mode: IdMode,
+    promotion: PromotionRule,
+    /// Part I: consideration radii (absolute).
+    schedule: Vec<f64>,
+    id_cap: u64,
+    id_bits: u16,
+    active: bool,
+    my_id: u64,
+    fixed_drawn: bool,
+    /// Paper round after which this node turned passive (None = leader).
+    pub passive_after: Option<u32>,
+    /// Part II state.
+    pub leader: bool,
+    neighbor_leader: Vec<bool>,
+    my_needy: bool,
+}
+
+impl UdgNode {
+    fn part1_rounds(&self) -> u64 {
+        self.schedule.len() as u64
+    }
+}
+
+impl NodeLogic for UdgNode {
+    type Payload = UdgMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<UdgMsg>], ctx: &mut Context<'_, UdgMsg>) -> Control {
+        let r = ctx.round();
+        let base = 2 * self.part1_rounds();
+        if r < base {
+            let paper_round = (r / 2) as usize; // 0-based
+            if r % 2 == 0 {
+                // Phase 0: process last round's elections, then announce.
+                if paper_round > 0 && self.active {
+                    let got_m = inbox.iter().any(|e| matches!(e.payload, UdgMsg::Elect));
+                    if !got_m {
+                        self.active = false;
+                        self.passive_after = Some(paper_round as u32);
+                    }
+                }
+                if self.active {
+                    match self.id_mode {
+                        IdMode::FreshPerRound => {
+                            self.my_id = ctx.rng().random_range(1..=self.id_cap);
+                        }
+                        IdMode::FixedAtStart => {
+                            if !self.fixed_drawn {
+                                self.my_id = ctx.rng().random_range(1..=self.id_cap);
+                                self.fixed_drawn = true;
+                            }
+                        }
+                    }
+                    let theta = self.schedule[paper_round];
+                    let (id, id_bits) = (self.my_id, self.id_bits);
+                    let within: Vec<NodeId> = ctx
+                        .neighbors()
+                        .iter()
+                        .copied()
+                        .filter(|&w| {
+                            ctx.distance_to(w).expect("UDG topology senses distances") <= theta
+                        })
+                        .collect();
+                    for w in within {
+                        ctx.send(w, UdgMsg::Id { id, id_bits });
+                    }
+                }
+            } else if self.active {
+                // Phase 1: elect the maximum (id, node) among A_v ∪ {me}.
+                let mut best = (self.my_id, ctx.me());
+                for e in inbox {
+                    if let UdgMsg::Id { id, .. } = e.payload {
+                        if (id, e.from) > best {
+                            best = (id, e.from);
+                        }
+                    }
+                }
+                ctx.send(best.1, UdgMsg::Elect);
+            }
+            return Control::Continue;
+        }
+        // Part II.
+        let phase = (r - base) % 3;
+        match phase {
+            0 => {
+                if r == base {
+                    // Final Part I election processing: survivors lead.
+                    if self.active {
+                        let got_m = inbox.iter().any(|e| matches!(e.payload, UdgMsg::Elect));
+                        if !got_m {
+                            self.active = false;
+                            self.passive_after = Some(self.part1_rounds() as u32);
+                        }
+                    }
+                    self.leader = self.active;
+                    self.neighbor_leader = vec![false; ctx.degree()];
+                } else {
+                    // Accept promotions from the previous iteration.
+                    if inbox.iter().any(|e| matches!(e.payload, UdgMsg::Promote)) {
+                        self.leader = true;
+                    }
+                }
+                ctx.broadcast(UdgMsg::Status { leader: self.leader });
+                Control::Continue
+            }
+            1 => {
+                // Refresh cached neighbor statuses; halted neighbors sent
+                // nothing and their cached status is final.
+                for e in inbox {
+                    if let UdgMsg::Status { leader } = e.payload {
+                        let pos = ctx
+                            .neighbors()
+                            .binary_search(&e.from)
+                            .expect("status from neighbor");
+                        self.neighbor_leader[pos] = leader;
+                    }
+                }
+                let cov = u32::from(self.leader)
+                    + self.neighbor_leader.iter().filter(|&&b| b).count() as u32;
+                self.my_needy = !self.leader && cov < self.k;
+                if self.my_needy {
+                    ctx.broadcast(UdgMsg::Needy { cov });
+                }
+                Control::Continue
+            }
+            _ => {
+                // Collect needy neighbors (ascending by construction).
+                let needy: Vec<(NodeId, u32)> = inbox
+                    .iter()
+                    .filter_map(|e| match e.payload {
+                        UdgMsg::Needy { cov } => Some((e.from, cov)),
+                        _ => None,
+                    })
+                    .collect();
+                if self.leader && !needy.is_empty() {
+                    let ids: Vec<NodeId> = needy.iter().map(|&(v, _)| v).collect();
+                    let cov_of = |v: NodeId| {
+                        needy
+                            .iter()
+                            .find(|&&(w, _)| w == v)
+                            .map(|&(_, c)| c)
+                            .expect("needy coverage known")
+                    };
+                    let chosen = select_promotions(
+                        &ids,
+                        cov_of,
+                        self.k as usize,
+                        self.promotion,
+                        ctx.rng(),
+                    );
+                    for w in chosen {
+                        ctx.send(w, UdgMsg::Promote);
+                    }
+                }
+                if !self.my_needy && needy.is_empty() {
+                    Control::Halt
+                } else {
+                    Control::Continue
+                }
+            }
+        }
+    }
+}
+
+/// Result of a metered Algorithm 3 execution.
+#[derive(Debug, Clone)]
+pub struct UdgProtocolRun {
+    /// The algorithm outputs (identical to the engine's).
+    pub run: UdgRun,
+    /// Rounds, messages and bits used.
+    pub metrics: Metrics,
+}
+
+/// Runs **Algorithm 3** as a message-passing protocol with distance
+/// sensing, collecting communication metrics.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget (`2·part1 + 3·(n+2)`) is
+/// exceeded — impossible for valid unit disk graphs.
+pub fn run_udg_protocol(
+    udg: &UnitDiskGraph,
+    config: &UdgAlgorithm,
+) -> Result<UdgProtocolRun, KmdsError> {
+    let n = udg.node_count();
+    if n == 0 {
+        return Ok(UdgProtocolRun {
+            run: UdgRun {
+                set: DominatingSet::empty(0),
+                leaders: DominatingSet::empty(0),
+                part1_rounds: 0,
+                part2_iterations: 0,
+                active_history: vec![],
+            },
+            metrics: Metrics::default(),
+        });
+    }
+    let schedule = theta_schedule(n, udg.radius());
+    let part1_rounds = schedule.len() as u32;
+    let cap = id_cap(n);
+    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
+    let topo = Topology::from_udg(udg);
+    let mut sim = Simulator::new(
+        topo,
+        |_: NodeId| UdgNode {
+            k: config.k,
+            id_mode: config.id_mode,
+            promotion: config.promotion,
+            schedule: schedule.clone(),
+            id_cap: cap,
+            id_bits,
+            active: true,
+            my_id: 0,
+            fixed_drawn: false,
+            passive_after: None,
+            leader: false,
+            neighbor_leader: Vec::new(),
+            my_needy: false,
+        },
+        config.seed,
+    );
+    let budget = 2 * part1_rounds as u64 + 3 * (n as u64 + 2) + 8;
+    sim.run(budget)?;
+
+    let mut leaders = vec![false; n];
+    let mut members = vec![false; n];
+    let mut passive_after = vec![u32::MAX; n];
+    for v in udg.graph().nodes() {
+        let node = sim.logic(v);
+        members[v.index()] = node.leader;
+        leaders[v.index()] = node.passive_after.is_none();
+        if let Some(p) = node.passive_after {
+            passive_after[v.index()] = p;
+        }
+    }
+    // Reconstruct the per-round active counts: a node is active after
+    // paper round i (1-based) iff passive_after > i.
+    let active_history: Vec<usize> = (1..=part1_rounds)
+        .map(|i| passive_after.iter().filter(|&&p| p > i).count())
+        .collect();
+    let rounds = sim.metrics().rounds;
+    let part2_iterations = ((rounds - 2 * part1_rounds as u64) / 3).saturating_sub(1) as u32;
+    Ok(UdgProtocolRun {
+        run: UdgRun {
+            set: DominatingSet::from_members(members),
+            leaders: DominatingSet::from_members(leaders),
+            part1_rounds,
+            part2_iterations,
+            active_history,
+        },
+        metrics: sim.metrics().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{is_k_dominating, Semantics};
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn protocol_equals_engine() {
+        for (k, rule) in [
+            (1u32, PromotionRule::LowestId),
+            (2, PromotionRule::LowestId),
+            (3, PromotionRule::MostDeficient),
+            (2, PromotionRule::Random),
+        ] {
+            for mode in [IdMode::FreshPerRound, IdMode::FixedAtStart] {
+                let udg = generators::random_udg(200, 9.0, 1.0, 77);
+                let config = UdgAlgorithm::new(k).seed(5).promotion(rule).id_mode(mode);
+                let engine = config.run(&udg).unwrap();
+                let proto = run_udg_protocol(&udg, &config).unwrap().run;
+                assert_eq!(engine, proto, "divergence for k={k}, {rule:?}, {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_double_logarithmic_plus_constant() {
+        let udg = generators::random_udg(1000, 10.0, 1.0, 3);
+        let config = UdgAlgorithm::new(2).seed(1);
+        let run = run_udg_protocol(&udg, &config).unwrap();
+        let r = theta_schedule(1000, 1.0).len() as u64;
+        assert!(run.metrics.rounds >= 2 * r);
+        assert!(
+            run.metrics.rounds <= 2 * r + 3 * 12,
+            "part II used too many rounds: {}",
+            run.metrics.rounds
+        );
+        assert!(is_k_dominating(udg.graph(), &run.run.set, 2, Semantics::Strict));
+    }
+
+    #[test]
+    fn message_bits_scale_as_four_log_n() {
+        let udg = generators::random_udg(500, 8.0, 1.0, 2);
+        let run = run_udg_protocol(&udg, &UdgAlgorithm::new(1)).unwrap();
+        let expected = 1 + 4 * bits_for_ids(500);
+        assert_eq!(run.metrics.max_message_bits, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = ftclust_graphs::UnitDiskGraph::build(vec![], 1.0).unwrap();
+        let run = run_udg_protocol(&empty, &UdgAlgorithm::new(2)).unwrap();
+        assert_eq!(run.run.set.len(), 0);
+        let single = ftclust_graphs::UnitDiskGraph::build(
+            vec![ftclust_geometry::Point::new(0.0, 0.0)],
+            1.0,
+        )
+        .unwrap();
+        let run = run_udg_protocol(&single, &UdgAlgorithm::new(3)).unwrap();
+        assert_eq!(run.run.set.len(), 1);
+    }
+}

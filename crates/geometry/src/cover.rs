@@ -1,0 +1,153 @@
+//! Disk-covering counts from the paper's Lemma 5.3 and Figure 1.
+//!
+//! Section 5.2 of the paper covers the plane with disks `C_i` of radius
+//! `θ_i / 2` on a hexagonal lattice and argues about
+//!
+//! * `α(i)` — the number of radius-`θ_i/2` disks needed to completely cover
+//!   a disk `C` of radius `1/2` (Lemma 5.3 bounds it by
+//!   `η / (4 θ_i²)` with `η = 16π / (3√3)`), and
+//! * the larger disk `D_i` of radius `3 θ_i / 2` concentric with a `C_i`,
+//!   which *"is (fully or partially) covering 19 smaller disks `C_i`"*
+//!   (Figure 1).
+//!
+//! This module computes these quantities exactly on the generated lattice so
+//! that experiment **E12** can verify both claims numerically.
+
+use crate::hex;
+use crate::{Disk, Point};
+
+/// The constant `η = 16π / (3√3)` from Lemma 5.3.
+pub fn eta() -> f64 {
+    16.0 * std::f64::consts::PI / (3.0 * 3.0f64.sqrt())
+}
+
+/// Number of hexagonal-lattice disks of radius `theta / 2` that intersect
+/// the disk `C` of radius `1/2` centered at the origin.
+///
+/// This is the constructive count behind `α(i)`: the returned disks form a
+/// complete cover of `C` (all lattice disks not intersecting `C` contribute
+/// nothing to covering it).
+///
+/// # Panics
+///
+/// Panics if `theta` is not strictly positive and finite.
+pub fn alpha_constructive(theta: f64) -> usize {
+    assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+    let c = Disk::new(Point::ORIGIN, 0.5);
+    let r = theta / 2.0;
+    // Disks intersecting C have centers within 1/2 + r of the origin.
+    hex::lattice_centers_within(Point::ORIGIN, 0.5 + r, r)
+        .into_iter()
+        .filter(|&p| Disk::new(p, r).intersects(&c))
+        .count()
+}
+
+/// A constructive upper bound on [`alpha_constructive`], including finite
+/// boundary effects.
+///
+/// Disks counted by `alpha_constructive` have centers within `1/2 + θ/2` of
+/// the origin. Each center owns a Voronoi hexagon of area `3√3 θ² / 8`
+/// (triangular lattice with spacing `√3·θ/2`), and that hexagon lies within
+/// `1/2 + θ` of the origin (hexagon circumradius `θ/2`). A packing argument
+/// therefore gives
+///
+/// ```text
+/// α(θ) ≤ π (1/2 + θ)² / (3√3 θ² / 8) = (η/2) · ((1/2 + θ)/θ)²
+/// ```
+///
+/// which decays as `≈ 1.21 / θ²` for small `θ` — the same `Θ(1/θ²)` shape as
+/// Lemma 5.3's asymptotic bound `η/(4 θ_i²)` (the lemma uses Kershner's
+/// covering-density limit and elides boundary terms, so for moderate θ the
+/// constructive count can exceed the density limit; this bound cannot be
+/// exceeded).
+///
+/// # Panics
+///
+/// Panics if `theta` is not strictly positive and finite.
+pub fn alpha_bound(theta: f64) -> f64 {
+    assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+    (eta() / 2.0) * ((0.5 + theta) / theta).powi(2)
+}
+
+/// Counts the lattice disks `C_i` (radius `theta/2`) that the concentric
+/// disk `D_i` (radius `3·theta/2`) fully or partially covers — the Figure 1
+/// claim is that this count is exactly **19**.
+///
+/// # Panics
+///
+/// Panics if `theta` is not strictly positive and finite.
+pub fn disks_covered_by_d(theta: f64) -> usize {
+    assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+    let r = theta / 2.0;
+    let d = Disk::new(Point::ORIGIN, 3.0 * r);
+    // Lattice disks intersecting D have centers within 3r + r = 4r = 2θ.
+    hex::lattice_centers_within(Point::ORIGIN, 4.0 * r + 1e-9 * r, r)
+        .into_iter()
+        .filter(|&p| Disk::new(p, r).intersects(&d))
+        .count()
+}
+
+/// Verifies that the constructive cover counted by [`alpha_constructive`]
+/// really covers the radius-1/2 disk (dense sampling with the given
+/// resolution).
+pub fn alpha_cover_is_complete(theta: f64, resolution: usize) -> bool {
+    let c = Disk::new(Point::ORIGIN, 0.5);
+    let r = theta / 2.0;
+    let centers: Vec<Point> = hex::lattice_centers_within(Point::ORIGIN, 0.5 + r, r)
+        .into_iter()
+        .filter(|&p| Disk::new(p, r).intersects(&c))
+        .collect();
+    hex::covers_region(c, &centers, r, resolution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_value() {
+        assert!((eta() - 16.0 * std::f64::consts::PI / (3.0 * 3.0f64.sqrt())).abs() < 1e-12);
+        assert!((eta() - 9.674).abs() < 0.01);
+    }
+
+    #[test]
+    fn alpha_respects_lemma_5_3_bound() {
+        // Lemma 5.3: α(i) < η / (4 (θ/2)²) = η / θ²  (our θ convention).
+        for theta in [0.05, 0.1, 0.2, 0.4, 0.8, 1.0] {
+            let count = alpha_constructive(theta) as f64;
+            let bound = eta() / (theta * theta);
+            assert!(
+                count < bound,
+                "alpha({theta}) = {count} violates Lemma 5.3 bound {bound}"
+            );
+            // ... and also the constructive packing bound with boundary terms.
+            assert!(
+                count <= alpha_bound(theta).ceil(),
+                "alpha({theta}) = {count} exceeds packing bound {}",
+                alpha_bound(theta)
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_cover_actually_covers() {
+        for theta in [0.1, 0.25, 0.5, 1.0] {
+            assert!(alpha_cover_is_complete(theta, 150), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn alpha_grows_as_theta_shrinks() {
+        assert!(alpha_constructive(0.05) > alpha_constructive(0.1));
+        assert!(alpha_constructive(0.1) > alpha_constructive(0.4));
+    }
+
+    #[test]
+    fn figure_1_nineteen_disks() {
+        // The Figure 1 claim: D (radius 3θ/2) intersects exactly 19 lattice
+        // disks of radius θ/2, independent of θ.
+        for theta in [0.01, 0.1, 0.5, 1.0, 2.0] {
+            assert_eq!(disks_covered_by_d(theta), 19, "theta={theta}");
+        }
+    }
+}

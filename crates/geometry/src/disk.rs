@@ -1,0 +1,157 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed disk in the plane: all points at distance at most `radius`
+/// from `center`.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_geometry::{Disk, Point};
+///
+/// let d = Disk::new(Point::ORIGIN, 1.0);
+/// assert!(d.contains(Point::new(0.6, 0.8)));   // on the boundary
+/// assert!(!d.contains(Point::new(1.1, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    /// Center of the disk.
+    pub center: Point,
+    /// Radius of the disk (non-negative).
+    pub radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk from a center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "disk radius must be finite and non-negative, got {radius}"
+        );
+        Disk { center, radius }
+    }
+
+    /// Returns `true` if `p` lies in the closed disk.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Returns `true` if the closed disks intersect (touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Disk) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist_sq(other.center) <= r * r
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (closed
+    /// containment).
+    #[inline]
+    pub fn contains_disk(&self, other: &Disk) -> bool {
+        if other.radius > self.radius {
+            return false;
+        }
+        let slack = self.radius - other.radius;
+        self.center.dist_sq(other.center) <= slack * slack
+    }
+
+    /// Area of the disk, `π r²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// The disk with the same center and radius scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Disk {
+        Disk::new(self.center, self.radius * factor)
+    }
+}
+
+impl fmt::Display for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk({}, r={})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_boundary_point() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!(d.contains(Point::new(1.0, 0.0)));
+        assert!(!d.contains(Point::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_touching_counts() {
+        let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+        let b = Disk::new(Point::new(2.0, 0.0), 1.0);
+        let c = Disk::new(Point::new(2.1, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c) || c.intersects(&a) == a.intersects(&c));
+        assert!(!a.intersects(&Disk::new(Point::new(3.0, 0.0), 0.5)));
+    }
+
+    #[test]
+    fn contains_disk_requires_full_containment() {
+        let big = Disk::new(Point::ORIGIN, 2.0);
+        let inner = Disk::new(Point::new(0.5, 0.0), 1.0);
+        let crossing = Disk::new(Point::new(1.5, 0.0), 1.0);
+        assert!(big.contains_disk(&inner));
+        assert!(!big.contains_disk(&crossing));
+        assert!(!inner.contains_disk(&big));
+    }
+
+    #[test]
+    fn area_of_unit_disk() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!((d.area() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_scales_radius_only() {
+        let d = Disk::new(Point::new(1.0, 1.0), 2.0);
+        let s = d.scaled(1.5);
+        assert_eq!(s.center, d.center);
+        assert_eq!(s.radius, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite")]
+    fn negative_radius_panics() {
+        let _ = Disk::new(Point::ORIGIN, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn containment_implies_intersection(
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0, r1 in 0.0f64..5.0,
+            dx in -10.0f64..10.0, dy in -10.0f64..10.0, r2 in 0.0f64..5.0,
+        ) {
+            let a = Disk::new(Point::new(cx, cy), r1);
+            let b = Disk::new(Point::new(dx, dy), r2);
+            if a.contains_disk(&b) && b.radius > 0.0 {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+
+        #[test]
+        fn center_always_contained(cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.0f64..5.0) {
+            let d = Disk::new(Point::new(cx, cy), r);
+            prop_assert!(d.contains(d.center));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+use crate::Point;
+use std::collections::HashMap;
+
+/// A uniform spatial hash grid over a set of points.
+///
+/// The grid partitions the plane into square cells of side `cell_size` and
+/// stores each point's index in its cell. A range query
+/// [`SpatialGrid::within`] inspects only the `O((r / cell\_size + 2)²)` cells
+/// overlapping the query disk, so for `r ≈ cell_size` it touches a constant
+/// number of cells and runs in expected `O(1)` time per reported point.
+///
+/// The grid borrows nothing: it stores point *indices* into the slice it was
+/// built from, and queries take the coordinates again. This lets callers keep
+/// positions in their own arrays (as the unit-disk-graph builder does).
+///
+/// # Example
+///
+/// ```
+/// use ftclust_geometry::{Point, SpatialGrid};
+///
+/// let pts = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9), Point::new(5.0, 5.0)];
+/// let grid = SpatialGrid::build(&pts, 1.0);
+/// let mut hits = grid.within(Point::new(0.0, 0.0), 1.5);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with the given cell side length.
+    ///
+    /// For best performance choose `cell_size` close to the radius of the
+    /// range queries you intend to run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, if any
+    /// point has non-finite coordinates, or if there are more than `u32::MAX`
+    /// points.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "too many points for SpatialGrid"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+            cells.entry(Self::key(*p, cell_size)).or_default().push(i as u32);
+        }
+        SpatialGrid {
+            cell_size,
+            cells,
+            points: points.to_vec(),
+        }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cell side length this grid was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Indices of all points within closed distance `radius` of `q`
+    /// (including any point equal to `q`).
+    ///
+    /// The result order is unspecified.
+    pub fn within(&self, q: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(q, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f(i)` for every point index `i` within closed distance
+    /// `radius` of `q`. Avoids allocating when the caller only needs to
+    /// fold over the result.
+    pub fn for_each_within<F: FnMut(u32)>(&self, q: Point, radius: f64, mut f: F) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let r_sq = radius * radius;
+        let min = Self::key(Point::new(q.x - radius, q.y - radius), self.cell_size);
+        let max = Self::key(Point::new(q.x + radius, q.y + radius), self.cell_size);
+        for cx in min.0..=max.0 {
+            for cy in min.1..=max.1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &i in bucket {
+                        if self.points[i as usize].dist_sq(q) <= r_sq {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts points within closed distance `radius` of `q`.
+    pub fn count_within(&self, q: Point, radius: f64) -> usize {
+        let mut n = 0usize;
+        self.for_each_within(q, radius, |_| n += 1);
+        n
+    }
+
+    /// The point stored at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: u32) -> Point {
+        self.points[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_within(points: &[Point], q: Point, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist_sq(q) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_grid_reports_nothing() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.within(Point::ORIGIN, 10.0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn finds_point_on_boundary() {
+        let pts = vec![Point::new(1.0, 0.0)];
+        let grid = SpatialGrid::build(&pts, 0.5);
+        assert_eq!(grid.within(Point::ORIGIN, 1.0), vec![0]);
+        assert_eq!(grid.count_within(Point::ORIGIN, 0.999), 0);
+    }
+
+    #[test]
+    fn handles_negative_coordinates() {
+        let pts = vec![Point::new(-2.5, -2.5), Point::new(-2.4, -2.4)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let mut hits = grid.within(Point::new(-2.5, -2.5), 0.2);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_radius_finds_coincident_points_only() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(1.1, 1.0)];
+        let grid = SpatialGrid::build(&pts, 0.7);
+        let mut hits = grid.within(Point::new(1.0, 1.0), 0.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 0.8);
+        for _ in 0..50 {
+            let q = Point::new(rng.random_range(-1.0..11.0), rng.random_range(-1.0..11.0));
+            let r = rng.random_range(0.0..3.0);
+            let mut got = grid.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, q, r));
+        }
+    }
+
+    #[test]
+    fn point_accessor_roundtrips() {
+        let pts = vec![Point::new(3.0, 4.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.point(0), pts[0]);
+        assert_eq!(grid.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = SpatialGrid::build(&[Point::ORIGIN], 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn grid_equals_brute_force(
+            coords in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120),
+            qx in -60.0f64..60.0, qy in -60.0f64..60.0,
+            r in 0.0f64..20.0,
+            cell in 0.1f64..5.0,
+        ) {
+            let pts: Vec<Point> = coords.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let grid = SpatialGrid::build(&pts, cell);
+            let q = Point::new(qx, qy);
+            let mut got = grid.within(q, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_within(&pts, q, r));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Hexagonal lattice coverings of the plane by disks.
+//!
+//! The analysis of the UDG algorithm (Section 5.2 of the paper, Figure 1)
+//! covers the plane with disks `C_i` of radius `θ_i / 2` arranged on a
+//! hexagonal (triangular) lattice. This module generates such lattices and
+//! verifies the covering property.
+//!
+//! A disk of radius `r` covers a regular hexagon of circumradius `r`.
+//! Tiling the plane with these hexagons places the disk centers on a
+//! triangular lattice with nearest-neighbor spacing `√3·r`: rows are
+//! `1.5·r` apart vertically and alternate rows are offset horizontally by
+//! half the column spacing.
+
+use crate::{Disk, Point};
+
+/// Nearest-neighbor center spacing of a hexagonal covering by disks of
+/// radius `r` (`√3 · r`).
+#[inline]
+pub fn covering_spacing(r: f64) -> f64 {
+    3.0f64.sqrt() * r
+}
+
+/// Generates the centers of a hexagonal lattice of disks of radius `r`
+/// whose union covers the closed disk `region`.
+///
+/// The lattice is anchored so that one center coincides with
+/// `region.center`. All lattice points within `region.radius + r` of the
+/// region center are returned; disks centered on them are guaranteed to
+/// cover the region (verified by [`covers_region`] and the tests).
+///
+/// # Panics
+///
+/// Panics if `r` is not strictly positive and finite.
+pub fn lattice_covering(region: Disk, r: f64) -> Vec<Point> {
+    assert!(r.is_finite() && r > 0.0, "disk radius must be positive, got {r}");
+    lattice_centers_within(region.center, region.radius + r, r)
+}
+
+/// Generates all hexagonal-lattice centers (for disks of radius `r`) within
+/// distance `dist` of `anchor`. One lattice point coincides with `anchor`.
+///
+/// # Panics
+///
+/// Panics if `r` is not strictly positive and finite or `dist` is negative.
+pub fn lattice_centers_within(anchor: Point, dist: f64, r: f64) -> Vec<Point> {
+    assert!(r.is_finite() && r > 0.0, "disk radius must be positive, got {r}");
+    assert!(dist >= 0.0, "dist must be non-negative");
+    let sx = covering_spacing(r); // column spacing
+    let sy = 1.5 * r; // row spacing
+    let mut out = Vec::new();
+    let rows = (dist / sy).ceil() as i64 + 1;
+    let cols = (dist / sx).ceil() as i64 + 1;
+    for row in -rows..=rows {
+        let offset = if row.rem_euclid(2) == 1 { sx / 2.0 } else { 0.0 };
+        for col in -cols..=cols {
+            let p = Point::new(
+                anchor.x + col as f64 * sx + offset,
+                anchor.y + row as f64 * sy,
+            );
+            if p.dist(anchor) <= dist {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Checks (by dense sampling) that disks of radius `r` centered at
+/// `centers` cover the closed disk `region`.
+///
+/// Samples `resolution × resolution` grid points inside the region; returns
+/// `false` if any sampled point is farther than `r` from every center.
+/// A `resolution` of a few hundred is plenty for the radii used in the
+/// paper's analysis.
+pub fn covers_region(region: Disk, centers: &[Point], r: f64, resolution: usize) -> bool {
+    let n = resolution.max(2);
+    let r_sq = r * r;
+    let lo_x = region.center.x - region.radius;
+    let lo_y = region.center.y - region.radius;
+    let step = 2.0 * region.radius / (n - 1) as f64;
+    for ix in 0..n {
+        for iy in 0..n {
+            let p = Point::new(lo_x + ix as f64 * step, lo_y + iy as f64 * step);
+            if !region.contains(p) {
+                continue;
+            }
+            if !centers.iter().any(|c| c.dist_sq(p) <= r_sq) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_contains_anchor() {
+        let centers = lattice_centers_within(Point::new(2.0, 3.0), 1.0, 0.25);
+        assert!(centers.iter().any(|c| c.dist(Point::new(2.0, 3.0)) < 1e-12));
+    }
+
+    #[test]
+    fn lattice_covers_unit_region() {
+        let region = Disk::new(Point::ORIGIN, 0.5);
+        for r in [0.05, 0.1, 0.2, 0.5] {
+            let centers = lattice_covering(region, r);
+            assert!(
+                covers_region(region, &centers, r, 200),
+                "hex lattice with r={r} fails to cover the radius-1/2 disk"
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_covers_offset_region() {
+        let region = Disk::new(Point::new(-3.25, 7.5), 1.3);
+        let centers = lattice_covering(region, 0.3);
+        assert!(covers_region(region, &centers, 0.3, 200));
+    }
+
+    #[test]
+    fn nearest_neighbor_spacing_is_sqrt3_r() {
+        let r = 0.2;
+        let centers = lattice_centers_within(Point::ORIGIN, 1.0, r);
+        let anchor = Point::ORIGIN;
+        let mut min_dist = f64::INFINITY;
+        for c in &centers {
+            let d = c.dist(anchor);
+            if d > 1e-12 {
+                min_dist = min_dist.min(d);
+            }
+        }
+        assert!((min_dist - covering_spacing(r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn center_count_scales_inverse_square_of_radius() {
+        // Halving the disk radius should roughly quadruple the number of
+        // lattice disks needed for the same region.
+        let region = Disk::new(Point::ORIGIN, 0.5);
+        let big = lattice_covering(region, 0.1).len() as f64;
+        let small = lattice_covering(region, 0.05).len() as f64;
+        let ratio = small / big;
+        assert!((2.5..6.0).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn empty_when_dist_zero() {
+        let centers = lattice_centers_within(Point::ORIGIN, 0.0, 1.0);
+        assert_eq!(centers.len(), 1); // only the anchor itself
+    }
+}

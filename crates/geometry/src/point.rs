@@ -1,0 +1,207 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point in the Euclidean plane.
+///
+/// Coordinates are `f64`. The type is `Copy` and implements the usual
+/// arithmetic operators componentwise, so it doubles as a 2-D vector.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] in comparisons: it avoids the square
+    /// root and is exact for exactly-representable inputs.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// The midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` if both coordinates are finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let p = Point::new(-3.5, 7.25);
+        assert_eq!(p.dist(p), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Point::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p = Point::new(1.5, -2.5);
+        let t: (f64, f64) = p.into();
+        assert_eq!(Point::from(t), p);
+    }
+
+    #[test]
+    fn origin_is_default() {
+        assert_eq!(Point::ORIGIN, Point::default());
+    }
+
+    #[test]
+    fn finiteness_detects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn dist_is_symmetric(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                             bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.dist(b), b.dist(a));
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                               bx in -1e3f64..1e3, by in -1e3f64..1e3,
+                               cx in -1e3f64..1e3, cy in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+        }
+
+        #[test]
+        fn dist_sq_consistent_with_dist(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                                        bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.dist(b).powi(2) - a.dist_sq(b)).abs() <= 1e-6 * (1.0 + a.dist_sq(b)));
+        }
+    }
+}

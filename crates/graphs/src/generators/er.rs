@@ -1,0 +1,160 @@
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Erdős–Rényi random graph `G(n, p)`: each of the `n·(n−1)/2` possible
+/// edges is present independently with probability `p`.
+///
+/// Runs in `O(n + m)` expected time using geometric skipping, so sparse
+/// graphs with large `n` are cheap.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_graphs::generators::gnp;
+///
+/// let g = gnp(100, 0.05, 7);
+/// assert_eq!(g.node_count(), 100);
+/// let again = gnp(100, 0.05, 7);
+/// assert_eq!(g, again); // deterministic in the seed
+/// ```
+pub fn gnp(n: u32, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = rng_from_seed(seed);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).expect("in-range");
+            }
+        }
+        return b.build();
+    }
+    // Geometric skipping over the lexicographic edge sequence
+    // (Batagelj–Brandes): jump ahead by Geom(p) candidate edges each step.
+    let log_q = (1.0 - p).ln();
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    // Map a linear index to the (u, v) pair with u < v, row-major over u.
+    let unrank = |i: u64| -> (u32, u32) {
+        // Find u such that the first index of row u is <= i.
+        // Row u starts at S(u) = u*n - u*(u+1)/2 and has (n-1-u) entries.
+        let mut lo = 0u64;
+        let mut hi = (n - 1) as u64;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let start = mid * n as u64 - mid * (mid + 1) / 2;
+            if start <= i {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let u = lo;
+        let start = u * n as u64 - u * (u + 1) / 2;
+        let v = u + 1 + (i - start);
+        (u as u32, v as u32)
+    };
+    loop {
+        let r: f64 = rng.random::<f64>();
+        let skip = ((1.0 - r).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let (u, v) = unrank(idx);
+        b.add_edge(u, v).expect("in-range");
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi random graph `G(n, m)`: exactly `m` distinct edges drawn
+/// uniformly at random (rejection sampling).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)/2`.
+pub fn gnm(n: u32, m: usize, seed: u64) -> Graph {
+    let possible = (n as u64) * (n as u64).saturating_sub(1) / 2;
+    assert!(
+        (m as u64) <= possible,
+        "m = {m} exceeds the {possible} possible edges of an {n}-node simple graph"
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::new(n);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1).expect("in-range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        let g = gnp(10, 0.0, 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = gnp(10, 1.0, 1);
+        assert_eq!(g.edge_count(), 45);
+        let g = gnp(0, 0.5, 1);
+        assert_eq!(g.node_count(), 0);
+        let g = gnp(1, 0.5, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        assert_eq!(gnp(50, 0.1, 9), gnp(50, 0.1, 9));
+        assert_ne!(gnp(50, 0.3, 9), gnp(50, 0.3, 10));
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400u32;
+        let p = 0.02;
+        let g = gnp(n, p, 123);
+        let expected = p * (n as f64) * (n as f64 - 1.0) / 2.0;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+            "m = {m}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(30, 50, 4);
+        assert_eq!(g.edge_count(), 50);
+        assert_eq!(g.node_count(), 30);
+        let g = gnm(5, 10, 4); // complete graph
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible edges")]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm(4, 7, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded graph generators for the experiment sweeps.
+//!
+//! Every generator takes an explicit `seed` (when randomized) and is fully
+//! deterministic given its arguments, so experiments are reproducible.
+//!
+//! Families:
+//!
+//! * random: [`gnp`] / [`gnm`] (Erdős–Rényi), [`barabasi_albert`]
+//!   (preferential attachment, heavy-tailed degrees), [`random_udg`] /
+//!   [`random_udg_in_square`] / [`clustered_udg`] (random geometric —
+//!   the sensor-network deployments of the paper's Section 5),
+//! * structured: [`path`], [`cycle`], [`complete`], [`star`], [`grid_2d`],
+//!   [`random_tree`], [`watts_strogatz`], [`empty`].
+
+mod ba;
+mod er;
+mod geo;
+mod structured;
+
+pub use ba::barabasi_albert;
+pub use er::{gnm, gnp};
+pub use geo::{clustered_udg, random_udg, random_udg_in_square};
+pub use structured::{complete, cycle, empty, grid_2d, path, random_tree, star, watts_strogatz};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives the deterministic RNG used by the generators from a seed.
+pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,255 @@
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use ftclust_geometry::{Point, SpatialGrid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unit disk graph (UDG): nodes embedded in the Euclidean plane with an
+/// edge between `u` and `v` iff `dist(u, v) ≤ radius`.
+///
+/// This is the network model of Section 5 of the paper (with `radius = 1`
+/// conventionally). Nodes can *sense distances* to their neighbors —
+/// [`UnitDiskGraph::distance`] — which the UDG algorithm relies on to
+/// restrict attention to neighbors within its per-round range `θ`
+/// ([`UnitDiskGraph::neighbors_within`]).
+///
+/// Construction uses a spatial hash grid, so building a UDG over `n` points
+/// costs `O(n + m)` expected time rather than `O(n²)`.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_geometry::Point;
+/// use ftclust_graphs::{NodeId, UnitDiskGraph};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0), Point::new(5.0, 5.0)];
+/// let udg = UnitDiskGraph::build(pts, 1.0)?;
+/// assert!(udg.graph().has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(udg.graph().degree(NodeId::new(2)), 0);
+/// assert!((udg.distance(NodeId::new(0), NodeId::new(1)) - 0.8).abs() < 1e-12);
+/// # Ok::<(), ftclust_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitDiskGraph {
+    graph: Graph,
+    positions: Vec<Point>,
+    radius: f64,
+}
+
+impl UnitDiskGraph {
+    /// Builds the unit disk graph over `positions` with connection radius
+    /// `radius`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid inputs; returns a [`GraphError`] only if two
+    /// coincident points would create a self-loop-like degenerate edge
+    /// (coincident points are fine — they become mutually adjacent distinct
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite, or if any
+    /// position is non-finite.
+    pub fn build(positions: Vec<Point>, radius: f64) -> Result<UnitDiskGraph, GraphError> {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "UDG radius must be positive and finite, got {radius}"
+        );
+        let n = positions.len();
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        let grid = SpatialGrid::build(&positions, radius);
+        let mut b = GraphBuilder::new(n as u32);
+        for (i, &p) in positions.iter().enumerate() {
+            let i = i as u32;
+            let mut err = None;
+            grid.for_each_within(p, radius, |j| {
+                if j > i && err.is_none() {
+                    if let Err(e) = b.add_edge(i, j) {
+                        err = Some(e);
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(UnitDiskGraph { graph: b.build(), positions, radius })
+    }
+
+    /// The underlying combinatorial graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node positions, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Position of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn position(&self, v: NodeId) -> Point {
+        self.positions[v.index()]
+    }
+
+    /// The connection radius.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of nodes (convenience for `graph().node_count()`).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Sensed Euclidean distance between `u` and `v` (the paper's model
+    /// assumption: *"nodes can sense the distance between themselves and
+    /// their neighbors"*). Defined for any pair, adjacent or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.position(u).dist(self.position(v))
+    }
+
+    /// The neighbors of `v` within distance `tau` — the paper's
+    /// `N_v(τ) \ {v}` (callers that need `v` itself include it explicitly).
+    ///
+    /// Only meaningful for `tau ≤ radius`: beyond the connection radius a
+    /// node cannot communicate, so `N_v(τ) ⊆ N_v` is the sensible regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is negative or exceeds the connection radius by more
+    /// than a rounding tolerance.
+    pub fn neighbors_within(&self, v: NodeId, tau: f64) -> Vec<NodeId> {
+        assert!(tau >= 0.0, "tau must be non-negative");
+        assert!(
+            tau <= self.radius * (1.0 + 1e-12),
+            "tau = {tau} exceeds communication radius {}",
+            self.radius
+        );
+        let p = self.position(v);
+        let t_sq = tau * tau;
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| self.position(w).dist_sq(p) <= t_sq)
+            .collect()
+    }
+
+    /// Bounding box of the node positions as `(lower_left, upper_right)`,
+    /// or `None` for an empty graph.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        if self.positions.is_empty() {
+            return None;
+        }
+        let mut lo = self.positions[0];
+        let mut hi = self.positions[0];
+        for p in &self.positions {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        Some((lo, hi))
+    }
+}
+
+impl fmt::Display for UnitDiskGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "udg(n={}, m={}, r={})", self.node_count(), self.graph.edge_count(), self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edges_iff_within_radius() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),  // exactly at radius: edge
+            Point::new(0.0, 1.01), // just outside: no edge
+        ];
+        let udg = UnitDiskGraph::build(pts, 1.0).unwrap();
+        assert!(udg.graph().has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!udg.graph().has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn coincident_points_are_adjacent_distinct_nodes() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        let udg = UnitDiskGraph::build(pts, 0.5).unwrap();
+        assert_eq!(udg.node_count(), 2);
+        assert!(udg.graph().has_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(udg.distance(NodeId::new(0), NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn neighbors_within_filters_by_distance() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.3, 0.0),
+            Point::new(0.9, 0.0),
+        ];
+        let udg = UnitDiskGraph::build(pts, 1.0).unwrap();
+        assert_eq!(udg.neighbors_within(NodeId::new(0), 0.5), vec![NodeId::new(1)]);
+        let mut all = udg.neighbors_within(NodeId::new(0), 1.0);
+        all.sort_unstable();
+        assert_eq!(all, vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(udg.neighbors_within(NodeId::new(0), 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds communication radius")]
+    fn neighbors_within_rejects_tau_beyond_radius() {
+        let udg = UnitDiskGraph::build(vec![Point::ORIGIN], 1.0).unwrap();
+        let _ = udg.neighbors_within(NodeId::new(0), 1.5);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_points() {
+        let pts = vec![Point::new(-1.0, 2.0), Point::new(3.0, -4.0)];
+        let udg = UnitDiskGraph::build(pts, 1.0).unwrap();
+        let (lo, hi) = udg.bounding_box().unwrap();
+        assert_eq!((lo.x, lo.y), (-1.0, -4.0));
+        assert_eq!((hi.x, hi.y), (3.0, 2.0));
+        let empty = UnitDiskGraph::build(vec![], 1.0).unwrap();
+        assert!(empty.bounding_box().is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn udg_matches_brute_force(
+            coords in proptest::collection::vec((0.0f64..5.0, 0.0f64..5.0), 0..60),
+            radius in 0.2f64..2.0,
+        ) {
+            let pts: Vec<Point> = coords.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let udg = UnitDiskGraph::build(pts.clone(), radius).unwrap();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let expect = pts[i].dist_sq(pts[j]) <= radius * radius;
+                    prop_assert_eq!(
+                        udg.graph().has_edge(NodeId::new(i as u32), NodeId::new(j as u32)),
+                        expect
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n <node_count>`, then one `u v` pair per line.
+//! Lines starting with `#` and blank lines are ignored. This is the common
+//! interchange format for graph benchmarks and keeps the crate free of
+//! heavyweight serialization dependencies (the [`crate::Graph`] type also
+//! derives serde for embedding in larger result records).
+
+use crate::{Graph, GraphBuilder, GraphError};
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list format.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_graphs::{Graph, io};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let text = io::write_edge_list(&g);
+/// let back = io::read_edge_list(&text)?;
+/// assert_eq!(g, back);
+/// # Ok::<(), ftclust_graphs::GraphError>(())
+/// ```
+pub fn write_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    writeln!(out, "n {}", g.node_count()).expect("string write");
+    for (u, v) in g.edges() {
+        writeln!(out, "{} {}", u.raw(), v.raw()).expect("string write");
+    }
+    out
+}
+
+/// Parses a graph from the edge-list format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed input and the usual
+/// construction errors for invalid edges.
+pub fn read_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse_err = |reason: &str| GraphError::Parse {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix("n ") {
+            if builder.is_some() {
+                return Err(parse_err("duplicate node-count header"));
+            }
+            let n: u32 = rest.trim().parse().map_err(|_| parse_err("invalid node count"))?;
+            builder = Some(GraphBuilder::new(n));
+        } else {
+            let b = builder.as_mut().ok_or_else(|| parse_err("edge before `n` header"))?;
+            let mut it = line.split_whitespace();
+            let u: u32 = it
+                .next()
+                .ok_or_else(|| parse_err("missing first endpoint"))?
+                .parse()
+                .map_err(|_| parse_err("invalid first endpoint"))?;
+            let v: u32 = it
+                .next()
+                .ok_or_else(|| parse_err("missing second endpoint"))?
+                .parse()
+                .map_err(|_| parse_err("invalid second endpoint"))?;
+            if it.next().is_some() {
+                return Err(parse_err("trailing tokens after edge"));
+            }
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(builder.ok_or(GraphError::Parse { line: 0, reason: "missing `n` header".into() })?.build())
+}
+
+/// Serializes node positions, one `x y` pair per line.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_geometry::Point;
+/// use ftclust_graphs::io;
+///
+/// let pts = vec![Point::new(0.5, 1.25), Point::new(3.0, 4.0)];
+/// let text = io::write_positions(&pts);
+/// assert_eq!(io::read_positions(&text)?, pts);
+/// # Ok::<(), ftclust_graphs::GraphError>(())
+/// ```
+pub fn write_positions(points: &[ftclust_geometry::Point]) -> String {
+    let mut out = String::new();
+    for p in points {
+        writeln!(out, "{} {}", p.x, p.y).expect("string write");
+    }
+    out
+}
+
+/// Parses node positions from the `x y`-per-line format. Lines starting
+/// with `#` and blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed input.
+pub fn read_positions(text: &str) -> Result<Vec<ftclust_geometry::Point>, GraphError> {
+    let mut out = Vec::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse_err = |reason: &str| GraphError::Parse {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        let mut it = line.split_whitespace();
+        let x: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing x"))?
+            .parse()
+            .map_err(|_| parse_err("invalid x"))?;
+        let y: f64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing y"))?
+            .parse()
+            .map_err(|_| parse_err("invalid y"))?;
+        if it.next().is_some() {
+            return Err(parse_err("trailing tokens after position"));
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(parse_err("non-finite coordinate"));
+        }
+        out.push(ftclust_geometry::Point::new(x, y));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn positions_roundtrip() {
+        let pts = vec![
+            ftclust_geometry::Point::new(0.125, -3.5),
+            ftclust_geometry::Point::new(1e-9, 42.0),
+        ];
+        assert_eq!(read_positions(&write_positions(&pts)).unwrap(), pts);
+        assert!(read_positions("# c\n\n1 2\n").unwrap().len() == 1);
+    }
+
+    #[test]
+    fn malformed_positions_rejected() {
+        assert!(matches!(read_positions("1\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(read_positions("1 2 3\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_positions("a b\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_positions("1 nan\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = generators::gnp(40, 0.15, 7);
+        assert_eq!(read_edge_list(&write_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = generators::empty(4);
+        assert_eq!(read_edge_list(&write_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = read_edge_list("# header\n\nn 3\n# an edge\n0 1\n\n 1 2 \n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(read_edge_list(""), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_edge_list("0 1\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(read_edge_list("n x\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_edge_list("n 2\n0\n"), Err(GraphError::Parse { line: 2, .. })));
+        assert!(matches!(read_edge_list("n 2\n0 1 2\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_edge_list("n 2\nn 2\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list("n 2\n0 5\n"),
+            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+        ));
+    }
+}

@@ -1,0 +1,71 @@
+//! Degree statistics for experiment reporting.
+
+use crate::Graph;
+
+/// Summary statistics of a graph's degree distribution.
+///
+/// Produced by [`degree_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree (0 for the empty graph).
+    pub min: usize,
+    /// Maximum degree `Δ`.
+    pub max: usize,
+    /// Mean degree `2m / n` (0 for the empty graph).
+    pub mean: f64,
+    /// `histogram[d]` = number of nodes of degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] };
+    }
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let max = *degrees.iter().max().expect("n > 0");
+    let min = *degrees.iter().min().expect("n > 0");
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let s = degree_stats(&generators::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.histogram[1], 4);
+        assert_eq!(s.histogram[4], 1);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = degree_stats(&generators::empty(0));
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] });
+        let s = degree_stats(&generators::empty(3));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.histogram, vec![3]);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::gnp(60, 0.1, 3);
+        let s = degree_stats(&g);
+        assert_eq!(s.histogram.iter().sum::<usize>(), 60);
+    }
+}

@@ -1,0 +1,339 @@
+use crate::LpError;
+use serde::{Deserialize, Serialize};
+
+/// A covering linear program with box constraints:
+///
+/// ```text
+///     minimize    Σ_j c_j x_j
+///     subject to  Σ_j a_ij x_j ≥ b_i     for every constraint i
+///                 0 ≤ x_j ≤ u_j
+/// ```
+///
+/// with all data non-negative. Defaults: `c_j = 1`, `u_j = 1` — exactly the
+/// paper's `(PP)` when constraint `i` sums `x_j` over the closed
+/// neighborhood `N_i` with right-hand side `k_i`.
+///
+/// The LP dual (the paper's `(DP)`, generalized) is
+///
+/// ```text
+///     maximize    Σ_i b_i y_i − Σ_j u_j z_j
+///     subject to  Σ_i a_ij y_i − z_j ≤ c_j   for every variable j
+///                 y, z ≥ 0
+/// ```
+///
+/// and any feasible `(y, z)` certifies `dual_value(y, z) ≤ OPT` by weak
+/// duality — see [`CoveringLp::is_dual_feasible`] / [`CoveringLp::dual_value`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoveringLp {
+    num_vars: usize,
+    objective: Vec<f64>,
+    upper: Vec<f64>,
+    /// Sparse rows: (variable, coefficient) lists plus right-hand sides.
+    rows: Vec<Vec<(usize, f64)>>,
+    rhs: Vec<f64>,
+}
+
+/// A primal solution returned by a solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Variable assignment.
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub value: f64,
+}
+
+impl CoveringLp {
+    /// Creates a covering LP over `num_vars` variables with unit objective
+    /// (`c = 1`), unit upper bounds (`u = 1`) and no constraints.
+    pub fn new(num_vars: usize) -> Self {
+        CoveringLp {
+            num_vars,
+            objective: vec![1.0; num_vars],
+            upper: vec![1.0; num_vars],
+            rows: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of covering constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Upper bounds `u`.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Sparse entries of constraint `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Right-hand side of constraint `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rhs(&self, i: usize) -> f64 {
+        self.rhs[i]
+    }
+
+    /// Sets the objective coefficient of variable `j` (must be
+    /// non-negative and finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::VariableOutOfRange`] or
+    /// [`LpError::InvalidCoefficient`].
+    pub fn set_objective(&mut self, j: usize, c: f64) -> Result<&mut Self, LpError> {
+        self.check_var(j)?;
+        Self::check_value(c, "objective coefficient")?;
+        self.objective[j] = c;
+        Ok(self)
+    }
+
+    /// Sets the upper bound of variable `j` (must be non-negative and
+    /// finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::VariableOutOfRange`] or
+    /// [`LpError::InvalidCoefficient`].
+    pub fn set_upper_bound(&mut self, j: usize, u: f64) -> Result<&mut Self, LpError> {
+        self.check_var(j)?;
+        Self::check_value(u, "upper bound")?;
+        self.upper[j] = u;
+        Ok(self)
+    }
+
+    /// Adds the constraint `Σ (j, a) ∈ entries: a·x_j ≥ rhs`.
+    ///
+    /// Entries with coefficient 0 are dropped; duplicate variables are
+    /// summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::VariableOutOfRange`] or
+    /// [`LpError::InvalidCoefficient`] (negative / non-finite data).
+    pub fn add_constraint(
+        &mut self,
+        entries: Vec<(usize, f64)>,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        Self::check_value(rhs, "right-hand side")?;
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (j, a) in entries {
+            self.check_var(j)?;
+            Self::check_value(a, "constraint coefficient")?;
+            if a == 0.0 {
+                continue;
+            }
+            match row.iter_mut().find(|(jj, _)| *jj == j) {
+                Some((_, acc)) => *acc += a,
+                None => row.push((j, a)),
+            }
+        }
+        row.sort_unstable_by_key(|&(j, _)| j);
+        self.rows.push(row);
+        self.rhs.push(rhs);
+        Ok(self)
+    }
+
+    fn check_var(&self, j: usize) -> Result<(), LpError> {
+        if j >= self.num_vars {
+            Err(LpError::VariableOutOfRange { var: j, num_vars: self.num_vars })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_value(v: f64, context: &'static str) -> Result<(), LpError> {
+        if !v.is_finite() || v < 0.0 {
+            Err(LpError::InvalidCoefficient { value: v, context })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Objective value `c·x` of an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars, "assignment length mismatch");
+        x.iter().zip(&self.objective).map(|(x, c)| x * c).sum()
+    }
+
+    /// The largest constraint violation of `x` (0 if feasible); box
+    /// violations included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars, "assignment length mismatch");
+        let mut worst = 0.0f64;
+        for (row, &b) in self.rows.iter().zip(&self.rhs) {
+            let lhs: f64 = row.iter().map(|&(j, a)| a * x[j]).sum();
+            worst = worst.max(b - lhs);
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            worst = worst.max(-xj).max(xj - self.upper[j]);
+        }
+        worst
+    }
+
+    /// Returns `true` if `x` satisfies all constraints up to tolerance
+    /// `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.max_violation(x) <= tol
+    }
+
+    /// The dual objective `Σ b_i y_i − Σ u_j z_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `z` have wrong lengths.
+    pub fn dual_value(&self, y: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.rows.len(), "dual y length mismatch");
+        assert_eq!(z.len(), self.num_vars, "dual z length mismatch");
+        let cover: f64 = y.iter().zip(&self.rhs).map(|(y, b)| y * b).sum();
+        let boxes: f64 = z.iter().zip(&self.upper).map(|(z, u)| z * u).sum();
+        cover - boxes
+    }
+
+    /// Checks dual feasibility of `(y, z)` up to tolerance `tol`:
+    /// non-negativity and `Σ_i a_ij y_i − z_j ≤ c_j` for every variable.
+    ///
+    /// A feasible dual certifies `dual_value(y, z) ≤ OPT` (weak duality) —
+    /// this is how the distributed algorithm's output is turned into a
+    /// measured lower bound on the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `z` have wrong lengths.
+    pub fn is_dual_feasible(&self, y: &[f64], z: &[f64], tol: f64) -> bool {
+        assert_eq!(y.len(), self.rows.len(), "dual y length mismatch");
+        assert_eq!(z.len(), self.num_vars, "dual z length mismatch");
+        if y.iter().chain(z.iter()).any(|&v| v < -tol || !v.is_finite()) {
+            return false;
+        }
+        let mut col_sum = vec![0.0f64; self.num_vars];
+        for (row, &yi) in self.rows.iter().zip(y) {
+            for &(j, a) in row {
+                col_sum[j] += a * yi;
+            }
+        }
+        col_sum
+            .iter()
+            .zip(z)
+            .zip(&self.objective)
+            .all(|((s, zj), cj)| s - zj <= cj + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_lp() -> CoveringLp {
+        // min x0 + x1 + x2, constraints: x0+x1 >= 1, x1+x2 >= 1, x <= 1.
+        let mut lp = CoveringLp::new(3);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], 1.0).unwrap();
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], 1.0).unwrap();
+        lp
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let lp = simple_lp();
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.row(0), &[(0, 1.0), (1, 1.0)]);
+        assert_eq!(lp.rhs(1), 1.0);
+        assert_eq!(lp.objective(), &[1.0, 1.0, 1.0]);
+        assert_eq!(lp.upper_bounds(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed_and_zeros_dropped() {
+        let mut lp = CoveringLp::new(2);
+        lp.add_constraint(vec![(0, 1.0), (0, 2.0), (1, 0.0)], 1.0).unwrap();
+        assert_eq!(lp.row(0), &[(0, 3.0)]);
+    }
+
+    #[test]
+    fn invalid_data_is_rejected() {
+        let mut lp = CoveringLp::new(2);
+        assert!(matches!(
+            lp.add_constraint(vec![(5, 1.0)], 1.0),
+            Err(LpError::VariableOutOfRange { var: 5, .. })
+        ));
+        assert!(matches!(
+            lp.add_constraint(vec![(0, -1.0)], 1.0),
+            Err(LpError::InvalidCoefficient { .. })
+        ));
+        assert!(matches!(
+            lp.add_constraint(vec![(0, 1.0)], f64::NAN),
+            Err(LpError::InvalidCoefficient { .. })
+        ));
+        assert!(lp.set_objective(0, 2.5).is_ok());
+        assert!(lp.set_objective(9, 1.0).is_err());
+        assert!(lp.set_upper_bound(1, 3.0).is_ok());
+        assert!(lp.set_upper_bound(1, -1.0).is_err());
+    }
+
+    #[test]
+    fn feasibility_and_violation() {
+        let lp = simple_lp();
+        assert!(lp.is_feasible(&[0.0, 1.0, 0.0], 1e-12));
+        assert!(!lp.is_feasible(&[0.0, 0.4, 0.0], 1e-12));
+        assert!((lp.max_violation(&[0.0, 0.4, 0.0]) - 0.6).abs() < 1e-12);
+        // Box violation.
+        assert!((lp.max_violation(&[2.0, 1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((lp.max_violation(&[-0.5, 1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_uses_objective() {
+        let mut lp = simple_lp();
+        lp.set_objective(2, 3.0).unwrap();
+        assert_eq!(lp.value(&[1.0, 0.5, 1.0]), 4.5);
+    }
+
+    #[test]
+    fn dual_certificates() {
+        let lp = simple_lp();
+        // y = (1, 1), z = (0, 1, 0): column sums are (1, 2, 1), so the
+        // middle column needs z = 1: 2 - 1 <= 1 ok.
+        let y = [1.0, 1.0];
+        let z = [0.0, 1.0, 0.0];
+        assert!(lp.is_dual_feasible(&y, &z, 1e-12));
+        // dual value = 2 - 1 = 1 <= OPT (= 1, take x1 = 1).
+        assert_eq!(lp.dual_value(&y, &z), 1.0);
+        // Infeasible dual: middle column exceeds objective.
+        assert!(!lp.is_dual_feasible(&y, &[0.0, 0.5, 0.0], 1e-12));
+        // Negative multipliers rejected.
+        assert!(!lp.is_dual_feasible(&[-1.0, 0.0], &z, 1e-12));
+    }
+}

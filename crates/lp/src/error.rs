@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by LP construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A constraint referenced a variable index `>= num_vars`.
+    VariableOutOfRange {
+        /// Offending variable index.
+        var: usize,
+        /// Number of variables in the LP.
+        num_vars: usize,
+    },
+    /// A coefficient, bound or right-hand side was negative or non-finite
+    /// (covering LPs are non-negative by definition).
+    InvalidCoefficient {
+        /// The offending value.
+        value: f64,
+        /// What the value was supposed to be.
+        context: &'static str,
+    },
+    /// The LP has no feasible point (e.g. a demand exceeding what the
+    /// upper-bounded variables can supply).
+    Infeasible,
+    /// The LP is unbounded below (cannot happen for well-formed covering
+    /// LPs with non-negative objectives; reported defensively).
+    Unbounded,
+    /// The instance exceeds the dense solver's size budget.
+    TooLarge {
+        /// Rows of the internal tableau.
+        rows: usize,
+        /// Columns of the internal tableau.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable {var} out of range for LP with {num_vars} variables")
+            }
+            LpError::InvalidCoefficient { value, context } => {
+                write!(f, "invalid {context}: {value}")
+            }
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::TooLarge { rows, cols } => {
+                write!(f, "instance too large for the dense solver ({rows}×{cols} tableau)")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::VariableOutOfRange { var: 3, num_vars: 2 }.to_string().contains('3'));
+        assert!(LpError::TooLarge { rows: 10, cols: 20 }.to_string().contains("10×20"));
+    }
+}

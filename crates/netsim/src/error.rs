@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The protocol did not quiesce within the round limit given to
+    /// [`crate::Simulator::run`].
+    RoundLimitExceeded {
+        /// The limit that was exceeded.
+        limit: u64,
+        /// How many nodes were still running.
+        still_running: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, still_running } => write!(
+                f,
+                "protocol did not halt within {limit} rounds ({still_running} nodes still running)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_limit() {
+        let e = SimError::RoundLimitExceeded { limit: 10, still_running: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+    }
+}

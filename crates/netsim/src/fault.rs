@@ -1,0 +1,108 @@
+use ftclust_graphs::NodeId;
+use std::collections::HashMap;
+
+/// A fault-injection plan for a simulation: crash-stop node failures and
+/// independent random message loss.
+///
+/// Faults model the paper's motivation (Section 1): sensor nodes *"may stop
+/// working because they run out of energy supply"* and the *"shared wireless
+/// medium is inherently less stable than wired media"*, causing packet loss.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_graphs::NodeId;
+/// use ftclust_netsim::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .crash(NodeId::new(3), 5)   // node 3 dies at the start of round 5
+///     .drop_probability(0.01);    // 1% of messages are lost
+/// assert!(plan.is_crashed(NodeId::new(3), 7));
+/// assert!(!plan.is_crashed(NodeId::new(3), 4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashes: HashMap<NodeId, u64>,
+    drop_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crashes `node` at the start of `round`: from that round on it
+    /// neither executes, sends, nor receives. If called twice for the same
+    /// node, the earlier round wins.
+    pub fn crash(mut self, node: NodeId, round: u64) -> Self {
+        self.crashes
+            .entry(node)
+            .and_modify(|r| *r = (*r).min(round))
+            .or_insert(round);
+        self
+    }
+
+    /// Sets the independent per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1], got {p}");
+        self.drop_probability = p;
+        self
+    }
+
+    /// The configured message loss probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Returns `true` if `node` is crashed during `round`.
+    pub fn is_crashed(&self, node: NodeId, round: u64) -> bool {
+        self.crashes.get(&node).is_some_and(|&r| round >= r)
+    }
+
+    /// Number of nodes with a scheduled crash.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_faults() {
+        let p = FaultPlan::none();
+        assert_eq!(p.drop_prob(), 0.0);
+        assert_eq!(p.crash_count(), 0);
+        assert!(!p.is_crashed(NodeId::new(0), 100));
+    }
+
+    #[test]
+    fn crash_takes_effect_at_round() {
+        let p = FaultPlan::none().crash(NodeId::new(2), 3);
+        assert!(!p.is_crashed(NodeId::new(2), 2));
+        assert!(p.is_crashed(NodeId::new(2), 3));
+        assert!(p.is_crashed(NodeId::new(2), 99));
+        assert!(!p.is_crashed(NodeId::new(1), 99));
+    }
+
+    #[test]
+    fn earlier_crash_wins() {
+        let p = FaultPlan::none().crash(NodeId::new(1), 10).crash(NodeId::new(1), 4);
+        assert!(p.is_crashed(NodeId::new(1), 4));
+        let p = FaultPlan::none().crash(NodeId::new(1), 4).crash(NodeId::new(1), 10);
+        assert!(p.is_crashed(NodeId::new(1), 4));
+        assert_eq!(p.crash_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_probability_panics() {
+        let _ = FaultPlan::none().drop_probability(1.5);
+    }
+}

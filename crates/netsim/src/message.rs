@@ -1,0 +1,79 @@
+use ftclust_graphs::NodeId;
+
+/// A message payload with an accountable wire size.
+///
+/// The paper's model restricts messages to `O(log n)` bits; rather than
+/// assuming this, the simulator sums [`Payload::bit_size`] for every sent
+/// message and experiment **E8** checks the bound empirically. Implementors
+/// should report the size of a reasonable wire encoding:
+///
+/// * node identifiers: `⌈log₂ n⌉` bits (use [`bits_for_ids`]),
+/// * flags: 1 bit,
+/// * bounded counters: `⌈log₂ (max+1)⌉` bits,
+/// * the fixed-precision numeric values exchanged by the LP algorithm:
+///   their mantissa/exponent budget (the algorithms only ever need
+///   `O(log n)`-bit precision — values are sums of at most `Δ+1` terms of
+///   the form `(Δ+1)^{-q/t}`).
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Size of the encoded message in bits.
+    fn bit_size(&self) -> usize;
+}
+
+/// Number of bits needed to name one of `n` identifiers (`⌈log₂ n⌉`,
+/// minimum 1).
+///
+/// # Example
+///
+/// ```
+/// use ftclust_netsim::bits_for_ids;
+///
+/// assert_eq!(bits_for_ids(1), 1);
+/// assert_eq!(bits_for_ids(2), 1);
+/// assert_eq!(bits_for_ids(1024), 10);
+/// assert_eq!(bits_for_ids(1025), 11);
+/// ```
+pub fn bits_for_ids(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// A delivered message: payload plus addressing metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// The message content.
+    pub payload: P,
+}
+
+impl Payload for () {
+    fn bit_size(&self) -> usize {
+        1 // a beacon still occupies a minimal frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_ids_boundaries() {
+        assert_eq!(bits_for_ids(0), 1);
+        assert_eq!(bits_for_ids(1), 1);
+        assert_eq!(bits_for_ids(2), 1);
+        assert_eq!(bits_for_ids(3), 2);
+        assert_eq!(bits_for_ids(4), 2);
+        assert_eq!(bits_for_ids(5), 3);
+        assert_eq!(bits_for_ids(1 << 20), 20);
+    }
+
+    #[test]
+    fn unit_payload_is_one_bit() {
+        assert_eq!(().bit_size(), 1);
+    }
+}

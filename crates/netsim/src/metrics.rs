@@ -1,0 +1,88 @@
+use serde::{Deserialize, Serialize};
+
+/// Communication-cost metrics collected during a simulation.
+///
+/// These are the quantities the paper's theorems bound: round complexity
+/// (Theorems 4.5 and 5.7) and message size in bits (the `O(log n)` model
+/// restriction, Section 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds executed until quiescence (or until the simulation stopped).
+    pub rounds: u64,
+    /// Total messages sent (dropped messages count as sent).
+    pub messages: u64,
+    /// Sum of [`crate::Payload::bit_size`] over all sent messages.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Messages sent per round, for time-series experiments.
+    pub per_round_messages: Vec<u64>,
+    /// Bits sent per round (the communication-volume time series).
+    pub per_round_bits: Vec<u64>,
+    /// Number of messages lost to fault injection.
+    pub dropped_messages: u64,
+}
+
+impl Metrics {
+    /// Mean message size in bits (0 if nothing was sent).
+    pub fn mean_message_bits(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.messages as f64
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, bits: usize) {
+        self.messages += 1;
+        self.total_bits += bits as u64;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        if let Some(last) = self.per_round_messages.last_mut() {
+            *last += 1;
+        }
+        if let Some(last) = self.per_round_bits.last_mut() {
+            *last += bits as u64;
+        }
+    }
+
+    pub(crate) fn begin_round(&mut self) {
+        self.rounds += 1;
+        self.per_round_messages.push(0);
+        self.per_round_bits.push(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_accumulates() {
+        let mut m = Metrics::default();
+        m.begin_round();
+        m.record_send(10);
+        m.record_send(30);
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.total_bits, 40);
+        assert_eq!(m.max_message_bits, 30);
+        assert_eq!(m.mean_message_bits(), 20.0);
+        assert_eq!(m.per_round_messages, vec![2]);
+        assert_eq!(m.per_round_bits, vec![40]);
+    }
+
+    #[test]
+    fn empty_metrics_mean_is_zero() {
+        assert_eq!(Metrics::default().mean_message_bits(), 0.0);
+    }
+
+    #[test]
+    fn per_round_series_tracks_rounds() {
+        let mut m = Metrics::default();
+        m.begin_round();
+        m.record_send(1);
+        m.begin_round();
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.per_round_messages, vec![1, 0]);
+        assert_eq!(m.per_round_bits, vec![1, 0]);
+    }
+}

@@ -1,0 +1,190 @@
+use crate::{Envelope, Payload, Topology};
+use ftclust_graphs::NodeId;
+use rand::rngs::StdRng;
+
+/// What a node wants to do after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep participating in subsequent rounds.
+    Continue,
+    /// Stop: the node will not be scheduled again (its sent messages from
+    /// this round are still delivered).
+    Halt,
+}
+
+/// The per-node protocol state machine.
+///
+/// One instance runs at every node. Each simulator round calls
+/// [`NodeLogic::on_round`] with the messages delivered this round (those
+/// sent by neighbors in the *previous* round; empty in round 0) and a
+/// [`Context`] for sending, randomness and local knowledge.
+///
+/// A pseudocode step of the form *"send X to neighbors; use the received
+/// X's"* therefore spans **two** simulator rounds — exactly the accounting
+/// the paper uses ("every iteration of the inner loop can be computed in 2
+/// rounds", proof of Theorem 4.5).
+pub trait NodeLogic {
+    /// The message type this protocol exchanges.
+    type Payload: Payload;
+
+    /// Executes one synchronous round at this node.
+    fn on_round(
+        &mut self,
+        inbox: &[Envelope<Self::Payload>],
+        ctx: &mut Context<'_, Self::Payload>,
+    ) -> Control;
+}
+
+/// Local knowledge and actions available to a node during a round.
+///
+/// Mirrors the paper's model: a node knows its own identifier, its
+/// neighbors, `n` (and through configuration, `Δ`), can draw local random
+/// bits, and — on geometric topologies — senses distances to neighbors.
+#[derive(Debug)]
+pub struct Context<'a, P> {
+    pub(crate) me: NodeId,
+    pub(crate) round: u64,
+    pub(crate) topo: Topology<'a>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<Envelope<P>>,
+}
+
+impl<'a, P: Payload> Context<'a, P> {
+    /// This node's identifier.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total number of nodes in the network (global knowledge `n`, assumed
+    /// by the paper's algorithms).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.topo.graph().node_count()
+    }
+
+    /// This node's neighbors (sorted).
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.topo.graph().neighbors(self.me)
+    }
+
+    /// This node's degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors().len()
+    }
+
+    /// Sensed distance to `v`, on geometric topologies.
+    #[inline]
+    pub fn distance_to(&self, v: NodeId) -> Option<f64> {
+        self.topo.distance(self.me, v)
+    }
+
+    /// This node's private random stream (deterministic per master seed and
+    /// node id).
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `payload` to neighbor `to` (or to `self.me()`: self-delivery
+    /// next round, used e.g. by the UDG algorithm's self-election).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is neither a neighbor nor the node itself — sending
+    /// beyond the communication graph is a protocol bug, not a runtime
+    /// condition.
+    pub fn send(&mut self, to: NodeId, payload: P) {
+        assert!(
+            to == self.me || self.topo.graph().has_edge(self.me, to),
+            "{} attempted to send to non-neighbor {}",
+            self.me,
+            to
+        );
+        self.outbox.push(Envelope { from: self.me, to, payload });
+    }
+
+    /// Sends a copy of `payload` to every neighbor.
+    pub fn broadcast(&mut self, payload: P) {
+        for &v in self.neighbors() {
+            self.outbox.push(Envelope { from: self.me, to: v, payload: payload.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclust_graphs::generators;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Payload for Ping {
+        fn bit_size(&self) -> usize {
+            1
+        }
+    }
+
+    fn ctx_fixture<'a>(
+        topo: Topology<'a>,
+        rng: &'a mut StdRng,
+        outbox: &'a mut Vec<Envelope<Ping>>,
+    ) -> Context<'a, Ping> {
+        Context { me: NodeId::new(0), round: 3, topo, rng, outbox }
+    }
+
+    #[test]
+    fn context_exposes_local_view() {
+        let g = generators::star(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        assert_eq!(ctx.me(), NodeId::new(0));
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.node_count(), 4);
+        assert_eq!(ctx.degree(), 3);
+        assert!(ctx.distance_to(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let g = generators::star(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        ctx.broadcast(Ping);
+        assert_eq!(outbox.len(), 3);
+        let mut tos: Vec<u32> = outbox.iter().map(|e| e.to.raw()).collect();
+        tos.sort_unstable();
+        assert_eq!(tos, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let g = generators::star(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        ctx.send(NodeId::new(0), Ping);
+        assert_eq!(outbox[0].to, NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn send_to_non_neighbor_panics() {
+        let g = generators::path(3); // 0-1-2: 0 and 2 not adjacent
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        ctx.send(NodeId::new(2), Ping);
+    }
+}

@@ -1,0 +1,393 @@
+use crate::{Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology};
+use crate::node::Context;
+use ftclust_graphs::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer — mixes a master seed with a node id into an
+/// independent stream seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-node random stream for a given master seed.
+///
+/// Both the message-passing protocols (via [`Context::rng`]) and the
+/// in-memory engine implementations of the algorithms use this function, so
+/// a protocol run and an engine run with the same seed draw identical
+/// random numbers — experiment **E13** asserts their outputs are equal.
+pub fn node_rng(master_seed: u64, node: NodeId) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(master_seed ^ splitmix64(node.raw() as u64 + 1)))
+}
+
+struct NodeSlot<L: NodeLogic> {
+    logic: L,
+    rng: StdRng,
+    running: bool,
+}
+
+/// Executes a [`NodeLogic`] instance per node over a [`Topology`] in
+/// synchronous rounds.
+///
+/// Messages sent in round `r` are delivered at the start of round `r + 1`.
+/// The simulation is quiescent when every node has halted (or crashed).
+/// See the [crate-level example](crate).
+pub struct Simulator<'a, L: NodeLogic> {
+    topo: Topology<'a>,
+    nodes: Vec<NodeSlot<L>>,
+    /// Messages to deliver in the upcoming round, bucketed by recipient.
+    pending: Vec<Vec<Envelope<L::Payload>>>,
+    metrics: Metrics,
+    faults: FaultPlan,
+    fault_rng: StdRng,
+    round: u64,
+}
+
+impl<'a, L: NodeLogic> Simulator<'a, L> {
+    /// Creates a simulator with one logic instance per node, built by
+    /// `make_logic`, and no faults.
+    ///
+    /// `master_seed` drives all node-local randomness via [`node_rng`].
+    pub fn new(
+        topo: Topology<'a>,
+        make_logic: impl FnMut(NodeId) -> L,
+        master_seed: u64,
+    ) -> Self {
+        Self::with_faults(topo, make_logic, master_seed, FaultPlan::none())
+    }
+
+    /// Creates a simulator with fault injection.
+    pub fn with_faults(
+        topo: Topology<'a>,
+        mut make_logic: impl FnMut(NodeId) -> L,
+        master_seed: u64,
+        faults: FaultPlan,
+    ) -> Self {
+        let n = topo.graph().node_count();
+        let nodes = (0..n)
+            .map(|i| {
+                let v = NodeId::new(i as u32);
+                NodeSlot { logic: make_logic(v), rng: node_rng(master_seed, v), running: true }
+            })
+            .collect();
+        Simulator {
+            topo,
+            nodes,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            metrics: Metrics::default(),
+            faults,
+            fault_rng: StdRng::seed_from_u64(splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17)),
+            round: 0,
+        }
+    }
+
+    /// The current round number (the next round to execute).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Returns `true` once every node has halted or crashed.
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, s)| !s.running || self.faults.is_crashed(NodeId::new(i as u32), self.round))
+    }
+
+    /// Number of nodes still running (not halted, not crashed).
+    pub fn running_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                s.running && !self.faults.is_crashed(NodeId::new(*i as u32), self.round)
+            })
+            .count()
+    }
+
+    /// Executes one synchronous round. Returns `false` if the network was
+    /// already quiescent (in which case nothing happens).
+    pub fn step(&mut self) -> bool {
+        if self.is_quiescent() {
+            return false;
+        }
+        self.metrics.begin_round();
+        let round = self.round;
+        let n = self.nodes.len();
+        // Take this round's inboxes; sends below fill the next ones.
+        let inboxes = std::mem::take(&mut self.pending);
+        self.pending = (0..n).map(|_| Vec::new()).collect();
+        let mut outbox: Vec<Envelope<L::Payload>> = Vec::new();
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let me = NodeId::new(i as u32);
+            if self.faults.is_crashed(me, round) {
+                continue;
+            }
+            let slot = &mut self.nodes[i];
+            if !slot.running {
+                continue;
+            }
+            outbox.clear();
+            let mut ctx = Context {
+                me,
+                round,
+                topo: self.topo,
+                rng: &mut slot.rng,
+                outbox: &mut outbox,
+            };
+            let control = slot.logic.on_round(inbox, &mut ctx);
+            if control == Control::Halt {
+                slot.running = false;
+            }
+            // Deliver (next round), applying fault injection.
+            for env in outbox.drain(..) {
+                self.metrics.record_send(crate::Payload::bit_size(&env.payload));
+                if self.faults.is_crashed(env.to, round + 1) {
+                    continue; // receiver will be dead on arrival
+                }
+                if self.faults.drop_prob() > 0.0
+                    && self.fault_rng.random::<f64>() < self.faults.drop_prob()
+                {
+                    self.metrics.dropped_messages += 1;
+                    continue;
+                }
+                self.pending[env.to.index()].push(env);
+            }
+        }
+        self.round += 1;
+        true
+    }
+
+    /// Runs rounds until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol has not
+    /// quiesced after `max_rounds` rounds.
+    pub fn run(&mut self, max_rounds: u64) -> Result<&Metrics, SimError> {
+        while self.step() {
+            if self.round >= max_rounds && !self.is_quiescent() {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: self.running_count(),
+                });
+            }
+        }
+        Ok(&self.metrics)
+    }
+
+    /// The protocol state of node `v` (e.g. to read out the result after a
+    /// run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn logic(&self, v: NodeId) -> &L {
+        &self.nodes[v.index()].logic
+    }
+
+    /// Iterator over all node states in id order.
+    pub fn logics(&self) -> impl Iterator<Item = &L> {
+        self.nodes.iter().map(|s| &s.logic)
+    }
+
+    /// Communication metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The topology the simulation runs on.
+    pub fn topology(&self) -> Topology<'a> {
+        self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bits_for_ids, Payload};
+    use ftclust_graphs::generators;
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+    impl Payload for Num {
+        fn bit_size(&self) -> usize {
+            bits_for_ids(1 << 16)
+        }
+    }
+
+    /// Broadcasts its id for `rounds` rounds, accumulating the set of ids
+    /// heard.
+    struct Gossip {
+        heard: Vec<u64>,
+        rounds: u64,
+    }
+    impl NodeLogic for Gossip {
+        type Payload = Num;
+        fn on_round(&mut self, inbox: &[Envelope<Num>], ctx: &mut Context<'_, Num>) -> Control {
+            for e in inbox {
+                if !self.heard.contains(&e.payload.0) {
+                    self.heard.push(e.payload.0);
+                }
+            }
+            if ctx.round() >= self.rounds {
+                return Control::Halt;
+            }
+            ctx.broadcast(Num(ctx.me().raw() as u64));
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn messages_delivered_next_round() {
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 2 }, 0);
+        sim.step(); // round 0: both send, nothing received yet
+        assert!(sim.logic(NodeId::new(0)).heard.is_empty());
+        sim.step(); // round 1: both receive
+        assert_eq!(sim.logic(NodeId::new(0)).heard, vec![1]);
+        assert_eq!(sim.logic(NodeId::new(1)).heard, vec![0]);
+    }
+
+    #[test]
+    fn run_reaches_quiescence_and_counts() {
+        let g = generators::complete(5);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 3 }, 0);
+        let metrics = sim.run(100).unwrap().clone();
+        // Rounds 0..=3 execute (round 3 is the halting round).
+        assert_eq!(metrics.rounds, 4);
+        // Each of rounds 0,1,2 sends 5*4 messages; the halting round sends 0.
+        assert_eq!(metrics.messages, 3 * 20);
+        assert_eq!(metrics.per_round_messages, vec![20, 20, 20, 0]);
+        assert_eq!(metrics.max_message_bits, 16);
+        assert_eq!(metrics.total_bits, 60 * 16);
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.running_count(), 0);
+        // Everyone heard everyone.
+        for l in sim.logics() {
+            assert_eq!(l.heard.len(), 4);
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        struct Forever;
+        impl NodeLogic for Forever {
+            type Payload = Num;
+            fn on_round(&mut self, _: &[Envelope<Num>], _: &mut Context<'_, Num>) -> Control {
+                Control::Continue
+            }
+        }
+        let g = generators::path(3);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(topo, |_| Forever, 0);
+        let err = sim.run(5).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5, still_running: 3 });
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let faults = FaultPlan::none().crash(NodeId::new(1), 0);
+        let mut sim =
+            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 3 }, 0, faults);
+        sim.run(100).unwrap();
+        // Node 0 never hears from the crashed node 1.
+        assert!(sim.logic(NodeId::new(0)).heard.is_empty());
+    }
+
+    #[test]
+    fn crash_mid_run_stops_participation() {
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        // Node 1 crashes at round 1: its round-0 messages are dead on
+        // arrival (receivers crashed at 1 receive them; here node 0 is fine
+        // so it receives the round-0 message at round 1).
+        let faults = FaultPlan::none().crash(NodeId::new(1), 1);
+        let mut sim =
+            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 5 }, 0, faults);
+        sim.run(100).unwrap();
+        assert_eq!(sim.logic(NodeId::new(0)).heard, vec![1]);
+    }
+
+    #[test]
+    fn full_message_loss_blocks_gossip() {
+        let g = generators::complete(4);
+        let topo = Topology::from_graph(&g);
+        let faults = FaultPlan::none().drop_probability(1.0);
+        let mut sim =
+            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 2 }, 0, faults);
+        let m = sim.run(100).unwrap();
+        assert_eq!(m.dropped_messages, m.messages);
+        for l in sim.logics() {
+            assert!(l.heard.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // A protocol that uses randomness: random gossip forwarding.
+        struct RandomPick {
+            picks: Vec<u64>,
+        }
+        impl NodeLogic for RandomPick {
+            type Payload = Num;
+            fn on_round(&mut self, _: &[Envelope<Num>], ctx: &mut Context<'_, Num>) -> Control {
+                if ctx.round() >= 3 {
+                    return Control::Halt;
+                }
+                let x = ctx.rng().random_range(0..1_000_000u64);
+                self.picks.push(x);
+                Control::Continue
+            }
+        }
+        let g = generators::cycle(6);
+        let run = |seed| {
+            let topo = Topology::from_graph(&g);
+            let mut sim = Simulator::new(topo, |_| RandomPick { picks: vec![] }, seed);
+            sim.run(10).unwrap();
+            sim.logics().map(|l| l.picks.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        // Node streams are independent: different nodes draw differently.
+        let picks = run(7);
+        assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn node_rng_matches_engine_side_usage() {
+        // node_rng is the public contract engines rely on.
+        let mut a = node_rng(42, NodeId::new(3));
+        let mut b = node_rng(42, NodeId::new(3));
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+        let _independent_stream = node_rng(42, NodeId::new(4));
+    }
+
+    #[test]
+    fn step_on_quiescent_network_is_noop() {
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 0 }, 0);
+        sim.run(10).unwrap();
+        let rounds = sim.metrics().rounds;
+        assert!(!sim.step());
+        assert_eq!(sim.metrics().rounds, rounds);
+    }
+
+    #[test]
+    fn empty_network_is_quiescent() {
+        let g = generators::empty(0);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 1 }, 0);
+        assert!(sim.is_quiescent());
+        assert!(sim.run(10).is_ok());
+        assert_eq!(sim.metrics().rounds, 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Asynchronous execution via a simple synchronizer.
+//!
+//! The paper (Section 3) notes that *"at the cost of higher message
+//! complexity, every synchronous message-passing algorithm can be turned
+//! into an asynchronous algorithm with the same time complexity"*, citing
+//! Awerbuch's synchronizers. This module demonstrates that reduction: it
+//! executes any synchronous [`NodeLogic`] on an asynchronous network with
+//! arbitrary bounded message delays, using an α-synchronizer-style scheme:
+//!
+//! * every local round, a node sends a **bundle** to *each* neighbor,
+//!   containing the protocol messages destined to it this round (possibly
+//!   none — an empty bundle is the "safe" beacon),
+//! * a node advances to local round `r + 1` only once it has received the
+//!   round-`r` bundle from every neighbor that had not halted before
+//!   round `r`,
+//! * halting is announced in the final bundle so neighbors stop waiting.
+//!
+//! Because each node sees exactly the same per-round inbox as in the
+//! synchronous execution, the final protocol states are **identical** to a
+//! synchronous run with the same master seed — the tests assert this
+//! bit-for-bit.
+
+use crate::node::Context;
+use crate::sim::node_rng;
+use crate::{Control, Envelope, NodeLogic, SimError, Topology};
+use ftclust_graphs::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Statistics of an asynchronous run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsyncStats {
+    /// Global delivery ticks elapsed until quiescence.
+    pub ticks: u64,
+    /// Bundles sent (each bundle is one wire message of the synchronizer).
+    pub bundles: u64,
+    /// The largest local round any node executed.
+    pub max_local_round: u64,
+}
+
+/// Result of [`run_asynchronously`]: final protocol states plus statistics.
+#[derive(Debug)]
+pub struct AsyncRun<L> {
+    /// Final protocol state per node, in id order.
+    pub logics: Vec<L>,
+    /// Run statistics.
+    pub stats: AsyncStats,
+}
+
+#[derive(Debug)]
+struct Bundle<P> {
+    from: NodeId,
+    to: NodeId,
+    round: u64,
+    halting: bool,
+    payloads: Vec<P>,
+}
+
+/// Heap entry ordered by arrival tick, then insertion order (determinism).
+struct Arrival<P> {
+    at: u64,
+    seq: u64,
+    bundle: Bundle<P>,
+}
+
+impl<P> PartialEq for Arrival<P> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<P> Eq for Arrival<P> {}
+impl<P> PartialOrd for Arrival<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Arrival<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct AsyncNode<L: NodeLogic> {
+    logic: L,
+    rng: StdRng,
+    local_round: u64,
+    halted: bool,
+    /// Received bundles per neighbor position (same order as
+    /// `graph.neighbors(v)`).
+    received: Vec<Vec<Bundle<L::Payload>>>,
+    /// Round at which each neighbor announced halting (`u64::MAX` = alive).
+    neighbor_halted_at: Vec<u64>,
+    /// Self-addressed messages, keyed by the round they were sent in.
+    pending_self: Vec<(u64, Vec<L::Payload>)>,
+}
+
+struct AsyncExec<'a, L: NodeLogic> {
+    topo: Topology<'a>,
+    nodes: Vec<AsyncNode<L>>,
+    heap: BinaryHeap<Arrival<L::Payload>>,
+    delay_rng: StdRng,
+    seq: u64,
+    now: u64,
+    max_delay: u64,
+    max_rounds: u64,
+    stats: AsyncStats,
+}
+
+impl<'a, L: NodeLogic> AsyncExec<'a, L> {
+    /// Runs local rounds at `v` while its inputs are complete.
+    fn try_advance(&mut self, v: NodeId) -> Result<(), SimError> {
+        let g = self.topo.graph();
+        loop {
+            if self.nodes[v.index()].halted {
+                return Ok(());
+            }
+            let r = self.nodes[v.index()].local_round;
+            if r >= self.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                    still_running: 1,
+                });
+            }
+            // Gather round-(r-1) inputs; bail out if any are missing.
+            let mut inbox: Vec<Envelope<L::Payload>> = Vec::new();
+            if r > 0 {
+                let prev = r - 1;
+                let node = &self.nodes[v.index()];
+                // (sender id, bundle index or self marker)
+                let mut senders: Vec<(NodeId, Option<usize>)> = Vec::new();
+                for (pos, &w) in g.neighbors(v).iter().enumerate() {
+                    if node.neighbor_halted_at[pos] < prev {
+                        continue; // halted before prev: nothing expected
+                    }
+                    match node.received[pos].iter().position(|b| b.round == prev) {
+                        Some(idx) => senders.push((w, Some(idx))),
+                        None => return Ok(()), // still waiting
+                    }
+                }
+                if node.pending_self.iter().any(|(rd, _)| *rd == prev) {
+                    senders.push((v, None));
+                }
+                // Reconstruct the synchronous inbox ordering: the
+                // synchronous simulator appends in sender-id order.
+                senders.sort_by_key(|&(w, _)| w);
+                let node = &mut self.nodes[v.index()];
+                for (w, idx) in senders {
+                    let payloads = match idx {
+                        Some(i) => {
+                            let pos = g.neighbors(v).binary_search(&w).expect("neighbor");
+                            let bundle = node.received[pos].swap_remove(i);
+                            bundle.payloads
+                        }
+                        None => {
+                            let i = node
+                                .pending_self
+                                .iter()
+                                .position(|(rd, _)| *rd == prev)
+                                .expect("checked above");
+                            node.pending_self.swap_remove(i).1
+                        }
+                    };
+                    for p in payloads {
+                        inbox.push(Envelope { from: w, to: v, payload: p });
+                    }
+                }
+            }
+            // Execute the local round.
+            let mut outbox: Vec<Envelope<L::Payload>> = Vec::new();
+            let node = &mut self.nodes[v.index()];
+            let mut ctx = Context {
+                me: v,
+                round: r,
+                topo: self.topo,
+                rng: &mut node.rng,
+                outbox: &mut outbox,
+            };
+            let control = node.logic.on_round(&inbox, &mut ctx);
+            let halting = control == Control::Halt;
+            node.halted = halting;
+            node.local_round = r + 1;
+            self.stats.max_local_round = self.stats.max_local_round.max(r);
+            // Split sends into self-deliveries and per-neighbor bundles.
+            let mut self_msgs: Vec<L::Payload> = Vec::new();
+            let degree = g.degree(v);
+            let mut per_neighbor: Vec<Vec<L::Payload>> = (0..degree).map(|_| Vec::new()).collect();
+            for env in outbox {
+                if env.to == v {
+                    self_msgs.push(env.payload);
+                } else {
+                    let pos = g.neighbors(v).binary_search(&env.to).expect("neighbor");
+                    per_neighbor[pos].push(env.payload);
+                }
+            }
+            if !self_msgs.is_empty() {
+                self.nodes[v.index()].pending_self.push((r, self_msgs));
+            }
+            for (pos, &w) in g.neighbors(v).iter().enumerate() {
+                let delay = self.delay_rng.random_range(1..=self.max_delay);
+                self.stats.bundles += 1;
+                self.heap.push(Arrival {
+                    at: self.now + delay,
+                    seq: self.seq,
+                    bundle: Bundle {
+                        from: v,
+                        to: w,
+                        round: r,
+                        halting,
+                        payloads: std::mem::take(&mut per_neighbor[pos]),
+                    },
+                });
+                self.seq += 1;
+            }
+            if halting {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Executes the synchronous protocol built by `make_logic` on an
+/// asynchronous network where every message is delayed by a uniform random
+/// number of ticks in `1..=max_delay`, using the synchronizer described in
+/// the [module docs](self).
+///
+/// The returned protocol states equal those of a synchronous
+/// [`crate::Simulator`] run with the same `master_seed`.
+///
+/// # Errors
+///
+/// Returns [`SimError::RoundLimitExceeded`] if any node would exceed
+/// `max_rounds` local rounds.
+///
+/// # Panics
+///
+/// Panics if `max_delay == 0`.
+pub fn run_asynchronously<L: NodeLogic>(
+    topo: Topology<'_>,
+    mut make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    max_delay: u64,
+    max_rounds: u64,
+) -> Result<AsyncRun<L>, SimError> {
+    assert!(max_delay > 0, "max_delay must be at least 1 tick");
+    let g = topo.graph();
+    let n = g.node_count();
+    let nodes: Vec<AsyncNode<L>> = (0..n)
+        .map(|i| {
+            let v = NodeId::new(i as u32);
+            AsyncNode {
+                logic: make_logic(v),
+                rng: node_rng(master_seed, v),
+                local_round: 0,
+                halted: false,
+                received: (0..g.degree(v)).map(|_| Vec::new()).collect(),
+                neighbor_halted_at: vec![u64::MAX; g.degree(v)],
+                pending_self: Vec::new(),
+            }
+        })
+        .collect();
+    let mut exec = AsyncExec {
+        topo,
+        nodes,
+        heap: BinaryHeap::new(),
+        delay_rng: StdRng::seed_from_u64(master_seed ^ 0xA5A5_5A5A_0F0F_F0F0),
+        seq: 0,
+        now: 0,
+        max_delay,
+        max_rounds,
+        stats: AsyncStats::default(),
+    };
+    // Round 0 needs no inputs.
+    for i in 0..n {
+        exec.try_advance(NodeId::new(i as u32))?;
+    }
+    while let Some(arrival) = exec.heap.pop() {
+        exec.now = arrival.at;
+        exec.stats.ticks = exec.now;
+        let to = arrival.bundle.to;
+        let pos = exec
+            .topo
+            .graph()
+            .neighbors(to)
+            .binary_search(&arrival.bundle.from)
+            .expect("bundle sender must be a neighbor");
+        if arrival.bundle.halting {
+            let slot = &mut exec.nodes[to.index()].neighbor_halted_at[pos];
+            *slot = (*slot).min(arrival.bundle.round);
+        }
+        exec.nodes[to.index()].received[pos].push(arrival.bundle);
+        exec.try_advance(to)?;
+    }
+    let AsyncExec { nodes, stats, .. } = exec;
+    Ok(AsyncRun { logics: nodes.into_iter().map(|s| s.logic).collect(), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bits_for_ids, Payload, Simulator};
+    use ftclust_graphs::generators;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Num(u64);
+    impl Payload for Num {
+        fn bit_size(&self) -> usize {
+            bits_for_ids(1 << 16)
+        }
+    }
+
+    /// Flood-max with a random tiebreak draw per round (exercises RNG
+    /// stream equality) and a self-send (exercises self-delivery).
+    #[derive(Debug, Clone, PartialEq)]
+    struct Flood {
+        best: u64,
+        draws: Vec<u64>,
+        rounds: u64,
+    }
+    impl NodeLogic for Flood {
+        type Payload = Num;
+        fn on_round(&mut self, inbox: &[Envelope<Num>], ctx: &mut Context<'_, Num>) -> Control {
+            for e in inbox {
+                self.best = self.best.max(e.payload.0);
+            }
+            self.draws.push(ctx.rng().random_range(0..1_000u64));
+            if ctx.round() >= self.rounds {
+                return Control::Halt;
+            }
+            ctx.broadcast(Num(self.best));
+            let me = ctx.me();
+            ctx.send(me, Num(self.best)); // self-reminder
+            Control::Continue
+        }
+    }
+
+    fn sync_run(g: &ftclust_graphs::Graph, seed: u64, rounds: u64) -> Vec<Flood> {
+        let topo = Topology::from_graph(g);
+        let mut sim = Simulator::new(
+            topo,
+            |v| Flood { best: v.raw() as u64, draws: vec![], rounds },
+            seed,
+        );
+        sim.run(10_000).unwrap();
+        sim.logics().cloned().collect()
+    }
+
+    #[test]
+    fn async_run_equals_sync_run() {
+        for (g, seed) in [
+            (generators::cycle(9), 1u64),
+            (generators::gnp(25, 0.2, 3), 2),
+            (generators::star(6), 3),
+        ] {
+            let sync = sync_run(&g, seed, 6);
+            let topo = Topology::from_graph(&g);
+            let run = run_asynchronously(
+                topo,
+                |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 6 },
+                seed,
+                7, // delays up to 7 ticks
+                10_000,
+            )
+            .unwrap();
+            assert_eq!(run.logics, sync, "async execution diverged from synchronous");
+            assert!(run.stats.bundles > 0);
+            assert_eq!(run.stats.max_local_round, 6);
+        }
+    }
+
+    #[test]
+    fn async_run_is_deterministic() {
+        let g = generators::gnp(20, 0.25, 9);
+        let topo = Topology::from_graph(&g);
+        let a = run_asynchronously(
+            topo,
+            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 4 },
+            5,
+            5,
+            1_000,
+        )
+        .unwrap();
+        let b = run_asynchronously(
+            topo,
+            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 4 },
+            5,
+            5,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(a.logics, b.logics);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn round_limit_propagates() {
+        #[derive(Debug)]
+        struct Forever;
+        impl NodeLogic for Forever {
+            type Payload = Num;
+            fn on_round(&mut self, _: &[Envelope<Num>], ctx: &mut Context<'_, Num>) -> Control {
+                ctx.broadcast(Num(0));
+                Control::Continue
+            }
+        }
+        let g = generators::path(3);
+        let topo = Topology::from_graph(&g);
+        let err = run_asynchronously(topo, |_| Forever, 0, 2, 5).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { limit: 5, .. }));
+    }
+
+    #[test]
+    fn isolated_nodes_run_alone() {
+        let g = generators::empty(3);
+        let topo = Topology::from_graph(&g);
+        let run = run_asynchronously(
+            topo,
+            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 2 },
+            0,
+            3,
+            100,
+        )
+        .unwrap();
+        assert_eq!(run.logics.len(), 3);
+        for l in &run.logics {
+            assert_eq!(l.draws.len(), 3); // rounds 0, 1, 2
+        }
+    }
+}

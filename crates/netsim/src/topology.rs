@@ -1,0 +1,72 @@
+use ftclust_geometry::Point;
+use ftclust_graphs::{Graph, NodeId, UnitDiskGraph};
+
+/// The network topology a [`crate::Simulator`] runs on: a graph, optionally
+/// with planar node positions (for unit disk graphs with distance sensing).
+///
+/// Borrowed, not owned: simulations are cheap to set up over existing
+/// graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology<'a> {
+    graph: &'a Graph,
+    positions: Option<&'a [Point]>,
+}
+
+impl<'a> Topology<'a> {
+    /// A topology without geometry (general graphs, Section 4 model).
+    pub fn from_graph(graph: &'a Graph) -> Self {
+        Topology { graph, positions: None }
+    }
+
+    /// A topology with distance sensing (unit disk graphs, Section 5
+    /// model).
+    pub fn from_udg(udg: &'a UnitDiskGraph) -> Self {
+        Topology { graph: udg.graph(), positions: Some(udg.positions()) }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Node positions, if this is a geometric topology.
+    #[inline]
+    pub fn positions(&self) -> Option<&'a [Point]> {
+        self.positions
+    }
+
+    /// Sensed distance between `u` and `v`; `None` when the topology has no
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.positions.map(|pos| pos[u.index()].dist(pos[v.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclust_graphs::generators;
+
+    #[test]
+    fn graph_topology_has_no_distances() {
+        let g = generators::path(3);
+        let t = Topology::from_graph(&g);
+        assert!(t.distance(NodeId::new(0), NodeId::new(1)).is_none());
+        assert_eq!(t.graph().node_count(), 3);
+        assert!(t.positions().is_none());
+    }
+
+    #[test]
+    fn udg_topology_senses_distances() {
+        let udg = generators::random_udg(10, 5.0, 1.0, 1);
+        let t = Topology::from_udg(&udg);
+        let d = t.distance(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(d, udg.distance(NodeId::new(0), NodeId::new(1)));
+        assert!(t.positions().is_some());
+    }
+}

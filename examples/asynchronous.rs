@@ -1,0 +1,51 @@
+//! Running the synchronous algorithms on an asynchronous network.
+//!
+//! The paper's model note (Section 3): *"at the cost of higher message
+//! complexity, every synchronous message-passing algorithm can be turned
+//! into an asynchronous algorithm with the same time complexity"*
+//! (Awerbuch's synchronizers). This example demonstrates the reduction
+//! concretely: Algorithm 1 runs on a network where every message suffers a
+//! random delay of up to 9 ticks, coordinated by the bundled
+//! α-synchronizer — and produces **bit-identical** output to the
+//! synchronous execution and to the in-memory engine.
+//!
+//! Run with: `cargo run --release --example asynchronous`
+
+use ftclust::core::fractional::protocol::{
+    run_fractional_protocol, run_fractional_protocol_async,
+};
+use ftclust::core::fractional::{solve_fractional, FractionalParams};
+use ftclust::core::prelude::*;
+use ftclust::graphs::generators;
+
+fn main() -> Result<(), KmdsError> {
+    let g = generators::gnp(200, 0.05, 42);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let params = FractionalParams::new(3);
+    println!("network: {g}, k = 2, t = 3");
+    println!();
+
+    // 1. The in-memory engine (no messages at all).
+    let engine = solve_fractional(&inst, &params)?;
+    println!("engine:        Σx = {:.4}", engine.value);
+
+    // 2. The synchronous protocol (the paper's model).
+    let sync = run_fractional_protocol(&inst, &params)?;
+    println!(
+        "synchronous:   Σx = {:.4}   ({} rounds, {} messages)",
+        sync.solution.value, sync.metrics.rounds, sync.metrics.messages
+    );
+
+    // 3. The asynchronous execution through the α-synchronizer: messages
+    //    are delayed by 1–9 ticks each; nodes advance their local round
+    //    only when every neighbor's bundle for the previous round arrived.
+    let async_sol = run_fractional_protocol_async(&inst, &params, 9)?;
+    println!("asynchronous:  Σx = {:.4}   (delays up to 9 ticks)", async_sol.value);
+
+    assert_eq!(engine, sync.solution, "sync protocol must equal the engine");
+    assert_eq!(engine, async_sol, "async execution must equal the engine");
+    println!();
+    println!("all three executions are bit-identical — the synchronizer reduction");
+    println!("of Section 3, demonstrated end-to-end.");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Clustering as a routing backbone.
+//!
+//! Dominating-set clustering "allows the formation of virtual backbones
+//! [and] improves the performance of routing algorithms" (Section 1).
+//! This example builds a k-fold dominating set on a multi-hop network,
+//! routes traffic by forwarding through cluster heads, and measures the
+//! path stretch against shortest paths — then knocks out heads to show
+//! why `k > 1` keeps routes alive.
+//!
+//! Run with: `cargo run --release --example backbone_routing`
+
+use ftclust::core::connect::{backbone_robustness, connect_dominating_set};
+use ftclust::core::prelude::*;
+use ftclust::core::udg::UdgAlgorithm;
+use ftclust::graphs::traversal::bfs_distances;
+use ftclust::graphs::{generators, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hop distance via a backbone: source → its nearest head → (shortest
+/// path restricted to heads ∪ {endpoints' heads}) → destination. For
+/// simplicity we measure source → head(s), head-to-head distance in the
+/// full graph, head(d) → destination, which upper-bounds backbone routing.
+fn backbone_route_len(
+    g: &ftclust::graphs::Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    s: NodeId,
+    d: NodeId,
+) -> Option<u32> {
+    let head_of = |v: NodeId| -> Option<NodeId> {
+        if set.contains(v) && alive[v.index()] {
+            return Some(v);
+        }
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .find(|&w| set.contains(w) && alive[w.index()])
+    };
+    let hs = head_of(s)?;
+    let hd = head_of(d)?;
+    let dist = bfs_distances(g, hs);
+    let mid = dist[hd.index()]?;
+    Some(u32::from(hs != s) + mid + u32::from(hd != d))
+}
+
+fn main() -> Result<(), KmdsError> {
+    let udg = generators::random_udg(600, 9.0, 1.0, 5);
+    let g = udg.graph();
+    println!("network: {g}");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for k in [1u32, 3] {
+        let run = UdgAlgorithm::new(k).seed(3).run(&udg)?;
+        assert!(is_k_dominating(g, &run.set, k, Semantics::Strict));
+        // Sample routes and measure stretch while heads fail.
+        let mut alive = vec![true; g.node_count()];
+        println!();
+        let (cds, connectors) = connect_dominating_set(g, &run.set)?;
+        let rob = backbone_robustness(g, &cds);
+        println!(
+            "k = {k}: backbone of {} heads (+{connectors} connectors to connect it; \
+             {} single points of failure, {:.1}%)",
+            run.set.len(),
+            rob.articulation_points,
+            100.0 * rob.articulation_fraction
+        );
+        for failed_frac in [0.0, 0.3] {
+            // Kill a fraction of the heads.
+            for v in run.set.ids() {
+                alive[v.index()] = rng.random::<f64>() >= failed_frac;
+            }
+            let mut routed = 0u32;
+            let mut broken = 0u32;
+            let mut stretch_sum = 0.0f64;
+            let mut samples = 0u32;
+            for _ in 0..300 {
+                let s = NodeId::new(rng.random_range(0..g.node_count() as u32));
+                let d = NodeId::new(rng.random_range(0..g.node_count() as u32));
+                if s == d {
+                    continue;
+                }
+                let direct = bfs_distances(g, s)[d.index()];
+                let Some(direct) = direct else { continue }; // disconnected pair
+                match backbone_route_len(g, &run.set, &alive, s, d) {
+                    Some(via) => {
+                        routed += 1;
+                        if direct > 0 {
+                            stretch_sum += via as f64 / direct as f64;
+                            samples += 1;
+                        }
+                    }
+                    None => broken += 1,
+                }
+            }
+            println!(
+                "  head failure rate {failed_frac:.2}: routed {routed}, broken {broken}, \
+                 mean stretch {:.3}",
+                stretch_sum / samples.max(1) as f64,
+            );
+        }
+    }
+    println!();
+    println!("with k = 3, a 30% head blackout leaves almost every route intact;");
+    println!("with k = 1 the same blackout strands nodes whose only head died.");
+    Ok(())
+}

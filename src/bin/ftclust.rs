@@ -1,0 +1,333 @@
+//! `ftclust` — command-line front end for the fault-tolerant clustering
+//! library.
+//!
+//! ```text
+//! ftclust generate --family rgg --nodes 500 --seed 7 --out g.txt [--positions p.txt]
+//! ftclust info     --graph g.txt
+//! ftclust solve    --graph g.txt --k 2 [--algorithm pipeline|greedy|jrs|local|exact]
+//!                  [--t 4] [--seed 0] [--connect] [--out set.txt]
+//! ftclust udg      --positions p.txt --radius 1.0 --k 2 [--algorithm udg|grid]
+//!                  [--seed 0] [--svg out.svg] [--out set.txt]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency tree at the workspace's approved set.
+
+use ftclust::core::prelude::*;
+use ftclust::core::baselines::{grid_clustering, jrs_kmds};
+use ftclust::core::udg::UdgAlgorithm;
+use ftclust::graphs::{generators, io, stats, Graph, UnitDiskGraph};
+use ftclust::render::{render_svg, SvgOptions};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ftclust generate --family <gnp|ba|grid|tree|rgg|clustered> --nodes <n>
+                   [--seed <s>] [--avg-degree <d>] --out <graph.txt>
+                   [--positions <pos.txt>]       (rgg/clustered only)
+  ftclust info     --graph <graph.txt>
+  ftclust solve    --graph <graph.txt> --k <k>
+                   [--algorithm <pipeline|greedy|jrs|local|exact>]
+                   [--t <t>] [--seed <s>] [--connect] [--out <set.txt>]
+  ftclust udg      --positions <pos.txt> --radius <r> --k <k>
+                   [--algorithm <udg|grid>] [--seed <s>]
+                   [--svg <out.svg>] [--out <set.txt>]";
+
+/// Parsed `--key value` options (plus bare flags mapped to "true").
+struct Options(HashMap<String, String>);
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got `{arg}`"))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(), // bare flag
+            };
+            if map.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate option --{key}"));
+            }
+        }
+        Ok(Options(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let opts = Options::parse(rest)?;
+    match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "solve" => cmd_solve(&opts),
+        "udg" => cmd_udg(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn load_graph(opts: &Options) -> Result<Graph, String> {
+    let path = opts.require("graph")?;
+    io::read_edge_list(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let family = opts.require("family")?;
+    let n: u32 = opts.parse_num("nodes", 0)?;
+    if n == 0 {
+        return Err("missing or zero --nodes".into());
+    }
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let avg: f64 = opts.parse_num("avg-degree", 10.0)?;
+    let out = opts.require("out")?;
+    let (graph, positions): (Graph, Option<Vec<ftclust::geometry::Point>>) = match family {
+        "gnp" => (generators::gnp(n, (avg / n as f64).min(1.0), seed), None),
+        "ba" => (generators::barabasi_albert(n, ((avg / 2.0) as u32).max(1), seed), None),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(2.0) as u32;
+            (generators::grid_2d(side, side), None)
+        }
+        "tree" => (generators::random_tree(n, seed), None),
+        "rgg" => {
+            let udg = generators::random_udg(n, avg, 1.0, seed);
+            (udg.graph().clone(), Some(udg.positions().to_vec()))
+        }
+        "clustered" => {
+            let side = (n as f64 * std::f64::consts::PI / avg).sqrt();
+            let udg = generators::clustered_udg(n, (n / 100).max(2), side, side / 20.0, 1.0, seed);
+            (udg.graph().clone(), Some(udg.positions().to_vec()))
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    write_file(out, &io::write_edge_list(&graph))?;
+    println!("wrote {graph} to {out}");
+    if let Some(pts) = positions {
+        if let Some(pos_path) = opts.get("positions") {
+            write_file(pos_path, &io::write_positions(&pts))?;
+            println!("wrote {} positions to {pos_path}", pts.len());
+        }
+    } else if opts.get("positions").is_some() {
+        return Err(format!("family `{family}` has no positions"));
+    }
+    Ok(())
+}
+
+fn cmd_info(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let s = stats::degree_stats(&g);
+    let comps = ftclust::graphs::traversal::connected_components(&g);
+    println!("{g}");
+    println!("degrees: min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
+    println!("connected components: {}", comps.component_count());
+    Ok(())
+}
+
+fn print_set_summary(g: &Graph, set: &DominatingSet, k: u32) {
+    println!(
+        "set size: {} of {} nodes ({:.1}%)",
+        set.len(),
+        g.node_count(),
+        100.0 * set.len() as f64 / g.node_count().max(1) as f64
+    );
+    println!(
+        "k = {k}: strict-valid = {}, cover-self-valid = {}",
+        is_k_dominating(g, set, k, Semantics::Strict),
+        is_k_dominating(g, set, k, Semantics::CoverSelf),
+    );
+}
+
+fn save_set(opts: &Options, set: &DominatingSet) -> Result<(), String> {
+    if let Some(path) = opts.get("out") {
+        let ids: Vec<String> = set.ids().map(|v| v.raw().to_string()).collect();
+        write_file(path, &(ids.join("\n") + "\n"))?;
+        println!("wrote {} node ids to {path}", set.len());
+    }
+    Ok(())
+}
+
+fn cmd_solve(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let k: u32 = opts.parse_num("k", 1)?;
+    let t: u32 = opts.parse_num("t", 4)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let inst = Instance::uniform_clamped(&g, k);
+    let algorithm = opts.get("algorithm").unwrap_or("pipeline");
+    let set = match algorithm {
+        "pipeline" => {
+            let run = GeneralPipeline::new(t)
+                .seed(seed)
+                .run(&inst)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "fractional value {:.2}, certified ratio ≤ {:.2}",
+                run.fractional.value,
+                run.certified_ratio().unwrap_or(f64::NAN)
+            );
+            run.set
+        }
+        "greedy" => greedy_kmds(&inst, Semantics::CoverSelf),
+        "jrs" => {
+            let out = jrs_kmds(&inst, Semantics::CoverSelf, seed);
+            println!("jrs iterations: {}, rounds: {}", out.iterations, out.rounds);
+            out.set
+        }
+        "local" => local_heuristic(&inst),
+        "exact" => exact_kmds(&inst, Semantics::CoverSelf)
+            .ok_or("instance too large for the exact solver (max 40 nodes)")?,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    print_set_summary(&g, &set, k);
+    let set = if opts.flag("connect") {
+        let (cds, added) =
+            connect_dominating_set(&g, &set).map_err(|e| e.to_string())?;
+        println!("connected backbone: +{added} connectors → {} nodes", cds.len());
+        cds
+    } else {
+        set
+    };
+    save_set(opts, &set)
+}
+
+fn cmd_udg(opts: &Options) -> Result<(), String> {
+    let pos_path = opts.require("positions")?;
+    let pts = io::read_positions(&read_file(pos_path)?).map_err(|e| format!("{pos_path}: {e}"))?;
+    let radius: f64 = opts.parse_num("radius", 1.0)?;
+    let k: u32 = opts.parse_num("k", 1)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let udg = UnitDiskGraph::build(pts, radius).map_err(|e| e.to_string())?;
+    println!("{udg}");
+    let algorithm = opts.get("algorithm").unwrap_or("udg");
+    let set = match algorithm {
+        "udg" => {
+            let run = UdgAlgorithm::new(k).seed(seed).run(&udg).map_err(|e| e.to_string())?;
+            println!(
+                "part I: {} leaders in {} rounds; part II: {} iterations",
+                run.leaders.len(),
+                run.part1_rounds,
+                run.part2_iterations
+            );
+            run.set
+        }
+        "grid" => grid_clustering(&udg, k),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    print_set_summary(udg.graph(), &set, k);
+    if let Some(svg_path) = opts.get("svg") {
+        let options = SvgOptions {
+            draw_edges: udg.graph().edge_count() <= 20_000,
+            ..Default::default()
+        };
+        write_file(svg_path, &render_svg(&udg, &set, &options))?;
+        println!("wrote visualization to {svg_path}");
+    }
+    save_set(opts, &set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_pairs_and_flags() {
+        let o = Options::parse(&strs(&["--k", "3", "--connect", "--t", "2"])).unwrap();
+        assert_eq!(o.get("k"), Some("3"));
+        assert!(o.flag("connect"));
+        assert_eq!(o.parse_num::<u32>("t", 0).unwrap(), 2);
+        assert_eq!(o.parse_num::<u32>("absent", 9).unwrap(), 9);
+        assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn options_reject_junk() {
+        assert!(Options::parse(&strs(&["positional"])).is_err());
+        assert!(Options::parse(&strs(&["--a", "1", "--a", "2"])).is_err());
+        let o = Options::parse(&strs(&["--n", "abc"])).unwrap();
+        assert!(o.parse_num::<u32>("n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_solve_udg_roundtrip() {
+        let dir = std::env::temp_dir().join("ftclust_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g_path = dir.join("g.txt");
+        let p_path = dir.join("p.txt");
+        let s_path = dir.join("s.txt");
+        let svg_path = dir.join("v.svg");
+        run(&strs(&[
+            "generate", "--family", "rgg", "--nodes", "120", "--seed", "5",
+            "--out", g_path.to_str().unwrap(),
+            "--positions", p_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&strs(&["info", "--graph", g_path.to_str().unwrap()])).unwrap();
+        run(&strs(&[
+            "solve", "--graph", g_path.to_str().unwrap(), "--k", "2",
+            "--algorithm", "greedy", "--connect",
+            "--out", s_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let ids = std::fs::read_to_string(&s_path).unwrap();
+        assert!(!ids.trim().is_empty());
+        run(&strs(&[
+            "udg", "--positions", p_path.to_str().unwrap(), "--radius", "1.0",
+            "--k", "2", "--svg", svg_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&svg_path).unwrap().starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

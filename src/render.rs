@@ -1,0 +1,155 @@
+//! SVG rendering of sensor deployments and their clustering backbones.
+//!
+//! Produces a self-contained SVG: sensors as dots, communication edges as
+//! light lines, cluster heads highlighted. Useful to eyeball what the
+//! algorithms produce (`ftclust udg --svg out.svg` from the CLI).
+
+use ftclust_core::DominatingSet;
+use ftclust_graphs::UnitDiskGraph;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Whether to draw communication edges (slow to view beyond ~10⁴
+    /// edges).
+    pub draw_edges: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 800.0, draw_edges: true }
+    }
+}
+
+/// Renders a unit disk graph and a highlighted node set as an SVG string.
+///
+/// Set members are drawn as filled red circles, other nodes as small gray
+/// dots, communication edges as thin lines.
+///
+/// # Panics
+///
+/// Panics if the set universe does not match the graph.
+pub fn render_svg(udg: &UnitDiskGraph, set: &DominatingSet, options: &SvgOptions) -> String {
+    assert_eq!(set.universe(), udg.node_count(), "set universe mismatch");
+    let (lo, hi) = udg
+        .bounding_box()
+        .unwrap_or((ftclust_geometry::Point::ORIGIN, ftclust_geometry::Point::new(1.0, 1.0)));
+    let margin = udg.radius().max(0.5);
+    let span_x = (hi.x - lo.x + 2.0 * margin).max(1e-9);
+    let span_y = (hi.y - lo.y + 2.0 * margin).max(1e-9);
+    let scale = options.width / span_x;
+    let height = span_y * scale;
+    let px = |x: f64| (x - lo.x + margin) * scale;
+    let py = |y: f64| height - (y - lo.y + margin) * scale;
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        options.width, height, options.width, height
+    )
+    .expect("string write");
+    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).expect("string write");
+    if options.draw_edges {
+        writeln!(svg, r##"<g stroke="#c8d4e0" stroke-width="0.5">"##).expect("string write");
+        for (u, v) in udg.graph().edges() {
+            let (a, b) = (udg.position(u), udg.position(v));
+            writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+                px(a.x),
+                py(a.y),
+                px(b.x),
+                py(b.y)
+            )
+            .expect("string write");
+        }
+        writeln!(svg, "</g>").expect("string write");
+    }
+    let dot = (scale * udg.radius() * 0.08).clamp(1.5, 6.0);
+    writeln!(svg, r##"<g fill="#7f8c99">"##).expect("string write");
+    for v in udg.graph().nodes().filter(|&v| !set.contains(v)) {
+        let p = udg.position(v);
+        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="{dot:.1}"/>"#, px(p.x), py(p.y))
+            .expect("string write");
+    }
+    writeln!(svg, "</g>").expect("string write");
+    writeln!(svg, r##"<g fill="#d62728" stroke="#7a1516" stroke-width="0.8">"##)
+        .expect("string write");
+    for v in set.ids() {
+        let p = udg.position(v);
+        writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}"/>"#,
+            px(p.x),
+            py(p.y),
+            dot * 1.8
+        )
+        .expect("string write");
+    }
+    writeln!(svg, "</g>").expect("string write");
+    writeln!(svg, "</svg>").expect("string write");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclust_graphs::{generators, NodeId};
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let udg = generators::random_udg(50, 6.0, 1.0, 1);
+        let set = DominatingSet::from_ids(50, [NodeId::new(0), NodeId::new(3)]);
+        let svg = render_svg(&udg, &set, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 highlighted + 48 plain circles.
+        assert_eq!(svg.matches("<circle").count(), 50);
+        assert!(svg.contains("<line"));
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let udg = generators::random_udg(30, 5.0, 1.0, 2);
+        let set = DominatingSet::empty(30);
+        let svg = render_svg(&udg, &set, &SvgOptions { draw_edges: false, ..Default::default() });
+        assert!(!svg.contains("<line"));
+    }
+
+    #[test]
+    fn tall_narrow_deployment_keeps_positive_dimensions() {
+        // A vertical line of nodes: the height must scale with the aspect
+        // ratio and every circle must stay inside the canvas.
+        let pts: Vec<_> = (0..12)
+            .map(|i| ftclust_geometry::Point::new(0.0, i as f64))
+            .collect();
+        let udg = ftclust_graphs::UnitDiskGraph::build(pts, 1.0).unwrap();
+        let svg = render_svg(&udg, &DominatingSet::empty(12), &SvgOptions::default());
+        // Height > width for an 11-unit-tall, 0-wide deployment.
+        let h: f64 = svg
+            .split("height=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .and_then(|s| s.parse().ok())
+            .expect("height attribute");
+        let w: f64 = svg
+            .split("width=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .and_then(|s| s.parse().ok())
+            .expect("width attribute");
+        assert!(h > w, "height {h} should exceed width {w}");
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn empty_deployment_renders() {
+        let udg = ftclust_graphs::UnitDiskGraph::build(vec![], 1.0).unwrap();
+        let svg = render_svg(&udg, &DominatingSet::empty(0), &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

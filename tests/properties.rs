@@ -1,0 +1,131 @@
+//! Property-based integration tests: random instances through every
+//! algorithm, with the invariants the paper proves.
+
+use ftclust::core::baselines::{exact_kmds, greedy_kmds, jrs_kmds};
+use ftclust::core::fractional::{solve_fractional, FractionalParams};
+use ftclust::core::prelude::*;
+use ftclust::core::rounding::{round_fractional, RoundingParams};
+use ftclust::core::udg::UdgAlgorithm;
+use ftclust::geometry::Point;
+use ftclust::graphs::{generators, Graph, UnitDiskGraph};
+use ftclust::lp::solve as lp_solve;
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2u32..40, proptest::collection::vec((0u32..40, 0u32..40), 0..150)).prop_map(
+        |(n, edges)| {
+            let mut b = ftclust::graphs::GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v && u < n && v < n {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm produces a feasible set on arbitrary graphs, and
+    /// the exact optimum is never beaten.
+    #[test]
+    fn all_algorithms_feasible_and_ordered(g in arbitrary_graph(), k in 1u32..4, seed in 0u64..1000) {
+        let inst = Instance::uniform_clamped(&g, k);
+        let greedy = greedy_kmds(&inst, Semantics::CoverSelf);
+        prop_assert!(is_k_dominating_instance(&inst, &greedy, Semantics::CoverSelf));
+        let jrs = jrs_kmds(&inst, Semantics::CoverSelf, seed);
+        prop_assert!(is_k_dominating_instance(&inst, &jrs.set, Semantics::CoverSelf));
+        let pipeline = GeneralPipeline::new(2).seed(seed).run(&inst).unwrap();
+        prop_assert!(is_k_dominating_instance(&inst, &pipeline.set, Semantics::CoverSelf));
+        if let Some(opt) = exact_kmds(&inst, Semantics::CoverSelf) {
+            prop_assert!(is_k_dominating_instance(&inst, &opt, Semantics::CoverSelf));
+            prop_assert!(opt.len() <= greedy.len());
+            prop_assert!(opt.len() <= jrs.set.len());
+            prop_assert!(opt.len() <= pipeline.set.len());
+        }
+    }
+
+    /// The fractional solver's primal is feasible, its scaled dual is
+    /// feasible, and the certified bound brackets the exact LP optimum.
+    #[test]
+    fn fractional_certificates_bracket_lp(g in arbitrary_graph(), k in 1u32..3, t in 1u32..5) {
+        let inst = Instance::uniform_clamped(&g, k);
+        let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();
+        prop_assert!(sol.is_primal_feasible(&inst, 1e-7));
+        prop_assert!(sol.is_scaled_dual_feasible(&inst, 1e-7));
+        prop_assert_eq!(sol.lemma41_violations, 0);
+        let lp_opt = lp_solve(&inst.to_lp()).unwrap().value;
+        prop_assert!(sol.lower_bound <= lp_opt + 1e-6);
+        prop_assert!(sol.value >= lp_opt - 1e-6);
+        prop_assert!(sol.value <= sol.theorem_4_5_bound() * lp_opt.max(1e-12) + 1e-6);
+    }
+
+    /// Rounding with repair is always feasible, from any fractional vector.
+    #[test]
+    fn rounding_repair_always_feasible(
+        g in arbitrary_graph(),
+        k in 1u32..3,
+        seed in 0u64..1000,
+        scale in 0.0f64..1.0,
+    ) {
+        let inst = Instance::uniform_clamped(&g, k);
+        let x = vec![scale; g.node_count()];
+        let out = round_fractional(&inst, &x, g.max_degree(), seed, &RoundingParams::default());
+        prop_assert!(is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf));
+    }
+
+    /// The UDG algorithm is strictly feasible on arbitrary point clouds.
+    #[test]
+    fn udg_algorithm_feasible_on_point_clouds(
+        coords in proptest::collection::vec((0.0f64..8.0, 0.0f64..8.0), 1..80),
+        k in 1u32..4,
+        seed in 0u64..100,
+    ) {
+        let pts: Vec<Point> = coords.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let udg = UnitDiskGraph::build(pts, 1.0).unwrap();
+        let run = UdgAlgorithm::new(k).seed(seed).run(&udg).unwrap();
+        prop_assert!(is_k_dominating(udg.graph(), &run.set, k, Semantics::Strict));
+        // Part I is a plain dominating set (Lemma 5.1).
+        prop_assert!(is_k_dominating(udg.graph(), &run.leaders, 1, Semantics::Strict));
+        // Monotone sparsification.
+        for w in run.active_history.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+    }
+
+    /// LP optimum ≤ integral optimum (relaxation), on tiny instances.
+    #[test]
+    fn lp_relaxation_lower_bounds_ilp(n in 2u32..12, p in 0.1f64..0.9, seed in 0u64..50, k in 1u32..3) {
+        let g = generators::gnp(n, p, seed);
+        let inst = Instance::uniform_clamped(&g, k);
+        let lp_opt = lp_solve(&inst.to_lp()).unwrap().value;
+        let ilp = exact_kmds(&inst, Semantics::CoverSelf).unwrap().len() as f64;
+        prop_assert!(lp_opt <= ilp + 1e-6, "LP {lp_opt} > ILP {ilp}");
+    }
+
+    /// Coverage accounting: removing any member of a minimal-by-inclusion
+    /// set breaks something — i.e. our validator actually discriminates.
+    #[test]
+    fn validator_detects_single_removals(g in arbitrary_graph(), seed in 0u64..100) {
+        let inst = Instance::uniform_clamped(&g, 1);
+        let mut set = greedy_kmds(&inst, Semantics::CoverSelf);
+        // Prune to inclusion-minimality.
+        let ids: Vec<_> = set.ids().collect();
+        for v in ids {
+            set.remove(v);
+            if !is_k_dominating_instance(&inst, &set, Semantics::CoverSelf) {
+                set.insert(v);
+            }
+        }
+        // Now every single removal must be detected.
+        let ids: Vec<_> = set.ids().collect();
+        for v in ids {
+            set.remove(v);
+            prop_assert!(!is_k_dominating_instance(&inst, &set, Semantics::CoverSelf));
+            set.insert(v);
+        }
+        let _ = seed;
+    }
+}

@@ -1,0 +1,169 @@
+//! Empirical verification of the paper's theorems and lemmas — the
+//! integration-level counterpart of the experiment harness (smaller
+//! sweeps, hard assertions).
+
+use ftclust::core::baselines::exact_kmds;
+use ftclust::core::bounds;
+use ftclust::core::fractional::{solve_fractional, FractionalParams};
+use ftclust::core::prelude::*;
+use ftclust::core::rounding::{round_fractional, RoundingParams};
+use ftclust::core::udg::{analysis, UdgAlgorithm};
+use ftclust::geometry::cover;
+use ftclust::graphs::generators;
+use ftclust::lp::solve as lp_solve;
+
+/// Theorem 4.5: the fractional value is within
+/// `t((Δ+1)^{2/t} + (Δ+1)^{1/t})` of the LP optimum, for every `t`.
+#[test]
+fn theorem_4_5_holds_against_exact_lp() {
+    for seed in 0..4 {
+        let g = generators::gnp(50, 0.12, seed);
+        for k in [1u32, 2] {
+            let inst = Instance::uniform_clamped(&g, k);
+            let opt = lp_solve(&inst.to_lp()).unwrap().value;
+            for t in [1u32, 2, 4, 8] {
+                let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();
+                assert!(sol.is_primal_feasible(&inst, 1e-7));
+                let bound = bounds::theorem_4_5_bound(t, sol.delta);
+                assert!(
+                    sol.value <= bound * opt + 1e-6,
+                    "t={t}, k={k}, seed={seed}: {} > {bound}·{opt}",
+                    sol.value
+                );
+                // Lemma 4.4 (dual feasibility after scaling by κ).
+                assert!(sol.is_scaled_dual_feasible(&inst, 1e-7));
+                // Weak duality: the certificate really lower-bounds OPT.
+                assert!(sol.lower_bound <= opt + 1e-6);
+                // Lemma 4.1, measured.
+                assert_eq!(sol.lemma41_violations, 0);
+            }
+        }
+    }
+}
+
+/// Theorem 4.6: expected rounding factor is about `ln(Δ+1) + O(1)` and
+/// the output is always feasible.
+#[test]
+fn theorem_4_6_expected_blowup() {
+    let g = generators::gnp(200, 0.05, 3);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let sol = solve_fractional(&inst, &FractionalParams::new(4)).unwrap();
+    let trials = 30;
+    let mut sum = 0.0;
+    for seed in 0..trials {
+        let out = round_fractional(&inst, &sol.x, sol.delta, seed, &RoundingParams::default());
+        assert!(is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf));
+        sum += out.set.len() as f64;
+    }
+    let mean = sum / trials as f64;
+    let blowup = mean / sol.value;
+    let predicted = bounds::theorem_4_6_bound(1.0, sol.delta);
+    assert!(
+        blowup <= predicted + 1.0,
+        "measured blowup {blowup:.2} vs predicted {predicted:.2}"
+    );
+    assert!(blowup >= 1.0, "rounding cannot shrink below the fractional value on average");
+}
+
+/// Theorem 5.7 (shape): the UDG algorithm's output size stays within a
+/// constant factor of a valid lower bound as n grows.
+#[test]
+fn theorem_5_7_constant_ratio_shape() {
+    let mut ratios = Vec::new();
+    for n in [200u32, 800, 3200] {
+        let udg = generators::random_udg(n, 12.0, 1.0, n as u64);
+        let k = 2;
+        let run = UdgAlgorithm::new(k).seed(1).run(&udg).unwrap();
+        assert!(is_k_dominating(udg.graph(), &run.set, k, Semantics::Strict));
+        let lb = bounds::udg_packing_lower_bound(&udg).max(1);
+        ratios.push(run.set.len() as f64 / lb as f64);
+    }
+    // Constant approximation: the ratio must not grow with n. Allow 60%
+    // slack for noise across three octaves of n.
+    let first = ratios[0];
+    for (i, r) in ratios.iter().enumerate() {
+        assert!(
+            *r <= first * 1.6 + 1.0,
+            "ratio grew with n: {ratios:?} (index {i})"
+        );
+    }
+}
+
+/// Lemma 5.5 / 5.6 (shape): members per radius-1/2 disk stay O(1) / O(k).
+#[test]
+fn lemma_5_5_and_5_6_disk_occupancy() {
+    for n in [500u32, 2000] {
+        let udg = generators::random_udg(n, 15.0, 1.0, n as u64 + 9);
+        let run1 = UdgAlgorithm::new(1).seed(2).run(&udg).unwrap();
+        let occ1 = analysis::members_per_half_disk(&udg, &run1.leaders).unwrap();
+        assert!(occ1.max <= 12, "Part I occupancy too high at n={n}: {}", occ1.max);
+        let run4 = UdgAlgorithm::new(4).seed(2).run(&udg).unwrap();
+        let occ4 = analysis::members_per_half_disk(&udg, &run4.set).unwrap();
+        // O(k) with k = 4: allow a generous constant.
+        assert!(occ4.max <= 12 * 4, "Part II occupancy too high at n={n}: {}", occ4.max);
+    }
+}
+
+/// Lemma 5.2 (shape): once the consideration radius is large enough for
+/// disks to hold many active nodes, each round's survivor count collapses
+/// roughly like `√m·polylog` — i.e. the decay *accelerates*: later rounds
+/// have much stronger shrink factors than early (near-empty-disk) rounds.
+#[test]
+fn lemma_5_2_decay_shape() {
+    let udg = generators::random_udg_in_square(4000, 6.0, 1.0, 5);
+    let run = UdgAlgorithm::new(1).seed(3).run(&udg).unwrap();
+    let h = &run.active_history;
+    assert!(h.len() >= 4, "schedule too short: {h:?}");
+    // Early rounds barely shrink (θ₁ makes neighborhoods near-empty), but
+    // some later round must shrink by at least 2.5× within a single round
+    // — the super-geometric regime of Lemma 5.2.
+    let best_factor = h
+        .windows(2)
+        .map(|w| w[0] as f64 / (w[1].max(1)) as f64)
+        .fold(0.0f64, f64::max);
+    assert!(best_factor >= 2.5, "no super-geometric round: {h:?}");
+    // And the end state is a sparse leader set.
+    assert!(*h.last().unwrap() < 4000 / 10, "final leader count too large: {h:?}");
+}
+
+/// Lemma 5.3 / Figure 1: geometric covering counts.
+#[test]
+fn lemma_5_3_and_figure_1() {
+    for theta in [0.05, 0.1, 0.2, 0.5] {
+        let alpha = cover::alpha_constructive(theta) as f64;
+        assert!(alpha < cover::eta() / (theta * theta));
+        assert!(cover::alpha_cover_is_complete(theta, 120));
+        assert_eq!(cover::disks_covered_by_d(theta), 19);
+    }
+}
+
+/// End-to-end ratio against the true optimum on small instances.
+#[test]
+fn true_approximation_ratios_small_instances() {
+    for seed in 0..4 {
+        let g = generators::gnp(18, 0.3, 100 + seed);
+        for k in [1u32, 2] {
+            let inst = Instance::uniform_clamped(&g, k);
+            let opt = exact_kmds(&inst, Semantics::CoverSelf).unwrap().len() as f64;
+            if opt == 0.0 {
+                continue;
+            }
+            // Greedy: H(Δ+1) bound.
+            let greedy = greedy_kmds(&inst, Semantics::CoverSelf).len() as f64;
+            let h: f64 = (1..=g.max_degree() + 1).map(|i| 1.0 / i as f64).sum();
+            assert!(greedy <= (h + 1.0) * opt + 1e-9, "greedy {greedy} vs H·OPT {}", h * opt);
+            // Pipeline: Theorem 4.5 × Theorem 4.6 bound (expectation; a
+            // single seeded run gets slack 2).
+            let run = GeneralPipeline::new(3).seed(seed).run(&inst).unwrap();
+            let b45 = bounds::theorem_4_5_bound(3, g.max_degree());
+            let b46 = bounds::theorem_4_6_bound(1.0, g.max_degree());
+            assert!(
+                (run.set.len() as f64) <= 2.0 * b45 * b46 * opt + 4.0,
+                "pipeline {} vs bound {}·OPT={}",
+                run.set.len(),
+                b45 * b46,
+                b45 * b46 * opt
+            );
+        }
+    }
+}
