@@ -2,10 +2,10 @@
 //! construction, spatial-grid queries and the LP solver.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclust_core::Instance;
 use ftclust_geometry::{Point, SpatialGrid};
 use ftclust_graphs::generators;
 use ftclust_lp::solve;
-use ftclust_core::Instance;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
 

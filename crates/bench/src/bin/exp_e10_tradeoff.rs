@@ -19,9 +19,16 @@ fn main() {
     let g = Family::Gnp.build(150, 21);
     let inst = Instance::uniform_clamped(&g, 2);
     let delta = g.max_degree();
-    let opt = lp_solve(&inst.to_lp()).expect("n=150 fits the simplex").value;
+    let opt = lp_solve(&inst.to_lp())
+        .expect("n=150 fits the simplex")
+        .value;
     let mut table = Table::new(&[
-        "t", "rounds(2t^2+3)", "kmw_lb", "frac_ratio", "bound45", "int_ratio",
+        "t",
+        "rounds(2t^2+3)",
+        "kmw_lb",
+        "frac_ratio",
+        "bound45",
+        "int_ratio",
     ]);
     for t in [1u32, 2, 3, 4, 6, 8, 10] {
         let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();

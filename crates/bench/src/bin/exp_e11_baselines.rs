@@ -15,13 +15,23 @@ fn main() {
     println!("E11: k-MDS solution sizes across algorithms on UDG deployments, k = 2");
     println!();
     let mut table = Table::new(&[
-        "deployment", "n", "pack_lb", "udg_alg", "grid", "greedy", "jrs", "jrs_rounds",
+        "deployment",
+        "n",
+        "pack_lb",
+        "udg_alg",
+        "grid",
+        "greedy",
+        "jrs",
+        "jrs_rounds",
     ]);
     let k = 2u32;
     let workloads: Vec<(&str, ftclust_graphs::UnitDiskGraph)> = vec![
         ("uniform d=8", udg_workload(3000, 8.0, 1)),
         ("uniform d=25", udg_workload(3000, 25.0, 2)),
-        ("clustered", generators::clustered_udg(3000, 12, 40.0, 1.0, 1.0, 3)),
+        (
+            "clustered",
+            generators::clustered_udg(3000, 12, 40.0, 1.0, 1.0, 3),
+        ),
         ("sparse d=4", udg_workload(3000, 4.0, 4)),
     ];
     for (name, udg) in &workloads {

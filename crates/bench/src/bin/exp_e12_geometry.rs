@@ -11,26 +11,27 @@ fn main() {
     println!("eta = 16*pi/(3*sqrt(3)) = {:.4}", cover::eta());
     println!();
     let mut table = Table::new(&[
-        "theta", "alpha", "lemma_bound", "packing_bound", "covers_C", "disks_in_D",
+        "theta",
+        "alpha",
+        "lemma_bound",
+        "packing_bound",
+        "covers_C",
+        "disks_in_D",
     ]);
     for theta in [0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0] {
         let alpha = cover::alpha_constructive(theta);
         let lemma = cover::eta() / (theta * theta);
         let packing = cover::alpha_bound(theta);
-        assert!((alpha as f64) < lemma, "Lemma 5.3 violated at theta={theta}");
+        assert!(
+            (alpha as f64) < lemma,
+            "Lemma 5.3 violated at theta={theta}"
+        );
         assert!((alpha as f64) <= packing.ceil());
         let covers = cover::alpha_cover_is_complete(theta, 200);
         assert!(covers, "constructive cover incomplete at theta={theta}");
         let in_d = cover::disks_covered_by_d(theta);
         assert_eq!(in_d, 19, "Figure 1's 19-disk claim violated");
-        table.row(&[
-            &theta,
-            &alpha,
-            &f2(lemma),
-            &f2(packing),
-            &covers,
-            &in_d,
-        ]);
+        table.row(&[&theta, &alpha, &f2(lemma), &f2(packing), &covers, &in_d]);
     }
     table.print();
     println!();

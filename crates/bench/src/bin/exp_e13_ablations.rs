@@ -7,6 +7,7 @@
 //! 4. exact vs. over-estimated knowledge of Δ in Algorithm 1.
 
 use ftclust_bench::families::udg_workload;
+use ftclust_bench::families::Family;
 use ftclust_bench::stats::mean;
 use ftclust_bench::table::{f2, f3, Table};
 use ftclust_core::fractional::{
@@ -16,7 +17,6 @@ use ftclust_core::rounding::{round_fractional, RoundingParams};
 use ftclust_core::udg::{protocol::run_udg_protocol, IdMode, UdgAlgorithm};
 use ftclust_core::validate::{is_k_dominating_instance, Semantics};
 use ftclust_core::Instance;
-use ftclust_bench::families::Family;
 
 fn main() {
     println!("E13a: fresh vs fixed identifiers in Part I (10 seeds, k = 1)");
@@ -24,20 +24,31 @@ fn main() {
     let mut t1 = Table::new(&["deployment", "mode", "mean_leaders", "mean_p1_max_disk"]);
     for (name, udg) in [
         ("uniform", udg_workload(5000, 15.0, 3)),
-        ("dense", ftclust_graphs::generators::random_udg_in_square(5000, 5.0, 1.0, 4)),
+        (
+            "dense",
+            ftclust_graphs::generators::random_udg_in_square(5000, 5.0, 1.0, 4),
+        ),
     ] {
         for mode in [IdMode::FreshPerRound, IdMode::FixedAtStart] {
             let mut leaders = Vec::new();
             let mut max_disk = Vec::new();
             for seed in 0..10u64 {
-                let run = UdgAlgorithm::new(1).seed(seed).id_mode(mode).run(&udg).unwrap();
+                let run = UdgAlgorithm::new(1)
+                    .seed(seed)
+                    .id_mode(mode)
+                    .run(&udg)
+                    .unwrap();
                 leaders.push(run.leaders.len() as f64);
                 let occ =
-                    ftclust_core::udg::analysis::members_per_half_disk(&udg, &run.leaders)
-                        .unwrap();
+                    ftclust_core::udg::analysis::members_per_half_disk(&udg, &run.leaders).unwrap();
                 max_disk.push(occ.max as f64);
             }
-            t1.row(&[&name, &format!("{mode:?}"), &f2(mean(&leaders)), &f2(mean(&max_disk))]);
+            t1.row(&[
+                &name,
+                &format!("{mode:?}"),
+                &f2(mean(&leaders)),
+                &f2(mean(&max_disk)),
+            ]);
         }
     }
     t1.print();
@@ -50,7 +61,10 @@ fn main() {
     let sol = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
     let mut t2 = Table::new(&["repair", "feasible%", "mean_size"]);
     for repair in [true, false] {
-        let params = RoundingParams { repair, ..Default::default() };
+        let params = RoundingParams {
+            repair,
+            ..Default::default()
+        };
         let mut feas = 0u32;
         let mut sizes = Vec::new();
         for seed in 0..50u64 {
@@ -74,7 +88,10 @@ fn main() {
     assert_eq!(engine, proto);
     let udg = udg_workload(400, 10.0, 12);
     let config = UdgAlgorithm::new(3).seed(5);
-    assert_eq!(config.run(&udg).unwrap(), run_udg_protocol(&udg, &config).unwrap().run);
+    assert_eq!(
+        config.run(&udg).unwrap(),
+        run_udg_protocol(&udg, &config).unwrap().run
+    );
     println!("  fractional engine == protocol: yes");
     println!("  udg engine == protocol: yes");
     println!();
@@ -83,11 +100,7 @@ fn main() {
     println!();
     let mut t5 = Table::new(&["knowledge", "sum_x", "lower_bound", "certified_ratio"]);
     let global = solve_fractional(&inst, &FractionalParams::new(4)).unwrap();
-    let local = solve_fractional(
-        &inst,
-        &FractionalParams::new(4).without_global_delta(),
-    )
-    .unwrap();
+    let local = solve_fractional(&inst, &FractionalParams::new(4).without_global_delta()).unwrap();
     assert!(local.is_primal_feasible(&inst, 1e-7));
     assert!(local.is_scaled_dual_feasible(&inst, 1e-7));
     for (name, sol) in [("global", &global), ("two-hop max", &local)] {
@@ -107,12 +120,11 @@ fn main() {
     let exact = solve_fractional(&inst, &FractionalParams::new(4)).unwrap();
     for factor in [1usize, 2, 4, 16] {
         let hint = g.max_degree() * factor;
-        let sol = solve_fractional(
-            &inst,
-            &FractionalParams::new(4).with_delta_hint(hint),
-        )
-        .unwrap();
-        assert!(sol.is_primal_feasible(&inst, 1e-7), "feasibility must survive bad hints");
+        let sol = solve_fractional(&inst, &FractionalParams::new(4).with_delta_hint(hint)).unwrap();
+        assert!(
+            sol.is_primal_feasible(&inst, 1e-7),
+            "feasibility must survive bad hints"
+        );
         t4.row(&[
             &hint,
             &g.max_degree(),

@@ -19,8 +19,17 @@ fn main() {
     println!("ratio_cert = Σx / own dual certificate (always valid)");
     println!();
     let mut table = Table::new(&[
-        "family", "n", "k", "t", "delta", "sum_x", "lp_opt", "ratio_lp", "ratio_cert",
-        "ratio_tight", "bound45",
+        "family",
+        "n",
+        "k",
+        "t",
+        "delta",
+        "sum_x",
+        "lp_opt",
+        "ratio_lp",
+        "ratio_cert",
+        "ratio_tight",
+        "bound45",
     ]);
     for family in [Family::Gnp, Family::Ba, Family::Grid, Family::Rgg] {
         for (n, k) in [(200u32, 1u32), (200, 3), (1000, 2)] {
@@ -32,8 +41,8 @@ fn main() {
                 None
             };
             for t in [1u32, 2, 4, 8] {
-                let sol = solve_fractional(&inst, &FractionalParams::new(t))
-                    .expect("validated instance");
+                let sol =
+                    solve_fractional(&inst, &FractionalParams::new(t)).expect("validated instance");
                 assert!(sol.is_primal_feasible(&inst, 1e-7));
                 assert!(sol.is_scaled_dual_feasible(&inst, 1e-7));
                 let ratio_lp = lp_opt.map(|o| sol.value / o.max(1e-12));

@@ -10,7 +10,14 @@ fn main() {
     println!("E2: measured round complexity and message sizes of Algorithm 1");
     println!();
     let mut table = Table::new(&[
-        "n", "t", "rounds", "2t^2+3", "messages", "max_bits", "mean_bits", "log2(n)",
+        "n",
+        "t",
+        "rounds",
+        "2t^2+3",
+        "messages",
+        "max_bits",
+        "mean_bits",
+        "log2(n)",
     ]);
     for n in [100u32, 400, 1600] {
         let g = Family::Gnp.build(n, 3);

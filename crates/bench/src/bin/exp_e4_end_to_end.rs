@@ -14,7 +14,14 @@ fn main() {
     println!("E4a: true approximation ratios on small instances (vs exact OPT, 10 seeds)");
     println!();
     let mut small = Table::new(&[
-        "family", "n", "k", "opt", "pipeline/opt", "greedy/opt", "jrs/opt", "local/opt",
+        "family",
+        "n",
+        "k",
+        "opt",
+        "pipeline/opt",
+        "greedy/opt",
+        "jrs/opt",
+        "local/opt",
     ]);
     for family in [Family::Gnp, Family::Grid] {
         for k in [1u32, 2] {
@@ -26,7 +33,9 @@ fn main() {
             for seed in 0..10u64 {
                 let g = family.build(24, 50 + seed);
                 let inst = Instance::uniform_clamped(&g, k);
-                let Some(opt) = exact_kmds(&inst, Semantics::CoverSelf) else { continue };
+                let Some(opt) = exact_kmds(&inst, Semantics::CoverSelf) else {
+                    continue;
+                };
                 let o = opt.len().max(1) as f64;
                 opt_sz.push(o);
                 let run = GeneralPipeline::new(3).seed(seed).run(&inst).unwrap();
@@ -53,7 +62,15 @@ fn main() {
     println!("E4b: set sizes at scale (exact OPT unavailable; greedy as yardstick)");
     println!();
     let mut large = Table::new(&[
-        "family", "n", "k", "pipeline", "greedy", "jrs", "jrs_rounds", "local", "trivial",
+        "family",
+        "n",
+        "k",
+        "pipeline",
+        "greedy",
+        "jrs",
+        "jrs_rounds",
+        "local",
+        "trivial",
     ]);
     for family in [Family::Gnp, Family::Ba, Family::Rgg] {
         for (n, k) in [(2000u32, 2u32), (2000, 3)] {

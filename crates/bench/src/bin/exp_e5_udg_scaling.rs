@@ -16,7 +16,15 @@ fn main() {
     println!(" so flat `ratio` across three orders of magnitude of n is the O(1) claim)");
     println!();
     let mut table = Table::new(&[
-        "n", "k", "p1_rounds", "sched", "p2_iters", "sim_rounds", "|S|", "pack_lb", "ratio",
+        "n",
+        "k",
+        "p1_rounds",
+        "sched",
+        "p2_iters",
+        "sim_rounds",
+        "|S|",
+        "pack_lb",
+        "ratio",
     ]);
     for n in [100u32, 1000, 10_000, 100_000] {
         let udg = udg_workload(n, 12.0, n as u64);

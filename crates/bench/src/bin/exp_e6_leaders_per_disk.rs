@@ -12,11 +12,19 @@ fn main() {
     let mut table = Table::new(&[
         "n", "avg_deg", "k", "p1_max", "p1_mean", "p2_max", "p2_mean",
     ]);
-    for (n, deg) in [(1000u32, 8.0), (1000, 25.0), (10_000, 8.0), (10_000, 25.0), (50_000, 12.0)]
-    {
+    for (n, deg) in [
+        (1000u32, 8.0),
+        (1000, 25.0),
+        (10_000, 8.0),
+        (10_000, 25.0),
+        (50_000, 12.0),
+    ] {
         let udg = udg_workload(n, deg, n as u64 + deg as u64);
         for k in [1u32, 4] {
-            let run = UdgAlgorithm::new(k).seed(9).run(&udg).expect("udg algorithm");
+            let run = UdgAlgorithm::new(k)
+                .seed(9)
+                .run(&udg)
+                .expect("udg algorithm");
             let p1 = members_per_half_disk(&udg, &run.leaders).expect("non-empty");
             let p2 = members_per_half_disk(&udg, &run.set).expect("non-empty");
             table.row(&[

@@ -43,7 +43,13 @@ fn main() {
     // The lemma's own per-disk statement: x'_i ≤ δ·√m_i·ln m_i.
     println!("per-disk census of the dense deployment (Lemma 5.2 verbatim):");
     let census = ftclust_core::udg::analysis::lemma_5_2_census(&dense, 1);
-    let mut t = Table::new(&["round", "theta", "disks(m>=2)", "max x'/(sqrt(m)ln m)", "delta=1 ok"]);
+    let mut t = Table::new(&[
+        "round",
+        "theta",
+        "disks(m>=2)",
+        "max x'/(sqrt(m)ln m)",
+        "delta=1 ok",
+    ]);
     for c in &census {
         t.row(&[
             &c.round,

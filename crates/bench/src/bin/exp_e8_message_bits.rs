@@ -11,7 +11,12 @@ fn main() {
     println!("E8: maximum message size (bits) vs log2(n)");
     println!();
     let mut table = Table::new(&[
-        "n", "log2(n)", "lp_max_bits", "lp/logn", "udg_max_bits", "udg/logn",
+        "n",
+        "log2(n)",
+        "lp_max_bits",
+        "lp/logn",
+        "udg_max_bits",
+        "udg/logn",
     ]);
     for n in [100u32, 400, 1600, 6400] {
         let log2n = (n as f64).log2();

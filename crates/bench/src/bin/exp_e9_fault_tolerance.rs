@@ -4,9 +4,7 @@
 
 use ftclust_bench::families::udg_workload;
 use ftclust_bench::table::Table;
-use ftclust_core::fault::{
-    guarantee_holds, regional_survivability, survivability, FailureModel,
-};
+use ftclust_core::fault::{guarantee_holds, regional_survivability, survivability, FailureModel};
 use ftclust_core::udg::UdgAlgorithm;
 use ftclust_core::Instance;
 
@@ -29,8 +27,7 @@ fn main() {
         let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
         let guar = guarantee_holds(&inst, &run.set, k, 300, 11);
         assert!(guar, "deterministic guarantee violated at k={k}");
-        let mut cells: Vec<String> =
-            vec![k.to_string(), run.set.len().to_string(), "holds".into()];
+        let mut cells: Vec<String> = vec![k.to_string(), run.set.len().to_string(), "holds".into()];
         for &p in &probs {
             let rep = survivability(
                 &inst,
@@ -38,7 +35,8 @@ fn main() {
                 FailureModel::IidNodeFailure { prob: p },
                 TRIALS,
                 k as u64 * 100 + (p * 100.0) as u64,
-            );
+            )
+            .expect("iid model is supported");
             cells.push(format!("{:.4}", rep.mean_covered_fraction));
         }
         let refs: Vec<&dyn std::fmt::Display> =
@@ -55,10 +53,13 @@ fn main() {
         let rep = survivability(
             &inst,
             &run.set,
-            FailureModel::KillDominators { count: (k - 1) as usize },
+            FailureModel::KillDominators {
+                count: (k - 1) as usize,
+            },
             TRIALS,
             500 + k as u64,
-        );
+        )
+        .expect("kill-dominators model is supported");
         assert_eq!(rep.min_covered_fraction, 1.0);
         adv.row(&[&k, &(k - 1), &format!("{:.4}", rep.min_covered_fraction)]);
     }

@@ -21,8 +21,13 @@ pub enum Family {
 
 impl Family {
     /// All families, in presentation order.
-    pub const ALL: [Family; 5] =
-        [Family::Gnp, Family::Ba, Family::Grid, Family::Rgg, Family::Tree];
+    pub const ALL: [Family; 5] = [
+        Family::Gnp,
+        Family::Ba,
+        Family::Grid,
+        Family::Rgg,
+        Family::Tree,
+    ];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -69,7 +74,11 @@ mod tests {
         for f in Family::ALL {
             let g = f.build(100, 1);
             // Grid rounds to 100 exactly (10×10); others are exact.
-            assert!(g.node_count() >= 90 && g.node_count() <= 110, "{}", f.name());
+            assert!(
+                g.node_count() >= 90 && g.node_count() <= 110,
+                "{}",
+                f.name()
+            );
             assert!(!f.name().is_empty());
         }
     }
@@ -79,7 +88,11 @@ mod tests {
         for f in [Family::Gnp, Family::Ba, Family::Rgg] {
             let g = f.build(400, 2);
             let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
-            assert!(mean > 4.0 && mean < 16.0, "{}: mean degree {mean}", f.name());
+            assert!(
+                mean > 4.0 && mean < 16.0,
+                "{}: mean degree {mean}",
+                f.name()
+            );
         }
     }
 }

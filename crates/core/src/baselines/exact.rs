@@ -45,16 +45,13 @@ pub fn exact_kmds(inst: &Instance<'_>, semantics: Semantics) -> Option<Dominatin
     }
     // Branch order: high degree first (covers most demands).
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by_key(|&u| {
-        (std::cmp::Reverse(g.degree(NodeId::new(u))), u)
-    });
+    order.sort_by_key(|&u| (std::cmp::Reverse(g.degree(NodeId::new(u))), u));
 
     let mut best = greedy_kmds(inst, semantics);
     let mut residual: Vec<i64> = inst.demands().iter().map(|&k| k as i64).collect();
     // available[v] = |N[v]| minus the neighbors already excluded: an upper
     // bound on how much coverage v can still receive.
-    let mut available: Vec<i64> =
-        g.nodes().map(|v| g.degree(v) as i64 + 1).collect();
+    let mut available: Vec<i64> = g.nodes().map(|v| g.degree(v) as i64 + 1).collect();
     let delta1 = (g.max_degree() + 1) as i64;
     let mut chosen: Vec<u32> = Vec::new();
     let mut excluded = vec![false; n];
@@ -200,9 +197,7 @@ mod tests {
         let n = inst.graph().node_count();
         let mut best = n;
         for mask in 0u32..(1 << n) {
-            let set = DominatingSet::from_members(
-                (0..n).map(|i| mask & (1 << i) != 0).collect(),
-            );
+            let set = DominatingSet::from_members((0..n).map(|i| mask & (1 << i) != 0).collect());
             if set.len() < best && is_k_dominating_instance(inst, &set, semantics) {
                 best = set.len();
             }
@@ -250,7 +245,11 @@ mod tests {
         let g = generators::grid_2d(4, 5);
         let inst = Instance::uniform_clamped(&g, 2);
         let exact = exact_kmds(&inst, Semantics::CoverSelf).unwrap();
-        assert!(is_k_dominating_instance(&inst, &exact, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &exact,
+            Semantics::CoverSelf
+        ));
         let greedy = greedy_kmds(&inst, Semantics::CoverSelf);
         assert!(exact.len() <= greedy.len());
     }

@@ -52,11 +52,12 @@ pub fn greedy_kmds(inst: &Instance<'_>, semantics: Semantics) -> DominatingSet {
 
     // Lazy max-heap of (score, Reverse(id)); scores only decrease, so a
     // popped stale entry is re-pushed with its current score.
-    let mut heap: BinaryHeap<(i64, Reverse<usize>)> = (0..n)
-        .map(|u| (score(u, &residual), Reverse(u)))
-        .collect();
+    let mut heap: BinaryHeap<(i64, Reverse<usize>)> =
+        (0..n).map(|u| (score(u, &residual), Reverse(u))).collect();
     while deficient > 0 {
-        let (cached, Reverse(u)) = heap.pop().expect("demands must be satisfiable");
+        let Some((cached, Reverse(u))) = heap.pop() else {
+            unreachable!("heap starts with n entries and only shrinks on selection");
+        };
         if set.contains(ftclust_graphs::NodeId::new(u as u32)) {
             continue;
         }
@@ -99,7 +100,10 @@ mod tests {
             let inst = Instance::uniform_clamped(&g, 2);
             for sem in [Semantics::CoverSelf, Semantics::Strict] {
                 let set = greedy_kmds(&inst, sem);
-                assert!(is_k_dominating_instance(&inst, &set, sem), "seed {seed}, {sem:?}");
+                assert!(
+                    is_k_dominating_instance(&inst, &set, sem),
+                    "seed {seed}, {sem:?}"
+                );
             }
         }
     }
@@ -133,7 +137,11 @@ mod tests {
         let inst = Instance::uniform(&g, 1).unwrap();
         let set = greedy_kmds(&inst, Semantics::CoverSelf);
         assert!(set.len() >= 10);
-        assert!(set.len() <= 14, "greedy should be near n/3, got {}", set.len());
+        assert!(
+            set.len() <= 14,
+            "greedy should be near n/3, got {}",
+            set.len()
+        );
     }
 
     #[test]

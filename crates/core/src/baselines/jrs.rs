@@ -73,18 +73,30 @@ pub fn jrs_kmds(inst: &Instance<'_>, semantics: Semantics, seed: u64) -> JrsOutc
                 if in_set[v.index()] {
                     0
                 } else {
-                    g.closed_neighbors(v).filter(|w| deficient[w.index()]).count() as i64
+                    g.closed_neighbors(v)
+                        .filter(|w| deficient[w.index()])
+                        .count() as i64
                 }
             })
             .collect();
         // Two max-flood exchanges give the 2-hop maximum span.
         let hop1: Vec<i64> = g
             .nodes()
-            .map(|v| g.closed_neighbors(v).map(|w| span[w.index()]).max().unwrap_or(0))
+            .map(|v| {
+                g.closed_neighbors(v)
+                    .map(|w| span[w.index()])
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         let hop2: Vec<i64> = g
             .nodes()
-            .map(|v| g.closed_neighbors(v).map(|w| hop1[w.index()]).max().unwrap_or(0))
+            .map(|v| {
+                g.closed_neighbors(v)
+                    .map(|w| hop1[w.index()])
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         let candidate: Vec<bool> = (0..n)
             .map(|i| span[i] > 0 && 2 * span[i] >= hop2[i])
@@ -92,7 +104,11 @@ pub fn jrs_kmds(inst: &Instance<'_>, semantics: Semantics, seed: u64) -> JrsOutc
         // Candidate supply per deficient node.
         let supply: Vec<i64> = g
             .nodes()
-            .map(|v| g.closed_neighbors(v).filter(|w| candidate[w.index()]).count() as i64)
+            .map(|v| {
+                g.closed_neighbors(v)
+                    .filter(|w| candidate[w.index()])
+                    .count() as i64
+            })
             .collect();
         // Randomized joins.
         let mut joined_any = false;
@@ -115,7 +131,9 @@ pub fn jrs_kmds(inst: &Instance<'_>, semantics: Semantics, seed: u64) -> JrsOutc
         }
         if !joined_any {
             // Force the lowest-id candidate to keep the variant live.
-            let forced = (0..n).find(|&i| candidate[i]).expect("deficient ⇒ candidates exist");
+            let Some(forced) = (0..n).find(|&i| candidate[i]) else {
+                unreachable!("a deficient node always has a candidate in its closed neighborhood");
+            };
             joined[forced] = true;
         }
         for v in g.nodes() {
@@ -155,7 +173,10 @@ mod tests {
             let inst = Instance::uniform_clamped(&g, 2);
             for sem in [Semantics::CoverSelf, Semantics::Strict] {
                 let out = jrs_kmds(&inst, sem, seed);
-                assert!(is_k_dominating_instance(&inst, &out.set, sem), "seed {seed}");
+                assert!(
+                    is_k_dominating_instance(&inst, &out.set, sem),
+                    "seed {seed}"
+                );
                 assert!(out.iterations >= 1);
                 assert_eq!(out.rounds, out.iterations * 5);
             }

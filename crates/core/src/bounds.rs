@@ -2,8 +2,8 @@
 //! harness to print measured-vs-predicted tables.
 
 use crate::Instance;
-use ftclust_graphs::UnitDiskGraph;
 use ftclust_geometry::{Point, SpatialGrid};
+use ftclust_graphs::UnitDiskGraph;
 
 /// Theorem 4.5: Algorithm 1 approximates the LP `(PP)` within
 /// `t·((Δ+1)^{2/t} + (Δ+1)^{1/t})`.

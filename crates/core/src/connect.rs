@@ -23,7 +23,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect() }
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
     }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
@@ -98,7 +100,10 @@ pub fn connect_dominating_set(
         } else if let Some(d) = g.closed_neighbors(v).find(|&w| set.contains(w)) {
             label[v.index()] = d.raw();
         } else if g.degree(v) > 0 || !set.is_empty() {
-            return Err(KmdsError::IterationLimit { stage: "connect: input not dominating", limit: 0 });
+            return Err(KmdsError::IterationLimit {
+                stage: "connect: input not dominating",
+                limit: 0,
+            });
         }
     }
     let mut dsu = Dsu::new(n);
@@ -230,7 +235,10 @@ mod tests {
             // Still k-fold dominating (we only added nodes).
             assert!(is_k_dominating(udg.graph(), &cds, k, Semantics::Strict));
             // Size bound: at most 3|S| per the 2-connectors-per-join bound.
-            assert!(cds.len() <= 3 * run.set.len() + 1, "added {added} connectors");
+            assert!(
+                cds.len() <= 3 * run.set.len() + 1,
+                "added {added} connectors"
+            );
         }
     }
 

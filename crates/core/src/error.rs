@@ -37,6 +37,13 @@ pub enum KmdsError {
         /// The exhausted budget.
         limit: u64,
     },
+    /// A failure model was passed to an evaluator that cannot simulate it
+    /// (e.g. [`crate::fault::FailureModel::Region`] needs node positions —
+    /// use [`crate::fault::regional_survivability`]).
+    UnsupportedFailureModel {
+        /// Why the model cannot be evaluated, and which API to use instead.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for KmdsError {
@@ -53,6 +60,9 @@ impl fmt::Display for KmdsError {
             KmdsError::Lp(e) => write!(f, "lp solve failed: {e}"),
             KmdsError::IterationLimit { stage, limit } => {
                 write!(f, "{stage} exceeded its iteration budget of {limit}")
+            }
+            KmdsError::UnsupportedFailureModel { reason } => {
+                write!(f, "unsupported failure model: {reason}")
             }
         }
     }
@@ -86,10 +96,17 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = KmdsError::InfeasibleDemand { node: 3, demand: 5, closed_neighborhood: 2 };
+        let e = KmdsError::InfeasibleDemand {
+            node: 3,
+            demand: 5,
+            closed_neighborhood: 2,
+        };
         assert!(e.to_string().contains("v3"));
         assert!(e.source().is_none());
-        let e = KmdsError::from(SimError::RoundLimitExceeded { limit: 1, still_running: 1 });
+        let e = KmdsError::from(SimError::RoundLimitExceeded {
+            limit: 1,
+            still_running: 1,
+        });
         assert!(e.source().is_some());
         let e = KmdsError::from(LpError::Infeasible);
         assert!(e.to_string().contains("lp"));

@@ -7,7 +7,7 @@
 //! residual coverage of the surviving network (experiment E9).
 
 use crate::validate::Semantics;
-use crate::{DominatingSet, Instance};
+use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -30,7 +30,8 @@ pub enum FailureModel {
     },
     /// All nodes inside a random disaster disk die at once (fire, jamming,
     /// flooding). Requires geometry — evaluate with
-    /// [`regional_survivability`]; passing it to [`survivability`] panics.
+    /// [`regional_survivability`]; passing it to [`survivability`] returns
+    /// [`KmdsError::UnsupportedFailureModel`].
     Region {
         /// Radius of the disaster disk.
         radius: f64,
@@ -64,6 +65,12 @@ pub struct SurvivabilityReport {
 /// Runs `trials` failure experiments against `set` and reports residual
 /// coverage among the *surviving* non-set nodes.
 ///
+/// # Errors
+///
+/// Returns [`KmdsError::UnsupportedFailureModel`] for
+/// [`FailureModel::Region`], which needs node positions — use
+/// [`regional_survivability`] instead.
+///
 /// # Panics
 ///
 /// Panics if the set universe mismatches the graph, if
@@ -74,11 +81,20 @@ pub fn survivability(
     model: FailureModel,
     trials: u32,
     seed: u64,
-) -> SurvivabilityReport {
+) -> Result<SurvivabilityReport, KmdsError> {
+    if let FailureModel::Region { .. } = model {
+        return Err(KmdsError::UnsupportedFailureModel {
+            reason: "Region failures need geometry — use regional_survivability",
+        });
+    }
     let g = inst.graph();
     assert_eq!(set.universe(), g.node_count(), "set universe mismatch");
     if let FailureModel::KillDominators { count } = model {
-        assert!(count <= set.len(), "cannot kill {count} of {} dominators", set.len());
+        assert!(
+            count <= set.len(),
+            "cannot kill {count} of {} dominators",
+            set.len()
+        );
     }
     if let FailureModel::IidNodeFailure { prob } = model {
         assert!((0.0..=1.0).contains(&prob), "prob must be in [0, 1]");
@@ -104,7 +120,7 @@ pub fn survivability(
                 }
             }
             FailureModel::Region { .. } => {
-                panic!("Region failures need geometry — use regional_survivability")
+                unreachable!("Region was rejected before the trial loop");
             }
         }
         let mut clients = 0usize;
@@ -140,15 +156,18 @@ pub fn survivability(
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    SurvivabilityReport {
+    Ok(SurvivabilityReport {
         model,
         trials,
         mean_covered_fraction: mean(&covered_fraction),
-        min_covered_fraction: covered_fraction.iter().copied().fold(f64::INFINITY, f64::min),
+        min_covered_fraction: covered_fraction
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
         mean_fully_covered_fraction: mean(&fully_fraction),
         mean_residual_coverage: mean(&residual),
         mean_at_risk_covered_fraction: None,
-    }
+    })
 }
 
 /// Correlated **regional** failure for geometric deployments: all nodes
@@ -182,9 +201,10 @@ pub fn regional_survivability(
         "disaster radius must be non-negative"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let (lo, hi) = udg
-        .bounding_box()
-        .unwrap_or((ftclust_geometry::Point::ORIGIN, ftclust_geometry::Point::ORIGIN));
+    let (lo, hi) = udg.bounding_box().unwrap_or((
+        ftclust_geometry::Point::ORIGIN,
+        ftclust_geometry::Point::ORIGIN,
+    ));
     let mut covered_fraction = Vec::with_capacity(trials as usize);
     let mut fully_fraction = Vec::with_capacity(trials as usize);
     let mut residual = Vec::with_capacity(trials as usize);
@@ -242,15 +262,23 @@ pub fn regional_survivability(
             fully_fraction.push(fully as f64 / clients as f64);
             residual.push(cov_sum as f64 / clients as f64);
         }
-        at_risk_fraction
-            .push(if at_risk == 0 { 1.0 } else { at_risk_covered as f64 / at_risk as f64 });
+        at_risk_fraction.push(if at_risk == 0 {
+            1.0
+        } else {
+            at_risk_covered as f64 / at_risk as f64
+        });
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     SurvivabilityReport {
-        model: FailureModel::Region { radius: disaster_radius },
+        model: FailureModel::Region {
+            radius: disaster_radius,
+        },
         trials,
         mean_covered_fraction: mean(&covered_fraction),
-        min_covered_fraction: covered_fraction.iter().copied().fold(f64::INFINITY, f64::min),
+        min_covered_fraction: covered_fraction
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
         mean_fully_covered_fraction: mean(&fully_fraction),
         mean_residual_coverage: mean(&residual),
         mean_at_risk_covered_fraction: Some(mean(&at_risk_fraction)),
@@ -304,9 +332,10 @@ pub fn guarantee_holds(
     if members.len() <= 16 && kill <= 2 {
         match kill {
             1 => members.iter().all(|&a| check(&[a])),
-            _ => members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..].iter().all(|&b| check(&[a, b]))
-            }),
+            _ => members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| check(&[a, b]))),
         }
     } else {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -349,7 +378,8 @@ mod tests {
                 FailureModel::IidNodeFailure { prob: 0.3 },
                 50,
                 3,
-            );
+            )
+            .unwrap();
             assert!(
                 rep.mean_covered_fraction >= prev - 0.02,
                 "coverage should improve with k: k={k}, {} vs {prev}",
@@ -357,7 +387,10 @@ mod tests {
             );
             prev = rep.mean_covered_fraction;
         }
-        assert!(prev > 0.9, "4-fold set should survive 30% failures well: {prev}");
+        assert!(
+            prev > 0.9,
+            "4-fold set should survive 30% failures well: {prev}"
+        );
     }
 
     #[test]
@@ -369,11 +402,17 @@ mod tests {
         let rep = survivability(
             &inst,
             &run.set,
-            FailureModel::KillDominators { count: (k - 1) as usize },
+            FailureModel::KillDominators {
+                count: (k - 1) as usize,
+            },
             30,
             1,
+        )
+        .unwrap();
+        assert_eq!(
+            rep.min_covered_fraction, 1.0,
+            "killing k−1 dominators must never uncover"
         );
-        assert_eq!(rep.min_covered_fraction, 1.0, "killing k−1 dominators must never uncover");
     }
 
     #[test]
@@ -381,7 +420,14 @@ mod tests {
         let g = generators::gnp(50, 0.15, 3);
         let inst = Instance::uniform_clamped(&g, 2);
         let set = crate::baselines::greedy_kmds(&inst, Semantics::CoverSelf);
-        let rep = survivability(&inst, &set, FailureModel::IidNodeFailure { prob: 0.2 }, 20, 4);
+        let rep = survivability(
+            &inst,
+            &set,
+            FailureModel::IidNodeFailure { prob: 0.2 },
+            20,
+            4,
+        )
+        .unwrap();
         assert!(rep.mean_covered_fraction >= rep.mean_fully_covered_fraction - 1e-12);
         assert!(rep.min_covered_fraction <= rep.mean_covered_fraction + 1e-12);
         assert_eq!(rep.trials, 20);
@@ -408,12 +454,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "regional_survivability")]
     fn region_model_rejected_by_graph_only_api() {
         let g = generators::gnp(10, 0.5, 1);
         let inst = Instance::uniform_clamped(&g, 1);
         let set = crate::baselines::greedy_kmds(&inst, Semantics::CoverSelf);
-        let _ = survivability(&inst, &set, FailureModel::Region { radius: 1.0 }, 1, 0);
+        let err =
+            survivability(&inst, &set, FailureModel::Region { radius: 1.0 }, 1, 0).unwrap_err();
+        assert!(
+            matches!(err, KmdsError::UnsupportedFailureModel { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("regional_survivability"));
     }
 
     #[test]
@@ -421,7 +472,14 @@ mod tests {
         let g = generators::gnp(40, 0.2, 2);
         let inst = Instance::uniform_clamped(&g, 2);
         let set = crate::baselines::greedy_kmds(&inst, Semantics::CoverSelf);
-        let rep = survivability(&inst, &set, FailureModel::IidNodeFailure { prob: 0.0 }, 5, 0);
+        let rep = survivability(
+            &inst,
+            &set,
+            FailureModel::IidNodeFailure { prob: 0.0 },
+            5,
+            0,
+        )
+        .unwrap();
         assert_eq!(rep.min_covered_fraction, 1.0);
         assert_eq!(rep.mean_fully_covered_fraction, 1.0);
     }

@@ -61,16 +61,17 @@ impl AlgoState {
     pub(crate) fn recompute_dyndeg(&mut self, inst: &Instance<'_>) {
         let g = inst.graph();
         for v in g.nodes() {
-            self.dyndeg[v.index()] =
-                g.closed_neighbors(v).filter(|w| self.white[w.index()]).count() as u32;
+            self.dyndeg[v.index()] = g
+                .closed_neighbors(v)
+                .filter(|w| self.white[w.index()])
+                .count() as u32;
         }
     }
 
     /// The raise step of inner iteration `(p, q)` at node `i`
     /// (lines 5–8 of the pseudocode). Returns `x_i^+`.
     pub(crate) fn raise(&mut self, i: usize, threshold: f64, inc: f64) -> f64 {
-        let xp = if self.x[i] < 1.0 - X_EPS && (self.dyndeg[i] as f64) >= threshold - THRESH_EPS
-        {
+        let xp = if self.x[i] < 1.0 - X_EPS && (self.dyndeg[i] as f64) >= threshold - THRESH_EPS {
             let xp = inc.min(1.0 - self.x[i]);
             self.x[i] += xp;
             if self.x[i] > 1.0 - X_EPS {
@@ -83,7 +84,6 @@ impl AlgoState {
         self.xplus[i] = xp;
         xp
     }
-
 }
 
 /// The dual-accounting arithmetic at a white node (lines 10–22), shared by
@@ -106,7 +106,11 @@ pub(crate) fn account(
     neighbor_xplus: impl Iterator<Item = f64>,
     mut sink: impl FnMut(usize, f64, f64),
 ) -> Option<f64> {
-    let lambda = if cplus > 0.0 { 1.0f64.min((k_i - *cov) / cplus) } else { 1.0 };
+    let lambda = if cplus > 0.0 {
+        1.0f64.min((k_i - *cov) / cplus)
+    } else {
+        1.0
+    };
     *cov += cplus;
     *alpha_self += lambda * my_xplus;
     *beta_self += lambda * my_xplus / threshold;
@@ -149,11 +153,20 @@ pub fn solve_fractional(
             let deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
             let hop1: Vec<usize> = g
                 .nodes()
-                .map(|v| g.closed_neighbors(v).map(|w| deg[w.index()]).max().unwrap_or(0))
+                .map(|v| {
+                    g.closed_neighbors(v)
+                        .map(|w| deg[w.index()])
+                        .max()
+                        .unwrap_or(0)
+                })
                 .collect();
             g.nodes()
                 .map(|v| {
-                    let m = g.closed_neighbors(v).map(|w| hop1[w.index()]).max().unwrap_or(0);
+                    let m = g
+                        .closed_neighbors(v)
+                        .map(|w| hop1[w.index()])
+                        .max()
+                        .unwrap_or(0);
                     (m + 1) as f64
                 })
                 .collect()
@@ -189,7 +202,15 @@ pub fn solve_fractional(
             // raises just exchanged. (Split borrows of the state fields.)
             {
                 let AlgoState {
-                    xplus, cov, white, alpha, alpha_self, beta, beta_self, y, ..
+                    xplus,
+                    cov,
+                    white,
+                    alpha,
+                    alpha_self,
+                    beta,
+                    beta_self,
+                    y,
+                    ..
                 } = &mut st;
                 for v in g.nodes() {
                     let i = v.index();
@@ -223,6 +244,8 @@ pub fn solve_fractional(
             }
             // Lines 23–24: exchange colors, recompute dynamic degrees.
             st.recompute_dyndeg(inst);
+            #[cfg(feature = "strict-invariants")]
+            crate::audit::fractional_state(&st.x, &st.xplus, &st.cov);
         }
     }
 
@@ -259,7 +282,7 @@ pub fn solve_fractional(
         .map(|i| inst.demands()[i] as f64 * st.y[i] - z[i])
         .sum();
     let value: f64 = st.x.iter().sum();
-    Ok(FractionalSolution {
+    let sol = FractionalSolution {
         x: st.x,
         y: st.y,
         z,
@@ -269,7 +292,10 @@ pub fn solve_fractional(
         t,
         delta,
         lemma41_violations,
-    })
+    };
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::fractional_certificate(inst, &sol);
+    Ok(sol)
 }
 
 #[cfg(test)]
@@ -280,7 +306,10 @@ mod tests {
 
     fn check_all(inst: &Instance<'_>, t: u32) -> FractionalSolution {
         let sol = solve_fractional(inst, &FractionalParams::new(t)).unwrap();
-        assert!(sol.is_primal_feasible(inst, 1e-7), "primal infeasible (t={t})");
+        assert!(
+            sol.is_primal_feasible(inst, 1e-7),
+            "primal infeasible (t={t})"
+        );
         assert!(
             sol.is_scaled_dual_feasible(inst, 1e-7),
             "scaled dual infeasible (t={t}) — Lemma 4.4 violated"
@@ -336,7 +365,10 @@ mod tests {
         for t in [1, 2, 4] {
             let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();
             let tight = sol.tightened_lower_bound(&inst);
-            assert!(tight <= opt + 1e-6, "tightened bound {tight} exceeds OPT {opt}");
+            assert!(
+                tight <= opt + 1e-6,
+                "tightened bound {tight} exceeds OPT {opt}"
+            );
             assert!(
                 tight >= sol.lower_bound - 1e-9,
                 "tightened bound {tight} worse than κ-scaled {}",
@@ -373,7 +405,10 @@ mod tests {
         let inst = Instance::uniform_clamped(&g, 1);
         let v1 = check_all(&inst, 1).value;
         let v6 = check_all(&inst, 6).value;
-        assert!(v6 <= v1 * 1.05 + 1.0, "t=6 value {v6} much worse than t=1 value {v1}");
+        assert!(
+            v6 <= v1 * 1.05 + 1.0,
+            "t=6 value {v6} much worse than t=1 value {v1}"
+        );
     }
 
     #[test]
@@ -420,11 +455,7 @@ mod tests {
     fn delta_hint_overestimate_stays_feasible() {
         let g = generators::cycle(10);
         let inst = Instance::uniform(&g, 1).unwrap();
-        let sol = solve_fractional(
-            &inst,
-            &FractionalParams::new(3).with_delta_hint(50),
-        )
-        .unwrap();
+        let sol = solve_fractional(&inst, &FractionalParams::new(3).with_delta_hint(50)).unwrap();
         assert!(sol.is_primal_feasible(&inst, 1e-7));
         assert_eq!(sol.delta, 50);
     }
@@ -439,11 +470,8 @@ mod tests {
             let inst = Instance::uniform_clamped(&g, k);
             let opt = lp_solve(&inst.to_lp()).unwrap().value;
             for t in [1, 3] {
-                let sol = solve_fractional(
-                    &inst,
-                    &FractionalParams::new(t).without_global_delta(),
-                )
-                .unwrap();
+                let sol = solve_fractional(&inst, &FractionalParams::new(t).without_global_delta())
+                    .unwrap();
                 assert!(sol.is_primal_feasible(&inst, 1e-7));
                 // The measured-factor dual is feasible by construction...
                 assert!(sol.is_scaled_dual_feasible(&inst, 1e-7));
@@ -461,11 +489,8 @@ mod tests {
         let g = generators::cycle(24);
         let inst = Instance::uniform(&g, 1).unwrap();
         let global = solve_fractional(&inst, &FractionalParams::new(3)).unwrap();
-        let local = solve_fractional(
-            &inst,
-            &FractionalParams::new(3).without_global_delta(),
-        )
-        .unwrap();
+        let local =
+            solve_fractional(&inst, &FractionalParams::new(3).without_global_delta()).unwrap();
         assert_eq!(global.x, local.x);
     }
 

@@ -99,7 +99,11 @@ impl FractionalParams {
     /// Panics if `t == 0`.
     pub fn new(t: u32) -> Self {
         assert!(t >= 1, "t must be at least 1");
-        FractionalParams { t, delta_hint: None, knowledge: DeltaKnowledge::default() }
+        FractionalParams {
+            t,
+            delta_hint: None,
+            knowledge: DeltaKnowledge::default(),
+        }
     }
 
     /// Overrides the maximum-degree knowledge.

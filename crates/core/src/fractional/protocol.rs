@@ -158,18 +158,21 @@ impl NodeLogic for LpNode {
                     }
                 }
                 let inc = self.d1.powf(-q / self.t as f64);
-                self.xplus =
-                    if self.x < 1.0 - 1e-12 && (self.dyndeg as f64) >= threshold - 1e-9 {
-                        let xp = inc.min(1.0 - self.x);
-                        self.x += xp;
-                        if self.x > 1.0 - 1e-12 {
-                            self.x = 1.0;
-                        }
-                        xp
-                    } else {
-                        0.0
-                    };
-                ctx.broadcast(LpMsg::Share { x: self.x, xplus: self.xplus, dyndeg: self.dyndeg });
+                self.xplus = if self.x < 1.0 - 1e-12 && (self.dyndeg as f64) >= threshold - 1e-9 {
+                    let xp = inc.min(1.0 - self.x);
+                    self.x += xp;
+                    if self.x > 1.0 - 1e-12 {
+                        self.x = 1.0;
+                    }
+                    xp
+                } else {
+                    0.0
+                };
+                ctx.broadcast(LpMsg::Share {
+                    x: self.x,
+                    xplus: self.xplus,
+                    dyndeg: self.dyndeg,
+                });
             } else {
                 // Phase B: dual accounting from the shares, then color.
                 if self.white {
@@ -212,7 +215,14 @@ impl NodeLogic for LpNode {
             // Dual exchange: send (α_{j,me}, β_{j,me}, y_me) to each j.
             // (The final color inbox needs no processing.)
             for (o, &j) in ctx.neighbors().iter().enumerate() {
-                ctx.send(j, LpMsg::Dual { alpha: self.alpha[o], beta: self.beta[o], y: self.y });
+                ctx.send(
+                    j,
+                    LpMsg::Dual {
+                        alpha: self.alpha[o],
+                        beta: self.beta[o],
+                        y: self.y,
+                    },
+                );
             }
             return Control::Continue;
         }

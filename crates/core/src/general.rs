@@ -128,9 +128,19 @@ impl GeneralPipeline {
             })
         } else {
             let fractional = solve_fractional(inst, &self.params)?;
-            let rounding =
-                round_fractional(inst, &fractional.x, fractional.delta, self.seed, &self.rounding);
-            Ok(GeneralRun { set: rounding.set.clone(), fractional, rounding, metrics: None })
+            let rounding = round_fractional(
+                inst,
+                &fractional.x,
+                fractional.delta,
+                self.seed,
+                &self.rounding,
+            );
+            Ok(GeneralRun {
+                set: rounding.set.clone(),
+                fractional,
+                rounding,
+                metrics: None,
+            })
         }
     }
 }
@@ -146,7 +156,11 @@ mod tests {
         let g = generators::gnp(40, 0.15, 8);
         let inst = Instance::uniform_clamped(&g, 2);
         let fast = GeneralPipeline::new(2).seed(5).run(&inst).unwrap();
-        let metered = GeneralPipeline::new(2).seed(5).metered(true).run(&inst).unwrap();
+        let metered = GeneralPipeline::new(2)
+            .seed(5)
+            .metered(true)
+            .run(&inst)
+            .unwrap();
         assert_eq!(fast.set, metered.set);
         assert_eq!(fast.fractional, metered.fractional);
         let (m1, m2) = metered.metrics.unwrap();
@@ -175,14 +189,24 @@ mod tests {
     #[test]
     fn metered_agrees_on_per_node_demands() {
         let g = generators::gnp(35, 0.2, 12);
-        let demands: Vec<u32> =
-            g.nodes().map(|v| (v.raw() % 3).min(g.degree(v) as u32 + 1)).collect();
+        let demands: Vec<u32> = g
+            .nodes()
+            .map(|v| (v.raw() % 3).min(g.degree(v) as u32 + 1))
+            .collect();
         let inst = Instance::with_demands(&g, demands).unwrap();
         let fast = GeneralPipeline::new(2).seed(9).run(&inst).unwrap();
-        let metered = GeneralPipeline::new(2).seed(9).metered(true).run(&inst).unwrap();
+        let metered = GeneralPipeline::new(2)
+            .seed(9)
+            .metered(true)
+            .run(&inst)
+            .unwrap();
         assert_eq!(fast.set, metered.set);
         assert_eq!(fast.fractional, metered.fractional);
-        assert!(is_k_dominating_instance(&inst, &fast.set, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &fast.set,
+            Semantics::CoverSelf
+        ));
     }
 
     #[test]

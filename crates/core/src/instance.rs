@@ -123,8 +123,9 @@ impl<'a> Instance<'a> {
                 .closed_neighbors(v)
                 .map(|w| (w.index(), 1.0))
                 .collect();
-            lp.add_constraint(entries, self.demand(v) as f64)
-                .expect("instance data is validated");
+            if lp.add_constraint(entries, self.demand(v) as f64).is_err() {
+                unreachable!("constraint indices and demands were validated at construction");
+            }
         }
         lp
     }
@@ -143,7 +144,11 @@ mod tests {
         let err = Instance::uniform(&g, 3).unwrap_err();
         assert_eq!(
             err,
-            KmdsError::InfeasibleDemand { node: 0, demand: 3, closed_neighborhood: 2 }
+            KmdsError::InfeasibleDemand {
+                node: 0,
+                demand: 3,
+                closed_neighborhood: 2
+            }
         );
     }
 
@@ -161,7 +166,10 @@ mod tests {
         let g = generators::path(3);
         assert_eq!(
             Instance::with_demands(&g, vec![1, 1]).unwrap_err(),
-            KmdsError::DemandLengthMismatch { demands: 2, nodes: 3 }
+            KmdsError::DemandLengthMismatch {
+                demands: 2,
+                nodes: 3
+            }
         );
         let inst = Instance::with_demands(&g, vec![0, 2, 1]).unwrap();
         assert_eq!(inst.total_demand(), 3);

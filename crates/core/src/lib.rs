@@ -62,6 +62,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "strict-invariants")]
+mod audit;
 mod error;
 mod instance;
 mod set;
@@ -89,8 +91,6 @@ pub mod prelude {
     pub use crate::general::GeneralPipeline;
     pub use crate::rounding::round_fractional;
     pub use crate::udg::UdgAlgorithm;
-    pub use crate::validate::{
-        coverage, is_k_dominating, is_k_dominating_instance, Semantics,
-    };
+    pub use crate::validate::{coverage, is_k_dominating, is_k_dominating_instance, Semantics};
     pub use crate::{DominatingSet, Instance, KmdsError};
 }

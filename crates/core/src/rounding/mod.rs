@@ -65,7 +65,10 @@ pub struct RoundingParams {
 
 impl Default for RoundingParams {
     fn default() -> Self {
-        RoundingParams { repair: true, selection: RepairSelection::LowestId }
+        RoundingParams {
+            repair: true,
+            selection: RepairSelection::LowestId,
+        }
     }
 }
 
@@ -110,20 +113,27 @@ pub fn round_fractional(
         selected[i] = rngs[i].random::<f64>() < p;
     }
     let initial_picks = selected.iter().filter(|&&b| b).count();
+    #[cfg(feature = "strict-invariants")]
+    let coverage_before = crate::audit::closed_coverage(inst, &selected);
     let mut requested = vec![false; n];
     if params.repair {
         // Lines 4–6: all deficits are computed against the same snapshot
         // and all REQs are sent simultaneously.
         for v in g.nodes() {
             let i = v.index();
-            let covered = g.closed_neighbors(v).filter(|w| selected[w.index()]).count() as u32;
+            let covered = g
+                .closed_neighbors(v)
+                .filter(|w| selected[w.index()])
+                .count() as u32;
             let k = inst.demand(v);
             if covered >= k {
                 continue;
             }
             let deficit = (k - covered) as usize;
-            let zeros: Vec<NodeId> =
-                g.closed_neighbors(v).filter(|w| !selected[w.index()]).collect();
+            let zeros: Vec<NodeId> = g
+                .closed_neighbors(v)
+                .filter(|w| !selected[w.index()])
+                .collect();
             let chosen = select_repair_targets(&zeros, deficit, params.selection, &mut rngs[i]);
             for w in chosen {
                 requested[w.index()] = true;
@@ -138,7 +148,13 @@ pub fn round_fractional(
             repair_picks += 1;
         }
     }
-    RoundingOutcome { set: DominatingSet::from_members(selected), initial_picks, repair_picks }
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::rounding_monotone(inst, &coverage_before, &selected, params.repair);
+    RoundingOutcome {
+        set: DominatingSet::from_members(selected),
+        initial_picks,
+        repair_picks,
+    }
 }
 
 /// Picks `deficit` repair targets from `zeros` (sorted-by-id candidates,
@@ -211,7 +227,10 @@ mod tests {
         let g = generators::cycle(30);
         let inst = Instance::uniform(&g, 1).unwrap();
         let x = vec![0.34; 30];
-        let no_repair = RoundingParams { repair: false, ..Default::default() };
+        let no_repair = RoundingParams {
+            repair: false,
+            ..Default::default()
+        };
         let mut any_infeasible = false;
         for seed in 0..30 {
             let out = round_fractional(&inst, &x, 2, seed, &no_repair);
@@ -221,9 +240,16 @@ mod tests {
             }
             // ... and with repair the same seed is always feasible.
             let repaired = round_fractional(&inst, &x, 2, seed, &RoundingParams::default());
-            assert!(is_k_dominating_instance(&inst, &repaired.set, Semantics::CoverSelf));
+            assert!(is_k_dominating_instance(
+                &inst,
+                &repaired.set,
+                Semantics::CoverSelf
+            ));
         }
-        assert!(any_infeasible, "repair-off should occasionally miss coverage");
+        assert!(
+            any_infeasible,
+            "repair-off should occasionally miss coverage"
+        );
     }
 
     #[test]
@@ -235,7 +261,9 @@ mod tests {
         let trials = 40;
         let mean: f64 = (0..trials)
             .map(|s| {
-                round_fractional(&inst, &x, delta, s, &RoundingParams::default()).set.len() as f64
+                round_fractional(&inst, &x, delta, s, &RoundingParams::default())
+                    .set
+                    .len() as f64
             })
             .sum::<f64>()
             / trials as f64;
@@ -246,7 +274,10 @@ mod tests {
             "mean {mean} vs ln(Δ+1)·Σx = {}",
             ln_d1 * frac_value
         );
-        assert!(mean >= 0.3 * ln_d1.min(2.0) * frac_value, "mean suspiciously small: {mean}");
+        assert!(
+            mean >= 0.3 * ln_d1.min(2.0) * frac_value,
+            "mean suspiciously small: {mean}"
+        );
     }
 
     #[test]
@@ -257,12 +288,18 @@ mod tests {
         let a = round_fractional(&inst, &x, delta, 3, &RoundingParams::default());
         let b = round_fractional(&inst, &x, delta, 3, &RoundingParams::default());
         assert_eq!(a, b);
-        let rand_sel =
-            RoundingParams { selection: RepairSelection::Random, ..Default::default() };
+        let rand_sel = RoundingParams {
+            selection: RepairSelection::Random,
+            ..Default::default()
+        };
         let c = round_fractional(&inst, &x, delta, 3, &rand_sel);
         // Same initial picks (same seed), possibly different repairs.
         assert_eq!(a.initial_picks, c.initial_picks);
-        assert!(is_k_dominating_instance(&inst, &c.set, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &c.set,
+            Semantics::CoverSelf
+        ));
     }
 
     #[test]
@@ -281,19 +318,21 @@ mod tests {
         // x ≡ 0: nothing picked initially, repair must supply all demands.
         let g = generators::star(6);
         let inst = Instance::uniform_clamped(&g, 2);
-        let out =
-            round_fractional(&inst, &[0.0; 6], 5, 0, &RoundingParams::default());
+        let out = round_fractional(&inst, &[0.0; 6], 5, 0, &RoundingParams::default());
         assert_eq!(out.initial_picks, 0);
         assert!(out.repair_picks > 0);
-        assert!(is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &out.set,
+            Semantics::CoverSelf
+        ));
     }
 
     #[test]
     fn isolated_nodes_self_select() {
         let g = generators::empty(3);
         let inst = Instance::uniform_clamped(&g, 1);
-        let out =
-            round_fractional(&inst, &[0.0; 3], 0, 1, &RoundingParams::default());
+        let out = round_fractional(&inst, &[0.0; 3], 0, 1, &RoundingParams::default());
         assert_eq!(out.set.len(), 3, "isolated nodes must request themselves");
     }
 }

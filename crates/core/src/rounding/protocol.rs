@@ -14,7 +14,9 @@
 use super::{select_repair_targets, RepairSelection, RoundingOutcome, RoundingParams};
 use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::NodeId;
-use ftclust_netsim::{Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology};
+use ftclust_netsim::{
+    Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+};
 use rand::Rng;
 
 /// Wire messages of the rounding protocol.
@@ -62,7 +64,9 @@ impl NodeLogic for RoundingNode {
                 let p = (self.x * self.ln_d1).min(1.0);
                 self.selected = ctx.rng().random::<f64>() < p;
                 self.initial = self.selected;
-                ctx.broadcast(RoundingMsg::Flag { selected: self.selected });
+                ctx.broadcast(RoundingMsg::Flag {
+                    selected: self.selected,
+                });
                 Control::Continue
             }
             1 => {
@@ -88,9 +92,7 @@ impl NodeLogic for RoundingNode {
                 }
                 if covered < self.k {
                     let deficit = (self.k - covered) as usize;
-                    for w in
-                        select_repair_targets(&zeros, deficit, self.selection, ctx.rng())
-                    {
+                    for w in select_repair_targets(&zeros, deficit, self.selection, ctx.rng()) {
                         ctx.send(w, RoundingMsg::Req);
                     }
                 }
@@ -133,7 +135,11 @@ pub fn run_rounding_protocol(
     params: &RoundingParams,
 ) -> Result<RoundingProtocolRun, KmdsError> {
     let g = inst.graph();
-    assert_eq!(x.len(), g.node_count(), "fractional solution length mismatch");
+    assert_eq!(
+        x.len(),
+        g.node_count(),
+        "fractional solution length mismatch"
+    );
     let ln_d1 = ((delta + 1) as f64).ln();
     let topo = Topology::from_graph(g);
     let mut sim = Simulator::new(
@@ -160,7 +166,11 @@ pub fn run_rounding_protocol(
     let set = DominatingSet::from_members(members);
     let repair_picks = set.len() - initial_picks;
     Ok(RoundingProtocolRun {
-        outcome: RoundingOutcome { set, initial_picks, repair_picks },
+        outcome: RoundingOutcome {
+            set,
+            initial_picks,
+            repair_picks,
+        },
         metrics: sim.metrics().clone(),
     })
 }
@@ -180,7 +190,10 @@ mod tests {
         let frac = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
         for selection in [RepairSelection::LowestId, RepairSelection::Random] {
             for seed in [0u64, 1, 7, 42] {
-                let params = RoundingParams { repair: true, selection };
+                let params = RoundingParams {
+                    repair: true,
+                    selection,
+                };
                 let engine = round_fractional(&inst, &frac.x, frac.delta, seed, &params);
                 let proto =
                     run_rounding_protocol(&inst, &frac.x, frac.delta, seed, &params).unwrap();
@@ -194,17 +207,15 @@ mod tests {
         let g = generators::gnp(100, 0.08, 2);
         let inst = Instance::uniform_clamped(&g, 2);
         let frac = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
-        let run = run_rounding_protocol(
-            &inst,
-            &frac.x,
-            frac.delta,
-            1,
-            &RoundingParams::default(),
-        )
-        .unwrap();
+        let run = run_rounding_protocol(&inst, &frac.x, frac.delta, 1, &RoundingParams::default())
+            .unwrap();
         assert!(run.metrics.rounds <= 3);
         assert_eq!(run.metrics.max_message_bits, 1);
-        assert!(is_k_dominating_instance(&inst, &run.outcome.set, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &run.outcome.set,
+            Semantics::CoverSelf
+        ));
     }
 
     #[test]
@@ -216,7 +227,10 @@ mod tests {
             &[0.0; 10],
             2,
             0,
-            &RoundingParams { repair: false, ..Default::default() },
+            &RoundingParams {
+                repair: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(run.metrics.rounds <= 2);

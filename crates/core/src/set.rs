@@ -29,13 +29,19 @@ pub struct DominatingSet {
 impl DominatingSet {
     /// The empty set over a universe of `node_count` nodes.
     pub fn empty(node_count: usize) -> Self {
-        DominatingSet { members: vec![false; node_count], len: 0 }
+        DominatingSet {
+            members: vec![false; node_count],
+            len: 0,
+        }
     }
 
     /// The full set (every node selected) — the trivial k-fold dominating
     /// set.
     pub fn full(node_count: usize) -> Self {
-        DominatingSet { members: vec![true; node_count], len: node_count }
+        DominatingSet {
+            members: vec![true; node_count],
+            len: node_count,
+        }
     }
 
     /// Builds a set from a membership bitmap.

@@ -57,7 +57,11 @@ pub fn members_per_half_disk(udg: &UnitDiskGraph, set: &DominatingSet) -> Option
     }
     Some(DiskOccupancy {
         max,
-        mean_nonempty: if nonempty == 0 { 0.0 } else { occupied_total as f64 / nonempty as f64 },
+        mean_nonempty: if nonempty == 0 {
+            0.0
+        } else {
+            occupied_total as f64 / nonempty as f64
+        },
         nonempty_disks: nonempty,
         total_disks: centers.len(),
     })
@@ -136,7 +140,11 @@ pub fn lemma_5_2_census(udg: &UnitDiskGraph, seed: u64) -> Vec<RoundCensus> {
         let mut centers: std::collections::HashSet<(i64, i64)> = Default::default();
         for p in &before_pos {
             let row = (p.y / sy).round() as i64;
-            let offset = if row.rem_euclid(2) == 1 { sx / 2.0 } else { 0.0 };
+            let offset = if row.rem_euclid(2) == 1 {
+                sx / 2.0
+            } else {
+                0.0
+            };
             let col = ((p.x - offset) / sx).round() as i64;
             centers.insert((row, col));
         }
@@ -144,7 +152,11 @@ pub fn lemma_5_2_census(udg: &UnitDiskGraph, seed: u64) -> Vec<RoundCensus> {
         let mut max_ratio = 0.0f64;
         let mut satisfied = 0usize;
         for &(row, col) in &centers {
-            let offset = if row.rem_euclid(2) == 1 { sx / 2.0 } else { 0.0 };
+            let offset = if row.rem_euclid(2) == 1 {
+                sx / 2.0
+            } else {
+                0.0
+            };
             let c = ftclust_geometry::Point::new(col as f64 * sx + offset, row as f64 * sy);
             let m = before_grid.count_within(c, 3.0 * r_half);
             if m < 2 {
@@ -199,7 +211,10 @@ mod tests {
         // (small disks with m = 2, where √m·ln m < 1, legitimately need
         // the lemma's constant δ > 1 — so this is a majority, not a
         // unanimity, check).
-        let mid = census.iter().max_by_key(|c| c.active_disks).expect("non-empty");
+        let mid = census
+            .iter()
+            .max_by_key(|c| c.active_disks)
+            .expect("non-empty");
         assert!(mid.active_disks > 10);
         assert!(
             mid.delta1_fraction > 0.6,

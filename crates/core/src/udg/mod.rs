@@ -49,8 +49,8 @@ pub mod analysis;
 pub mod protocol;
 
 pub(crate) use part1::run_part1;
-pub(crate) use part2::{run_part2, RngSource};
 pub use part1::theta_schedule;
+pub(crate) use part2::{run_part2, RngSource};
 
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::UnitDiskGraph;
@@ -117,7 +117,12 @@ impl UdgAlgorithm {
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        UdgAlgorithm { k, seed: 0, id_mode: IdMode::default(), promotion: PromotionRule::default() }
+        UdgAlgorithm {
+            k,
+            seed: 0,
+            id_mode: IdMode::default(),
+            promotion: PromotionRule::default(),
+        }
     }
 
     /// Sets the random seed.
@@ -193,7 +198,12 @@ mod tests {
     fn part1_is_a_dominating_set() {
         let udg = generators::random_udg(400, 10.0, 1.0, 7);
         let run = UdgAlgorithm::new(1).run(&udg).unwrap();
-        assert!(is_k_dominating(udg.graph(), &run.leaders, 1, Semantics::Strict));
+        assert!(is_k_dominating(
+            udg.graph(),
+            &run.leaders,
+            1,
+            Semantics::Strict
+        ));
     }
 
     #[test]
@@ -212,7 +222,11 @@ mod tests {
         let run = UdgAlgorithm::new(1).run(&udg).unwrap();
         assert_eq!(run.active_history.len() as u32, run.part1_rounds);
         for w in run.active_history.windows(2) {
-            assert!(w[1] <= w[0], "active count increased: {:?}", run.active_history);
+            assert!(
+                w[1] <= w[0],
+                "active count increased: {:?}",
+                run.active_history
+            );
         }
         assert_eq!(*run.active_history.last().unwrap(), run.leaders.len());
     }
@@ -231,8 +245,11 @@ mod tests {
     #[test]
     fn all_rules_and_modes_stay_feasible() {
         let udg = generators::clustered_udg(300, 6, 12.0, 0.8, 1.0, 11);
-        for rule in [PromotionRule::LowestId, PromotionRule::MostDeficient, PromotionRule::Random]
-        {
+        for rule in [
+            PromotionRule::LowestId,
+            PromotionRule::MostDeficient,
+            PromotionRule::Random,
+        ] {
             for mode in [IdMode::FreshPerRound, IdMode::FixedAtStart] {
                 let run = UdgAlgorithm::new(2)
                     .seed(6)
@@ -261,11 +278,9 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        let udg = ftclust_graphs::UnitDiskGraph::build(
-            vec![ftclust_geometry::Point::new(0.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let udg =
+            ftclust_graphs::UnitDiskGraph::build(vec![ftclust_geometry::Point::new(0.0, 0.0)], 1.0)
+                .unwrap();
         let run = UdgAlgorithm::new(1).run(&udg).unwrap();
         assert_eq!(run.set.len(), 1);
         let udg2 = ftclust_graphs::UnitDiskGraph::build(
@@ -277,7 +292,12 @@ mod tests {
         )
         .unwrap();
         let run = UdgAlgorithm::new(2).run(&udg2).unwrap();
-        assert!(is_k_dominating(udg2.graph(), &run.set, 2, Semantics::Strict));
+        assert!(is_k_dominating(
+            udg2.graph(),
+            &run.set,
+            2,
+            Semantics::Strict
+        ));
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub fn theta_schedule(n: usize, radius: f64) -> Vec<f64> {
         .collect();
     // Guarantee the last round reaches exactly radius/2 (the ceiling can
     // leave it a shade below otherwise).
-    *schedule.last_mut().expect("rounds >= 1") = 0.5 * radius;
+    if let Some(last) = schedule.last_mut() {
+        *last = 0.5 * radius;
+    }
     schedule
 }
 
@@ -94,10 +96,11 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
             }
         }
         // Build a grid over the active nodes only.
-        let active_ids: Vec<u32> =
-            (0..n).filter(|&i| active[i]).map(|i| i as u32).collect();
-        let active_pos: Vec<_> =
-            active_ids.iter().map(|&i| udg.position(NodeId::new(i))).collect();
+        let active_ids: Vec<u32> = (0..n).filter(|&i| active[i]).map(|i| i as u32).collect();
+        let active_pos: Vec<_> = active_ids
+            .iter()
+            .map(|&i| udg.position(NodeId::new(i)))
+            .collect();
         let grid = SpatialGrid::build(&active_pos, theta.max(1e-12));
         // Election (lines 8–12): each active node elects the max-identifier
         // active node within θ (ties by node id), possibly itself.
@@ -119,6 +122,8 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
         history.push(active.iter().filter(|&&a| a).count());
     }
     masks.push(active.clone());
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::part1_invariants(udg, &masks, &active, schedule.iter().sum());
 
     Part1Outcome {
         leaders: DominatingSet::from_members(active),
@@ -211,6 +216,11 @@ mod tests {
     fn fixed_ids_still_dominate() {
         let udg = generators::random_udg(300, 10.0, 1.0, 12);
         let out = run_part1(&udg, 2, IdMode::FixedAtStart);
-        assert!(is_k_dominating(udg.graph(), &out.leaders, 1, Semantics::Strict));
+        assert!(is_k_dominating(
+            udg.graph(),
+            &out.leaders,
+            1,
+            Semantics::Strict
+        ));
     }
 }

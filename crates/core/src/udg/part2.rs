@@ -75,9 +75,9 @@ pub(crate) fn run_part2(
     let n = g.node_count();
     let mut leader: Vec<bool> = leaders.as_members().to_vec();
     let mut rngs: Vec<StdRng> = match rng_source {
-        RngSource::Seed(seed) => {
-            (0..n).map(|i| node_rng(seed, NodeId::new(i as u32))).collect()
-        }
+        RngSource::Seed(seed) => (0..n)
+            .map(|i| node_rng(seed, NodeId::new(i as u32)))
+            .collect(),
         RngSource::Streams(rngs) => {
             assert_eq!(rngs.len(), n, "rng stream count mismatch");
             rngs
@@ -102,20 +102,25 @@ pub(crate) fn run_part2(
             if !leader[i] {
                 continue;
             }
-            let u: Vec<NodeId> =
-                g.neighbors(v).iter().copied().filter(|w| needy[w.index()]).collect();
+            let u: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|w| needy[w.index()])
+                .collect();
             if u.is_empty() {
                 continue;
             }
-            for w in
-                select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut rngs[i])
-            {
+            for w in select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut rngs[i]) {
                 promoted[w.index()] = true;
             }
         }
         let progress = promoted.iter().enumerate().any(|(i, &p)| p && !leader[i]);
         if !progress {
-            return Err(KmdsError::IterationLimit { stage: "udg part 2", limit: iterations as u64 });
+            return Err(KmdsError::IterationLimit {
+                stage: "udg part 2",
+                limit: iterations as u64,
+            });
         }
         for i in 0..n {
             leader[i] = leader[i] || promoted[i];
@@ -147,7 +152,8 @@ mod tests {
         for k in [1u32, 2, 3] {
             let g = generators::gnp(80, 0.15, k as u64);
             let leaders = dominating_seed(&g);
-            let (set, iters) = run_part2(&g, &leaders, k, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
+            let (set, iters) =
+                run_part2(&g, &leaders, k, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
             assert!(is_k_dominating(&g, &set, k, Semantics::Strict), "k={k}");
             if k == 1 {
                 // A dominating set needs no extension.
@@ -161,9 +167,11 @@ mod tests {
     fn promotion_rules_all_terminate_quickly() {
         let g = generators::gnp(120, 0.1, 5);
         let leaders = dominating_seed(&g);
-        for rule in
-            [PromotionRule::LowestId, PromotionRule::MostDeficient, PromotionRule::Random]
-        {
+        for rule in [
+            PromotionRule::LowestId,
+            PromotionRule::MostDeficient,
+            PromotionRule::Random,
+        ] {
             let (set, iters) = run_part2(&g, &leaders, 3, RngSource::Seed(1), rule).unwrap();
             assert!(is_k_dominating(&g, &set, 3, Semantics::Strict));
             assert!(iters <= 10, "{rule:?} took {iters} iterations");
@@ -201,7 +209,8 @@ mod tests {
     fn full_leader_set_is_already_done() {
         let g = generators::cycle(8);
         let all = DominatingSet::full(8);
-        let (set, iters) = run_part2(&g, &all, 2, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
+        let (set, iters) =
+            run_part2(&g, &all, 2, RngSource::Seed(0), PromotionRule::LowestId).unwrap();
         assert_eq!(set.len(), 8);
         assert_eq!(iters, 0);
     }

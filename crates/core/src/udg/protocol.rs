@@ -133,8 +133,9 @@ impl NodeLogic for UdgNode {
                         .neighbors()
                         .iter()
                         .copied()
-                        .filter(|&w| {
-                            ctx.distance_to(w).expect("UDG topology senses distances") <= theta
+                        .filter(|&w| match ctx.distance_to(w) {
+                            Some(d) => d <= theta,
+                            None => unreachable!("UDG topologies sense all neighbor distances"),
                         })
                         .collect();
                     for w in within {
@@ -176,7 +177,9 @@ impl NodeLogic for UdgNode {
                         self.leader = true;
                     }
                 }
-                ctx.broadcast(UdgMsg::Status { leader: self.leader });
+                ctx.broadcast(UdgMsg::Status {
+                    leader: self.leader,
+                });
                 Control::Continue
             }
             1 => {
@@ -184,10 +187,9 @@ impl NodeLogic for UdgNode {
                 // nothing and their cached status is final.
                 for e in inbox {
                     if let UdgMsg::Status { leader } = e.payload {
-                        let pos = ctx
-                            .neighbors()
-                            .binary_search(&e.from)
-                            .expect("status from neighbor");
+                        let Ok(pos) = ctx.neighbors().binary_search(&e.from) else {
+                            unreachable!("inbox messages arrive only from neighbors");
+                        };
                         self.neighbor_leader[pos] = leader;
                     }
                 }
@@ -210,20 +212,12 @@ impl NodeLogic for UdgNode {
                     .collect();
                 if self.leader && !needy.is_empty() {
                     let ids: Vec<NodeId> = needy.iter().map(|&(v, _)| v).collect();
-                    let cov_of = |v: NodeId| {
-                        needy
-                            .iter()
-                            .find(|&&(w, _)| w == v)
-                            .map(|&(_, c)| c)
-                            .expect("needy coverage known")
+                    let cov_of = |v: NodeId| match needy.iter().find(|&&(w, _)| w == v) {
+                        Some(&(_, c)) => c,
+                        None => unreachable!("promotion candidates come from `needy`"),
                     };
-                    let chosen = select_promotions(
-                        &ids,
-                        cov_of,
-                        self.k as usize,
-                        self.promotion,
-                        ctx.rng(),
-                    );
+                    let chosen =
+                        select_promotions(&ids, cov_of, self.k as usize, self.promotion, ctx.rng());
                     for w in chosen {
                         ctx.send(w, UdgMsg::Promote);
                     }
@@ -364,7 +358,12 @@ mod tests {
             "part II used too many rounds: {}",
             run.metrics.rounds
         );
-        assert!(is_k_dominating(udg.graph(), &run.run.set, 2, Semantics::Strict));
+        assert!(is_k_dominating(
+            udg.graph(),
+            &run.run.set,
+            2,
+            Semantics::Strict
+        ));
     }
 
     #[test]
@@ -380,11 +379,9 @@ mod tests {
         let empty = ftclust_graphs::UnitDiskGraph::build(vec![], 1.0).unwrap();
         let run = run_udg_protocol(&empty, &UdgAlgorithm::new(2)).unwrap();
         assert_eq!(run.run.set.len(), 0);
-        let single = ftclust_graphs::UnitDiskGraph::build(
-            vec![ftclust_geometry::Point::new(0.0, 0.0)],
-            1.0,
-        )
-        .unwrap();
+        let single =
+            ftclust_graphs::UnitDiskGraph::build(vec![ftclust_geometry::Point::new(0.0, 0.0)], 1.0)
+                .unwrap();
         let run = run_udg_protocol(&single, &UdgAlgorithm::new(3)).unwrap();
         assert_eq!(run.run.set.len(), 1);
     }

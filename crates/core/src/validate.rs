@@ -78,11 +78,7 @@ pub fn is_k_dominating_instance(
 }
 
 /// The nodes whose demand is violated (empty iff the set is valid).
-pub fn violations(
-    inst: &Instance<'_>,
-    set: &DominatingSet,
-    semantics: Semantics,
-) -> Vec<NodeId> {
+pub fn violations(inst: &Instance<'_>, set: &DominatingSet, semantics: Semantics) -> Vec<NodeId> {
     let cov = coverage(inst.graph(), set);
     inst.graph()
         .nodes()
@@ -107,7 +103,11 @@ pub fn covered_fraction(graph: &Graph, set: &DominatingSet, k: u32) -> f64 {
             continue;
         }
         clients += 1;
-        let heads = graph.neighbors(v).iter().filter(|&&w| set.contains(w)).count() as u32;
+        let heads = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| set.contains(w))
+            .count() as u32;
         if heads >= k {
             covered += 1;
         }
@@ -204,7 +204,96 @@ mod tests {
     #[test]
     fn isolated_node_must_be_in_set() {
         let g = generators::empty(1);
-        assert!(!is_k_dominating(&g, &DominatingSet::empty(1), 1, Semantics::Strict));
-        assert!(is_k_dominating(&g, &DominatingSet::full(1), 1, Semantics::Strict));
+        assert!(!is_k_dominating(
+            &g,
+            &DominatingSet::empty(1),
+            1,
+            Semantics::Strict
+        ));
+        assert!(is_k_dominating(
+            &g,
+            &DominatingSet::full(1),
+            1,
+            Semantics::Strict
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary simple graph together with an arbitrary subset of
+        /// its nodes.
+        fn graph_and_set() -> impl Strategy<Value = (Graph, DominatingSet)> {
+            (
+                1u32..32,
+                proptest::collection::vec((0u32..32, 0u32..32), 0..140),
+                proptest::collection::vec(0u32..2, 32usize),
+            )
+                .prop_map(|(n, edges, bits)| {
+                    let mut b = ftclust_graphs::GraphBuilder::new(n);
+                    for (u, v) in edges {
+                        if u != v && u < n && v < n {
+                            let _ = b.add_edge(u, v); // duplicates rejected, fine
+                        }
+                    }
+                    let members = (0..n as usize).map(|i| bits[i] == 1).collect();
+                    (b.build(), DominatingSet::from_members(members))
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `violations` is the *complete* explanation of infeasibility:
+            /// it is empty exactly when the domination predicate holds,
+            /// under both semantics, for per-node and uniform demands.
+            #[test]
+            fn violations_empty_iff_dominating(gs in graph_and_set(), k in 1u32..4) {
+                let (g, set) = gs;
+                let inst = Instance::uniform_clamped(&g, k);
+                for sem in [Semantics::Strict, Semantics::CoverSelf] {
+                    prop_assert_eq!(
+                        violations(&inst, &set, sem).is_empty(),
+                        is_k_dominating_instance(&inst, &set, sem)
+                    );
+                }
+                // Where the uniform demand is admissible everywhere, the
+                // instance check coincides with the plain-graph check.
+                if let Ok(uniform) = Instance::uniform(&g, k) {
+                    for sem in [Semantics::Strict, Semantics::CoverSelf] {
+                        prop_assert_eq!(
+                            violations(&uniform, &set, sem).is_empty(),
+                            is_k_dominating(&g, &set, k, sem)
+                        );
+                    }
+                }
+            }
+
+            /// `covered_fraction` lies in `[0, 1]`, agrees with the ratio
+            /// recomputed from `coverage` counts, and saturates at 1
+            /// exactly when the set strictly k-dominates.
+            #[test]
+            fn covered_fraction_agrees_with_coverage(gs in graph_and_set(), k in 1u32..4) {
+                let (g, set) = gs;
+                let cf = covered_fraction(&g, &set, k);
+                prop_assert!((0.0..=1.0).contains(&cf), "fraction {} out of range", cf);
+                let cov = coverage(&g, &set);
+                let clients = g.nodes().filter(|&v| !set.contains(v)).count();
+                let covered = g
+                    .nodes()
+                    .filter(|&v| !set.contains(v) && cov[v.index()] >= k)
+                    .count();
+                let expected =
+                    if clients == 0 { 1.0 } else { covered as f64 / clients as f64 };
+                prop_assert!((cf - expected).abs() < 1e-15, "{} vs {}", cf, expected);
+                // Saturation ⟺ strict domination (set members are exempt,
+                // and for v ∉ S closed and open coverage coincide).
+                prop_assert_eq!(
+                    covered == clients,
+                    is_k_dominating(&g, &set, k, Semantics::Strict)
+                );
+            }
+        }
     }
 }

@@ -70,7 +70,9 @@ impl<'a> WeightedInstance<'a> {
     pub fn to_lp(&self) -> CoveringLp {
         let mut lp = self.inst.to_lp();
         for (j, &c) in self.costs.iter().enumerate() {
-            lp.set_objective(j, c).expect("validated costs");
+            if lp.set_objective(j, c).is_err() {
+                unreachable!("costs were validated at construction");
+            }
         }
         lp
     }
@@ -109,7 +111,9 @@ pub fn weighted_greedy_kmds(winst: &WeightedInstance<'_>, semantics: Semantics) 
                 best = Some((ratio, v.raw()));
             }
         }
-        let (_, u) = best.expect("demands must be satisfiable");
+        let Some((_, u)) = best else {
+            unreachable!("Instance validation caps demands by closed-neighborhood size");
+        };
         let v = ftclust_graphs::NodeId::new(u);
         set.insert(v);
         for w in g.closed_neighbors(v) {

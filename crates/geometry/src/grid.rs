@@ -54,7 +54,10 @@ impl SpatialGrid {
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} has non-finite coordinates");
-            cells.entry(Self::key(*p, cell_size)).or_default().push(i as u32);
+            cells
+                .entry(Self::key(*p, cell_size))
+                .or_default()
+                .push(i as u32);
         }
         SpatialGrid {
             cell_size,
@@ -174,7 +177,11 @@ mod tests {
 
     #[test]
     fn zero_radius_finds_coincident_points_only() {
-        let pts = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(1.1, 1.0)];
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.1, 1.0),
+        ];
         let grid = SpatialGrid::build(&pts, 0.7);
         let mut hits = grid.within(Point::new(1.0, 1.0), 0.0);
         hits.sort_unstable();

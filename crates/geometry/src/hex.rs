@@ -32,7 +32,10 @@ pub fn covering_spacing(r: f64) -> f64 {
 ///
 /// Panics if `r` is not strictly positive and finite.
 pub fn lattice_covering(region: Disk, r: f64) -> Vec<Point> {
-    assert!(r.is_finite() && r > 0.0, "disk radius must be positive, got {r}");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "disk radius must be positive, got {r}"
+    );
     lattice_centers_within(region.center, region.radius + r, r)
 }
 
@@ -43,7 +46,10 @@ pub fn lattice_covering(region: Disk, r: f64) -> Vec<Point> {
 ///
 /// Panics if `r` is not strictly positive and finite or `dist` is negative.
 pub fn lattice_centers_within(anchor: Point, dist: f64, r: f64) -> Vec<Point> {
-    assert!(r.is_finite() && r > 0.0, "disk radius must be positive, got {r}");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "disk radius must be positive, got {r}"
+    );
     assert!(dist >= 0.0, "dist must be non-negative");
     let sx = covering_spacing(r); // column spacing
     let sy = 1.5 * r; // row spacing
@@ -51,7 +57,11 @@ pub fn lattice_centers_within(anchor: Point, dist: f64, r: f64) -> Vec<Point> {
     let rows = (dist / sy).ceil() as i64 + 1;
     let cols = (dist / sx).ceil() as i64 + 1;
     for row in -rows..=rows {
-        let offset = if row.rem_euclid(2) == 1 { sx / 2.0 } else { 0.0 };
+        let offset = if row.rem_euclid(2) == 1 {
+            sx / 2.0
+        } else {
+            0.0
+        };
         for col in -cols..=cols {
             let p = Point::new(
                 anchor.x + col as f64 * sx + offset,

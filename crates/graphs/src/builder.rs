@@ -28,7 +28,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes and no edges.
     pub fn new(node_count: u32) -> Self {
-        GraphBuilder { node_count, edges: Vec::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -53,7 +56,10 @@ impl GraphBuilder {
         }
         for w in [u, v] {
             if w >= self.node_count {
-                return Err(GraphError::NodeOutOfRange { node: w, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    node_count: self.node_count,
+                });
             }
         }
         self.edges.push((u.min(v), u.max(v)));
@@ -72,9 +78,11 @@ impl GraphBuilder {
             degree[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut running = 0usize;
         offsets.push(0usize);
         for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+            running += d;
+            offsets.push(running);
         }
         let mut cursor = offsets.clone();
         let mut targets = vec![NodeId::new(0); 2 * self.edges.len()];

@@ -39,13 +39,15 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
-            GraphError::PositionCountMismatch { positions, nodes } => write!(
-                f,
-                "got {positions} positions for {nodes} nodes"
-            ),
+            GraphError::PositionCountMismatch { positions, nodes } => {
+                write!(f, "got {positions} positions for {nodes} nodes")
+            }
             GraphError::Parse { line, reason } => {
                 write!(f, "parse error at line {line}: {reason}")
             }
@@ -61,12 +63,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 5,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('5'));
         let e = GraphError::SelfLoop { node: 3 };
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::Parse { line: 2, reason: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 2,
+            reason: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 2"));
     }
 

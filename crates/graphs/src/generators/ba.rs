@@ -38,7 +38,7 @@ pub fn barabasi_albert(n: u32, m_attach: u32, seed: u64) -> Graph {
     // Seed clique.
     for u in 0..=m_attach {
         for v in (u + 1)..=m_attach {
-            b.add_edge(u, v).expect("in-range");
+            super::add_generated_edge(&mut b, u, v);
             urn.push(u);
             urn.push(v);
         }
@@ -52,7 +52,7 @@ pub fn barabasi_albert(n: u32, m_attach: u32, seed: u64) -> Graph {
             }
         }
         for &u in &chosen {
-            b.add_edge(u, v).expect("in-range");
+            super::add_generated_edge(&mut b, u, v);
             urn.push(u);
             urn.push(v);
         }
@@ -87,7 +87,11 @@ mod tests {
     fn hubs_dominate_degree_distribution() {
         let g = barabasi_albert(500, 2, 3);
         let mean = 2.0 * g.edge_count() as f64 / 500.0;
-        assert!(g.max_degree() as f64 > 3.0 * mean, "Δ = {}, mean = {mean}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 3.0 * mean,
+            "Δ = {}, mean = {mean}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub fn gnp(n: u32, p: f64, seed: u64) -> Graph {
     if p >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                b.add_edge(u, v).expect("in-range");
+                super::add_generated_edge(&mut b, u, v);
             }
         }
         return b.build();
@@ -70,7 +70,7 @@ pub fn gnp(n: u32, p: f64, seed: u64) -> Graph {
             break;
         }
         let (u, v) = unrank(idx);
-        b.add_edge(u, v).expect("in-range");
+        super::add_generated_edge(&mut b, u, v);
         idx += 1;
         if idx >= total {
             break;
@@ -102,7 +102,7 @@ pub fn gnm(n: u32, m: usize, seed: u64) -> Graph {
         }
         let key = (u.min(v), u.max(v));
         if chosen.insert(key) {
-            b.add_edge(key.0, key.1).expect("in-range");
+            super::add_generated_edge(&mut b, key.0, key.1);
         }
     }
     b.build()

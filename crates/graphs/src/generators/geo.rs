@@ -45,7 +45,10 @@ pub fn random_udg_in_square(n: u32, side: f64, radius: f64, seed: u64) -> UnitDi
     let pts: Vec<Point> = (0..n)
         .map(|_| Point::new(rng.random_range(0.0..=side), rng.random_range(0.0..=side)))
         .collect();
-    UnitDiskGraph::build(pts, radius).expect("random points build a valid UDG")
+    match UnitDiskGraph::build(pts, radius) {
+        Ok(g) => g,
+        Err(_) => unreachable!("finite in-square points and positive radius build a valid UDG"),
+    }
 }
 
 /// Clustered sensor deployment: `clusters` Gaussian clusters of equal size
@@ -69,7 +72,10 @@ pub fn clustered_udg(
     seed: u64,
 ) -> UnitDiskGraph {
     assert!(n > 0 && clusters > 0, "n and clusters must be positive");
-    assert!(side > 0.0 && spread > 0.0 && radius > 0.0, "dimensions must be positive");
+    assert!(
+        side > 0.0 && spread > 0.0 && radius > 0.0,
+        "dimensions must be positive"
+    );
     let mut rng = rng_from_seed(seed);
     let centers: Vec<Point> = (0..clusters)
         .map(|_| Point::new(rng.random_range(0.0..=side), rng.random_range(0.0..=side)))
@@ -88,7 +94,10 @@ pub fn clustered_udg(
             Point::new(x, y)
         })
         .collect();
-    UnitDiskGraph::build(pts, radius).expect("clustered points build a valid UDG")
+    match UnitDiskGraph::build(pts, radius) {
+        Ok(g) => g,
+        Err(_) => unreachable!("clamped finite points and positive radius build a valid UDG"),
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +120,10 @@ mod tests {
         let udg = random_udg(2000, target, 1.0, 99);
         let mean = 2.0 * udg.graph().edge_count() as f64 / 2000.0;
         // Boundary effects lower the mean; allow a generous band.
-        assert!(mean > 0.5 * target && mean < 1.3 * target, "mean degree {mean}");
+        assert!(
+            mean > 0.5 * target && mean < 1.3 * target,
+            "mean degree {mean}"
+        );
     }
 
     #[test]

@@ -29,3 +29,12 @@ use rand::SeedableRng;
 pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
+
+/// Adds an edge the generator has already guaranteed to be simple and
+/// in range. Generators construct endpoints from loop indices bounded by
+/// the builder's node count, so a rejection here is a generator bug.
+pub(crate) fn add_generated_edge(b: &mut crate::GraphBuilder, u: u32, v: u32) {
+    if b.add_edge(u, v).is_err() {
+        unreachable!("generator emitted an invalid edge ({u}, {v})");
+    }
+}

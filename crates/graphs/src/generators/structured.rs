@@ -11,7 +11,7 @@ pub fn empty(n: u32) -> Graph {
 pub fn path(n: u32) -> Graph {
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge(v - 1, v).expect("in-range");
+        super::add_generated_edge(&mut b, v - 1, v);
     }
     b.build()
 }
@@ -25,7 +25,7 @@ pub fn cycle(n: u32) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
-        b.add_edge(v, (v + 1) % n).expect("in-range");
+        super::add_generated_edge(&mut b, v, (v + 1) % n);
     }
     b.build()
 }
@@ -35,7 +35,7 @@ pub fn complete(n: u32) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u, v).expect("in-range");
+            super::add_generated_edge(&mut b, u, v);
         }
     }
     b.build()
@@ -50,7 +50,7 @@ pub fn star(n: u32) -> Graph {
     assert!(n > 0, "star needs at least one node");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge(0, v).expect("in-range");
+        super::add_generated_edge(&mut b, 0, v);
     }
     b.build()
 }
@@ -69,10 +69,10 @@ pub fn grid_2d(width: u32, height: u32) -> Graph {
         for x in 0..width {
             let v = y * width + x;
             if x + 1 < width {
-                b.add_edge(v, v + 1).expect("in-range");
+                super::add_generated_edge(&mut b, v, v + 1);
             }
             if y + 1 < height {
-                b.add_edge(v, v + width).expect("in-range");
+                super::add_generated_edge(&mut b, v, v + width);
             }
         }
     }
@@ -86,7 +86,7 @@ pub fn random_tree(n: u32, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
         let parent = rng.random_range(0..v);
-        b.add_edge(parent, v).expect("in-range");
+        super::add_generated_edge(&mut b, parent, v);
     }
     b.build()
 }
@@ -106,8 +106,14 @@ pub fn random_tree(n: u32, seed: u64) -> Graph {
 /// Panics if `k_ring == 0`, `n ≤ 2·k_ring`, or `beta ∉ [0, 1]`.
 pub fn watts_strogatz(n: u32, k_ring: u32, beta: f64, seed: u64) -> Graph {
     assert!(k_ring > 0, "k_ring must be positive");
-    assert!(n > 2 * k_ring, "need n > 2·k_ring, got n={n}, k_ring={k_ring}");
-    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1], got {beta}");
+    assert!(
+        n > 2 * k_ring,
+        "need n > 2·k_ring, got n={n}, k_ring={k_ring}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "beta must be in [0, 1], got {beta}"
+    );
     let mut rng = rng_from_seed(seed);
     // Edge set as canonical pairs for O(1) duplicate checks.
     let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
@@ -141,7 +147,7 @@ pub fn watts_strogatz(n: u32, k_ring: u32, beta: f64, seed: u64) -> Graph {
     }
     let mut b = GraphBuilder::new(n);
     for (u, v) in edges {
-        b.add_edge(u, v).expect("in-range");
+        super::add_generated_edge(&mut b, u, v);
     }
     b.build()
 }

@@ -73,7 +73,11 @@ impl UnitDiskGraph {
                 return Err(e);
             }
         }
-        Ok(UnitDiskGraph { graph: b.build(), positions, radius })
+        Ok(UnitDiskGraph {
+            graph: b.build(),
+            positions,
+            radius,
+        })
     }
 
     /// The underlying combinatorial graph.
@@ -169,7 +173,13 @@ impl UnitDiskGraph {
 
 impl fmt::Display for UnitDiskGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "udg(n={}, m={}, r={})", self.node_count(), self.graph.edge_count(), self.radius)
+        write!(
+            f,
+            "udg(n={}, m={}, r={})",
+            self.node_count(),
+            self.graph.edge_count(),
+            self.radius
+        )
     }
 }
 
@@ -207,7 +217,10 @@ mod tests {
             Point::new(0.9, 0.0),
         ];
         let udg = UnitDiskGraph::build(pts, 1.0).unwrap();
-        assert_eq!(udg.neighbors_within(NodeId::new(0), 0.5), vec![NodeId::new(1)]);
+        assert_eq!(
+            udg.neighbors_within(NodeId::new(0), 0.5),
+            vec![NodeId::new(1)]
+        );
         let mut all = udg.neighbors_within(NodeId::new(0), 1.0);
         all.sort_unstable();
         assert_eq!(all, vec![NodeId::new(1), NodeId::new(2)]);

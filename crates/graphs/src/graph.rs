@@ -124,7 +124,7 @@ impl Graph {
     /// Internal constructor from validated, sorted, deduplicated CSR parts.
     pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>) -> Graph {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(offsets.last().copied(), Some(targets.len()));
         Graph { offsets, targets }
     }
 
@@ -221,7 +221,10 @@ impl Graph {
     /// The directed-slot index of `(u → v)`, if the edge exists.
     pub fn slot_of(&self, u: NodeId, v: NodeId) -> Option<usize> {
         let r = self.slot_range(u);
-        self.neighbors(u).binary_search(&v).ok().map(|i| r.start + i)
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| r.start + i)
     }
 
     /// For every directed slot `(u → v)`, the index of the reverse slot
@@ -237,9 +240,9 @@ impl Graph {
             let range = self.slot_range(u);
             for (i, &v) in self.neighbors(u).iter().enumerate() {
                 let forward = range.start + i;
-                let backward = self
-                    .slot_of(v, u)
-                    .expect("adjacency must be symmetric");
+                let Some(backward) = self.slot_of(v, u) else {
+                    unreachable!("CSR adjacency is symmetric by construction");
+                };
                 rev[forward] = backward as u32;
             }
         }
@@ -267,13 +270,17 @@ impl Graph {
             }
         }
         let mut b = GraphBuilder::new(old_of_new.len() as u32);
-        for &(u, v) in
-            self.edges().collect::<Vec<_>>().iter().filter(|(u, v)| {
-                selected[u.index()] && selected[v.index()]
-            })
+        for &(u, v) in self
+            .edges()
+            .collect::<Vec<_>>()
+            .iter()
+            .filter(|(u, v)| selected[u.index()] && selected[v.index()])
         {
-            b.add_edge(new_of_old[u.index()], new_of_old[v.index()])
-                .expect("remapped edges are valid");
+            if b.add_edge(new_of_old[u.index()], new_of_old[v.index()])
+                .is_err()
+            {
+                unreachable!("remapped edges stay simple and in range");
+            }
         }
         (b.build(), old_of_new)
     }
@@ -343,7 +350,10 @@ mod tests {
     fn out_of_range_rejected() {
         assert_eq!(
             Graph::from_edges(2, &[(0, 2)]),
-            Err(GraphError::NodeOutOfRange { node: 2, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                node_count: 2
+            })
         );
     }
 

@@ -24,9 +24,9 @@ use std::fmt::Write as _;
 /// ```
 pub fn write_edge_list(g: &Graph) -> String {
     let mut out = String::new();
-    writeln!(out, "n {}", g.node_count()).expect("string write");
+    let _ = writeln!(out, "n {}", g.node_count());
     for (u, v) in g.edges() {
-        writeln!(out, "{} {}", u.raw(), v.raw()).expect("string write");
+        let _ = writeln!(out, "{} {}", u.raw(), v.raw());
     }
     out
 }
@@ -52,10 +52,15 @@ pub fn read_edge_list(text: &str) -> Result<Graph, GraphError> {
             if builder.is_some() {
                 return Err(parse_err("duplicate node-count header"));
             }
-            let n: u32 = rest.trim().parse().map_err(|_| parse_err("invalid node count"))?;
+            let n: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| parse_err("invalid node count"))?;
             builder = Some(GraphBuilder::new(n));
         } else {
-            let b = builder.as_mut().ok_or_else(|| parse_err("edge before `n` header"))?;
+            let b = builder
+                .as_mut()
+                .ok_or_else(|| parse_err("edge before `n` header"))?;
             let mut it = line.split_whitespace();
             let u: u32 = it
                 .next()
@@ -73,7 +78,12 @@ pub fn read_edge_list(text: &str) -> Result<Graph, GraphError> {
             b.add_edge(u, v)?;
         }
     }
-    Ok(builder.ok_or(GraphError::Parse { line: 0, reason: "missing `n` header".into() })?.build())
+    Ok(builder
+        .ok_or(GraphError::Parse {
+            line: 0,
+            reason: "missing `n` header".into(),
+        })?
+        .build())
 }
 
 /// Serializes node positions, one `x y` pair per line.
@@ -92,7 +102,7 @@ pub fn read_edge_list(text: &str) -> Result<Graph, GraphError> {
 pub fn write_positions(points: &[ftclust_geometry::Point]) -> String {
     let mut out = String::new();
     for p in points {
-        writeln!(out, "{} {}", p.x, p.y).expect("string write");
+        let _ = writeln!(out, "{} {}", p.x, p.y);
     }
     out
 }
@@ -153,10 +163,22 @@ mod tests {
 
     #[test]
     fn malformed_positions_rejected() {
-        assert!(matches!(read_positions("1\n"), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(read_positions("1 2 3\n"), Err(GraphError::Parse { .. })));
-        assert!(matches!(read_positions("a b\n"), Err(GraphError::Parse { .. })));
-        assert!(matches!(read_positions("1 nan\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_positions("1\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_positions("1 2 3\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_positions("a b\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_positions("1 nan\n"),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -181,14 +203,32 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         assert!(matches!(read_edge_list(""), Err(GraphError::Parse { .. })));
-        assert!(matches!(read_edge_list("0 1\n"), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(read_edge_list("n x\n"), Err(GraphError::Parse { .. })));
-        assert!(matches!(read_edge_list("n 2\n0\n"), Err(GraphError::Parse { line: 2, .. })));
-        assert!(matches!(read_edge_list("n 2\n0 1 2\n"), Err(GraphError::Parse { .. })));
-        assert!(matches!(read_edge_list("n 2\nn 2\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list("0 1\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("n x\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list("n 2\n0\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("n 2\n0 1 2\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list("n 2\nn 2\n"),
+            Err(GraphError::Parse { .. })
+        ));
         assert!(matches!(
             read_edge_list("n 2\n0 5\n"),
-            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
         ));
     }
 }

@@ -48,11 +48,19 @@ impl RandomWaypoint {
         assert!(side.is_finite() && side > 0.0, "side must be positive");
         assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let rand_pt =
-            |rng: &mut StdRng| Point::new(rng.random_range(0.0..=side), rng.random_range(0.0..=side));
+        let rand_pt = |rng: &mut StdRng| {
+            Point::new(rng.random_range(0.0..=side), rng.random_range(0.0..=side))
+        };
         let positions = (0..n).map(|_| rand_pt(&mut rng)).collect();
         let targets = (0..n).map(|_| rand_pt(&mut rng)).collect();
-        RandomWaypoint { side, speed, positions, targets, rng, ticks: 0 }
+        RandomWaypoint {
+            side,
+            speed,
+            positions,
+            targets,
+            rng,
+            ticks: 0,
+        }
     }
 
     /// Current node positions.
@@ -169,7 +177,11 @@ mod tests {
         let g0 = w.udg(1.0).unwrap();
         w.advance(40);
         let g1 = w.udg(1.0).unwrap();
-        assert_ne!(g0.graph(), g1.graph(), "40 ticks should change the topology");
+        assert_ne!(
+            g0.graph(),
+            g1.graph(),
+            "40 ticks should change the topology"
+        );
         assert_eq!(g1.node_count(), 100);
     }
 }

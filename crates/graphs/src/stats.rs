@@ -21,11 +21,16 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     let n = g.node_count();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            histogram: vec![],
+        };
     }
     let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
-    let max = *degrees.iter().max().expect("n > 0");
-    let min = *degrees.iter().min().expect("n > 0");
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let min = degrees.iter().copied().min().unwrap_or(0);
     let mut histogram = vec![0usize; max + 1];
     for &d in &degrees {
         histogram[d] += 1;
@@ -56,7 +61,15 @@ mod tests {
     #[test]
     fn stats_of_empty_graph() {
         let s = degree_stats(&generators::empty(0));
-        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                histogram: vec![]
+            }
+        );
         let s = degree_stats(&generators::empty(3));
         assert_eq!(s.max, 0);
         assert_eq!(s.histogram, vec![3]);

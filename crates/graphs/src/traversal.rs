@@ -12,13 +12,12 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
     let mut dist = vec![None; g.node_count()];
     let mut queue = VecDeque::new();
     dist[src.index()] = Some(0);
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+    queue.push_back((src, 0u32));
+    while let Some((u, du)) = queue.pop_front() {
         for &v in g.neighbors(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
-                queue.push_back(v);
+                queue.push_back((v, du + 1));
             }
         }
     }
@@ -92,7 +91,10 @@ pub fn connected_components(g: &Graph) -> Components {
         }
         count += 1;
     }
-    Components { labels, count: count as usize }
+    Components {
+        labels,
+        count: count as usize,
+    }
 }
 
 /// Returns `true` if the graph is connected (vacuously true for `n ≤ 1`).
@@ -230,7 +232,10 @@ mod tests {
     fn articulation_points_of_known_graphs() {
         use super::articulation_points;
         // Star: the center is the only cut vertex.
-        assert_eq!(articulation_points(&generators::star(6)), vec![NodeId::new(0)]);
+        assert_eq!(
+            articulation_points(&generators::star(6)),
+            vec![NodeId::new(0)]
+        );
         // Complete graph: none.
         assert!(articulation_points(&generators::complete(6)).is_empty());
         // Two triangles sharing node 2: the shared node cuts.

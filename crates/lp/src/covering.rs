@@ -141,6 +141,7 @@ impl CoveringLp {
             self.check_var(j)?;
             Self::check_value(a, "constraint coefficient")?;
             if a == 0.0 {
+                // float-eq: exact — drop structurally zero coefficients
                 continue;
             }
             match row.iter_mut().find(|(jj, _)| *jj == j) {
@@ -156,7 +157,10 @@ impl CoveringLp {
 
     fn check_var(&self, j: usize) -> Result<(), LpError> {
         if j >= self.num_vars {
-            Err(LpError::VariableOutOfRange { var: j, num_vars: self.num_vars })
+            Err(LpError::VariableOutOfRange {
+                var: j,
+                num_vars: self.num_vars,
+            })
         } else {
             Ok(())
         }
@@ -235,7 +239,10 @@ impl CoveringLp {
     pub fn is_dual_feasible(&self, y: &[f64], z: &[f64], tol: f64) -> bool {
         assert_eq!(y.len(), self.rows.len(), "dual y length mismatch");
         assert_eq!(z.len(), self.num_vars, "dual z length mismatch");
-        if y.iter().chain(z.iter()).any(|&v| v < -tol || !v.is_finite()) {
+        if y.iter()
+            .chain(z.iter())
+            .any(|&v| v < -tol || !v.is_finite())
+        {
             return false;
         }
         let mut col_sum = vec![0.0f64; self.num_vars];
@@ -278,7 +285,8 @@ mod tests {
     #[test]
     fn duplicate_entries_are_summed_and_zeros_dropped() {
         let mut lp = CoveringLp::new(2);
-        lp.add_constraint(vec![(0, 1.0), (0, 2.0), (1, 0.0)], 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0), (0, 2.0), (1, 0.0)], 1.0)
+            .unwrap();
         assert_eq!(lp.row(0), &[(0, 3.0)]);
     }
 

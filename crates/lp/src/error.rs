@@ -39,7 +39,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::VariableOutOfRange { var, num_vars } => {
-                write!(f, "variable {var} out of range for LP with {num_vars} variables")
+                write!(
+                    f,
+                    "variable {var} out of range for LP with {num_vars} variables"
+                )
             }
             LpError::InvalidCoefficient { value, context } => {
                 write!(f, "invalid {context}: {value}")
@@ -47,7 +50,10 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::TooLarge { rows, cols } => {
-                write!(f, "instance too large for the dense solver ({rows}×{cols} tableau)")
+                write!(
+                    f,
+                    "instance too large for the dense solver ({rows}×{cols} tableau)"
+                )
             }
         }
     }
@@ -62,7 +68,14 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
-        assert!(LpError::VariableOutOfRange { var: 3, num_vars: 2 }.to_string().contains('3'));
-        assert!(LpError::TooLarge { rows: 10, cols: 20 }.to_string().contains("10×20"));
+        assert!(LpError::VariableOutOfRange {
+            var: 3,
+            num_vars: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(LpError::TooLarge { rows: 10, cols: 20 }
+            .to_string()
+            .contains("10×20"));
     }
 }

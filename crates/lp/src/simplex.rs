@@ -54,6 +54,7 @@ impl Tableau {
             }
             let factor = row[pc];
             if factor != 0.0 {
+                // float-eq: exact — skip rows the pivot cannot change
                 for (v, p) in row.iter_mut().zip(&pivot_row) {
                     *v -= factor * p;
                 }
@@ -62,6 +63,7 @@ impl Tableau {
         }
         let factor = self.obj[pc];
         if factor != 0.0 {
+            // float-eq: exact — skip an unchanged objective row
             for (v, p) in self.obj.iter_mut().zip(&pivot_row) {
                 *v -= factor * p;
             }
@@ -195,7 +197,12 @@ pub fn solve(lp: &CoveringLp) -> Result<LpSolution, LpError> {
     for i in 0..m {
         obj[art0 + i] = 0.0;
     }
-    let mut tab = Tableau { t, obj, basis, cols };
+    let mut tab = Tableau {
+        t,
+        obj,
+        basis,
+        cols,
+    };
     tab.optimize(&|_| true)?;
     let phase1 = -tab.obj[cols];
     if phase1 > FEAS_TOL {
@@ -226,6 +233,7 @@ pub fn solve(lp: &CoveringLp) -> Result<LpSolution, LpError> {
     for r in 0..tab.t.len() {
         let b = tab.basis[r];
         if b < n && lp.objective()[b] != 0.0 {
+            // float-eq: exact — basic columns with zero cost need no correction
             let c = lp.objective()[b];
             let row = tab.t[r].clone();
             for (v, p) in tab.obj.iter_mut().zip(&row) {
@@ -345,11 +353,7 @@ mod tests {
         let n = 9usize;
         let mut lp = CoveringLp::new(n);
         for i in 0..n {
-            let entries = vec![
-                ((i + n - 1) % n, 1.0),
-                (i, 1.0),
-                ((i + 1) % n, 1.0),
-            ];
+            let entries = vec![((i + n - 1) % n, 1.0), (i, 1.0), ((i + 1) % n, 1.0)];
             lp.add_constraint(entries, 1.0).unwrap();
         }
         let sol = solve(&lp).unwrap();
@@ -361,7 +365,8 @@ mod tests {
         // K_5 with k = 3: single repeated constraint Σ x >= 3.
         let mut lp = CoveringLp::new(5);
         for _ in 0..5 {
-            lp.add_constraint((0..5).map(|j| (j, 1.0)).collect(), 3.0).unwrap();
+            lp.add_constraint((0..5).map(|j| (j, 1.0)).collect(), 3.0)
+                .unwrap();
         }
         let sol = solve(&lp).unwrap();
         assert!((sol.value - 3.0).abs() < 1e-7);
@@ -371,7 +376,8 @@ mod tests {
     fn star_domination_lp() {
         // Star with center 0 and 4 leaves, k = 1: center alone suffices.
         let mut lp = CoveringLp::new(5);
-        lp.add_constraint((0..5).map(|j| (j, 1.0)).collect(), 1.0).unwrap();
+        lp.add_constraint((0..5).map(|j| (j, 1.0)).collect(), 1.0)
+            .unwrap();
         for leaf in 1..5 {
             lp.add_constraint(vec![(0, 1.0), (leaf, 1.0)], 1.0).unwrap();
         }
@@ -421,7 +427,8 @@ mod tests {
                 }
                 // Keep demands satisfiable: at most 60% of max supply.
                 let max_supply: f64 = entries.iter().map(|&(_, a)| a).sum();
-                lp.add_constraint(entries, 0.6 * max_supply * rng.random::<f64>()).unwrap();
+                lp.add_constraint(entries, 0.6 * max_supply * rng.random::<f64>())
+                    .unwrap();
             }
             let sol = solve(&lp).unwrap_or_else(|e| panic!("case {case}: {e}"));
             assert!(lp.is_feasible(&sol.x, 1e-6), "case {case} infeasible");

@@ -18,7 +18,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit, still_running } => write!(
+            SimError::RoundLimitExceeded {
+                limit,
+                still_running,
+            } => write!(
                 f,
                 "protocol did not halt within {limit} rounds ({still_running} nodes still running)"
             ),
@@ -34,7 +37,10 @@ mod tests {
 
     #[test]
     fn display_mentions_limit() {
-        let e = SimError::RoundLimitExceeded { limit: 10, still_running: 3 };
+        let e = SimError::RoundLimitExceeded {
+            limit: 10,
+            still_running: 3,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('3'));
     }

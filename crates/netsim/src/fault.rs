@@ -49,7 +49,10 @@ impl FaultPlan {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1], got {p}"
+        );
         self.drop_probability = p;
         self
     }
@@ -93,9 +96,13 @@ mod tests {
 
     #[test]
     fn earlier_crash_wins() {
-        let p = FaultPlan::none().crash(NodeId::new(1), 10).crash(NodeId::new(1), 4);
+        let p = FaultPlan::none()
+            .crash(NodeId::new(1), 10)
+            .crash(NodeId::new(1), 4);
         assert!(p.is_crashed(NodeId::new(1), 4));
-        let p = FaultPlan::none().crash(NodeId::new(1), 4).crash(NodeId::new(1), 10);
+        let p = FaultPlan::none()
+            .crash(NodeId::new(1), 4)
+            .crash(NodeId::new(1), 10);
         assert!(p.is_crashed(NodeId::new(1), 4));
         assert_eq!(p.crash_count(), 1);
     }

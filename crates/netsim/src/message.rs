@@ -73,6 +73,28 @@ mod tests {
     }
 
     #[test]
+    fn bits_for_ids_powers_of_two() {
+        // Exactly at a power of two the width stays at the exponent; one
+        // more identifier forces the extra bit.
+        for p in 1..32usize {
+            let n = 1usize << p;
+            assert_eq!(bits_for_ids(n), p, "n = 2^{p}");
+            assert_eq!(bits_for_ids(n + 1), p + 1, "n = 2^{p} + 1");
+        }
+    }
+
+    #[test]
+    fn bits_for_ids_monotone_and_sufficient() {
+        let mut prev = bits_for_ids(0);
+        for n in 1..=4096usize {
+            let b = bits_for_ids(n);
+            assert!(b >= prev, "width shrank at n = {n}");
+            assert!(1usize << b >= n, "{b} bits cannot address {n} ids");
+            prev = b;
+        }
+    }
+
+    #[test]
     fn unit_payload_is_one_bit() {
         assert_eq!(().bit_size(), 1);
     }

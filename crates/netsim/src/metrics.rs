@@ -76,6 +76,18 @@ mod tests {
     }
 
     #[test]
+    fn mean_stays_zero_over_silent_rounds() {
+        // Rounds without traffic must not divide by zero or skew the mean.
+        let mut m = Metrics::default();
+        m.begin_round();
+        m.begin_round();
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.mean_message_bits(), 0.0);
+        assert_eq!(m.per_round_messages, vec![0, 0]);
+        assert_eq!(m.per_round_bits, vec![0, 0]);
+    }
+
+    #[test]
     fn per_round_series_tracks_rounds() {
         let mut m = Metrics::default();
         m.begin_round();

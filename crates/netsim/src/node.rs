@@ -109,13 +109,21 @@ impl<'a, P: Payload> Context<'a, P> {
             self.me,
             to
         );
-        self.outbox.push(Envelope { from: self.me, to, payload });
+        self.outbox.push(Envelope {
+            from: self.me,
+            to,
+            payload,
+        });
     }
 
     /// Sends a copy of `payload` to every neighbor.
     pub fn broadcast(&mut self, payload: P) {
         for &v in self.neighbors() {
-            self.outbox.push(Envelope { from: self.me, to: v, payload: payload.clone() });
+            self.outbox.push(Envelope {
+                from: self.me,
+                to: v,
+                payload: payload.clone(),
+            });
         }
     }
 }
@@ -139,7 +147,13 @@ mod tests {
         rng: &'a mut StdRng,
         outbox: &'a mut Vec<Envelope<Ping>>,
     ) -> Context<'a, Ping> {
-        Context { me: NodeId::new(0), round: 3, topo, rng, outbox }
+        Context {
+            me: NodeId::new(0),
+            round: 3,
+            topo,
+            rng,
+            outbox,
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-use crate::{Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology};
 use crate::node::Context;
+use crate::{Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology};
 use ftclust_graphs::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,16 +46,21 @@ pub struct Simulator<'a, L: NodeLogic> {
     round: u64,
 }
 
+impl<L: NodeLogic> std::fmt::Debug for Simulator<'_, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// Creates a simulator with one logic instance per node, built by
     /// `make_logic`, and no faults.
     ///
     /// `master_seed` drives all node-local randomness via [`node_rng`].
-    pub fn new(
-        topo: Topology<'a>,
-        make_logic: impl FnMut(NodeId) -> L,
-        master_seed: u64,
-    ) -> Self {
+    pub fn new(topo: Topology<'a>, make_logic: impl FnMut(NodeId) -> L, master_seed: u64) -> Self {
         Self::with_faults(topo, make_logic, master_seed, FaultPlan::none())
     }
 
@@ -70,7 +75,11 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         let nodes = (0..n)
             .map(|i| {
                 let v = NodeId::new(i as u32);
-                NodeSlot { logic: make_logic(v), rng: node_rng(master_seed, v), running: true }
+                NodeSlot {
+                    logic: make_logic(v),
+                    rng: node_rng(master_seed, v),
+                    running: true,
+                }
             })
             .collect();
         Simulator {
@@ -144,7 +153,8 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             }
             // Deliver (next round), applying fault injection.
             for env in outbox.drain(..) {
-                self.metrics.record_send(crate::Payload::bit_size(&env.payload));
+                self.metrics
+                    .record_send(crate::Payload::bit_size(&env.payload));
                 if self.faults.is_crashed(env.to, round + 1) {
                     continue; // receiver will be dead on arrival
                 }
@@ -245,7 +255,14 @@ mod tests {
     fn messages_delivered_next_round() {
         let g = generators::path(2);
         let topo = Topology::from_graph(&g);
-        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 2 }, 0);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 2,
+            },
+            0,
+        );
         sim.step(); // round 0: both send, nothing received yet
         assert!(sim.logic(NodeId::new(0)).heard.is_empty());
         sim.step(); // round 1: both receive
@@ -257,7 +274,14 @@ mod tests {
     fn run_reaches_quiescence_and_counts() {
         let g = generators::complete(5);
         let topo = Topology::from_graph(&g);
-        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 3 }, 0);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 3,
+            },
+            0,
+        );
         let metrics = sim.run(100).unwrap().clone();
         // Rounds 0..=3 execute (round 3 is the halting round).
         assert_eq!(metrics.rounds, 4);
@@ -287,7 +311,13 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let mut sim = Simulator::new(topo, |_| Forever, 0);
         let err = sim.run(5).unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5, still_running: 3 });
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 5,
+                still_running: 3
+            }
+        );
     }
 
     #[test]
@@ -295,8 +325,15 @@ mod tests {
         let g = generators::path(2);
         let topo = Topology::from_graph(&g);
         let faults = FaultPlan::none().crash(NodeId::new(1), 0);
-        let mut sim =
-            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 3 }, 0, faults);
+        let mut sim = Simulator::with_faults(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 3,
+            },
+            0,
+            faults,
+        );
         sim.run(100).unwrap();
         // Node 0 never hears from the crashed node 1.
         assert!(sim.logic(NodeId::new(0)).heard.is_empty());
@@ -310,8 +347,15 @@ mod tests {
         // arrival (receivers crashed at 1 receive them; here node 0 is fine
         // so it receives the round-0 message at round 1).
         let faults = FaultPlan::none().crash(NodeId::new(1), 1);
-        let mut sim =
-            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 5 }, 0, faults);
+        let mut sim = Simulator::with_faults(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 5,
+            },
+            0,
+            faults,
+        );
         sim.run(100).unwrap();
         assert_eq!(sim.logic(NodeId::new(0)).heard, vec![1]);
     }
@@ -321,8 +365,15 @@ mod tests {
         let g = generators::complete(4);
         let topo = Topology::from_graph(&g);
         let faults = FaultPlan::none().drop_probability(1.0);
-        let mut sim =
-            Simulator::with_faults(topo, |_| Gossip { heard: vec![], rounds: 2 }, 0, faults);
+        let mut sim = Simulator::with_faults(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 2,
+            },
+            0,
+            faults,
+        );
         let m = sim.run(100).unwrap();
         assert_eq!(m.dropped_messages, m.messages);
         for l in sim.logics() {
@@ -374,7 +425,14 @@ mod tests {
     fn step_on_quiescent_network_is_noop() {
         let g = generators::path(2);
         let topo = Topology::from_graph(&g);
-        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 0 }, 0);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 0,
+            },
+            0,
+        );
         sim.run(10).unwrap();
         let rounds = sim.metrics().rounds;
         assert!(!sim.step());
@@ -385,7 +443,14 @@ mod tests {
     fn empty_network_is_quiescent() {
         let g = generators::empty(0);
         let topo = Topology::from_graph(&g);
-        let mut sim = Simulator::new(topo, |_| Gossip { heard: vec![], rounds: 1 }, 0);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 1,
+            },
+            0,
+        );
         assert!(sim.is_quiescent());
         assert!(sim.run(10).is_ok());
         assert_eq!(sim.metrics().rounds, 0);

@@ -149,21 +149,26 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
                 for (w, idx) in senders {
                     let payloads = match idx {
                         Some(i) => {
-                            let pos = g.neighbors(v).binary_search(&w).expect("neighbor");
+                            let Ok(pos) = g.neighbors(v).binary_search(&w) else {
+                                unreachable!("senders were drawn from neighbors(v)");
+                            };
                             let bundle = node.received[pos].swap_remove(i);
                             bundle.payloads
                         }
                         None => {
-                            let i = node
-                                .pending_self
-                                .iter()
-                                .position(|(rd, _)| *rd == prev)
-                                .expect("checked above");
+                            let Some(i) = node.pending_self.iter().position(|(rd, _)| *rd == prev)
+                            else {
+                                unreachable!("self marker was pushed only after the check above");
+                            };
                             node.pending_self.swap_remove(i).1
                         }
                     };
                     for p in payloads {
-                        inbox.push(Envelope { from: w, to: v, payload: p });
+                        inbox.push(Envelope {
+                            from: w,
+                            to: v,
+                            payload: p,
+                        });
                     }
                 }
             }
@@ -190,7 +195,9 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
                 if env.to == v {
                     self_msgs.push(env.payload);
                 } else {
-                    let pos = g.neighbors(v).binary_search(&env.to).expect("neighbor");
+                    let Ok(pos) = g.neighbors(v).binary_search(&env.to) else {
+                        unreachable!("Context::send only accepts neighbors");
+                    };
                     per_neighbor[pos].push(env.payload);
                 }
             }
@@ -279,12 +286,14 @@ pub fn run_asynchronously<L: NodeLogic>(
         exec.now = arrival.at;
         exec.stats.ticks = exec.now;
         let to = arrival.bundle.to;
-        let pos = exec
+        let Ok(pos) = exec
             .topo
             .graph()
             .neighbors(to)
             .binary_search(&arrival.bundle.from)
-            .expect("bundle sender must be a neighbor");
+        else {
+            unreachable!("bundles are only addressed along graph edges");
+        };
         if arrival.bundle.halting {
             let slot = &mut exec.nodes[to.index()].neighbor_halted_at[pos];
             *slot = (*slot).min(arrival.bundle.round);
@@ -293,7 +302,10 @@ pub fn run_asynchronously<L: NodeLogic>(
         exec.try_advance(to)?;
     }
     let AsyncExec { nodes, stats, .. } = exec;
-    Ok(AsyncRun { logics: nodes.into_iter().map(|s| s.logic).collect(), stats })
+    Ok(AsyncRun {
+        logics: nodes.into_iter().map(|s| s.logic).collect(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -339,7 +351,11 @@ mod tests {
         let topo = Topology::from_graph(g);
         let mut sim = Simulator::new(
             topo,
-            |v| Flood { best: v.raw() as u64, draws: vec![], rounds },
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds,
+            },
             seed,
         );
         sim.run(10_000).unwrap();
@@ -357,13 +373,20 @@ mod tests {
             let topo = Topology::from_graph(&g);
             let run = run_asynchronously(
                 topo,
-                |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 6 },
+                |v| Flood {
+                    best: v.raw() as u64,
+                    draws: vec![],
+                    rounds: 6,
+                },
                 seed,
                 7, // delays up to 7 ticks
                 10_000,
             )
             .unwrap();
-            assert_eq!(run.logics, sync, "async execution diverged from synchronous");
+            assert_eq!(
+                run.logics, sync,
+                "async execution diverged from synchronous"
+            );
             assert!(run.stats.bundles > 0);
             assert_eq!(run.stats.max_local_round, 6);
         }
@@ -375,7 +398,11 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let a = run_asynchronously(
             topo,
-            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 4 },
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds: 4,
+            },
             5,
             5,
             1_000,
@@ -383,7 +410,11 @@ mod tests {
         .unwrap();
         let b = run_asynchronously(
             topo,
-            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 4 },
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds: 4,
+            },
             5,
             5,
             1_000,
@@ -416,7 +447,11 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let run = run_asynchronously(
             topo,
-            |v| Flood { best: v.raw() as u64, draws: vec![], rounds: 2 },
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds: 2,
+            },
             0,
             3,
             100,

@@ -15,13 +15,19 @@ pub struct Topology<'a> {
 impl<'a> Topology<'a> {
     /// A topology without geometry (general graphs, Section 4 model).
     pub fn from_graph(graph: &'a Graph) -> Self {
-        Topology { graph, positions: None }
+        Topology {
+            graph,
+            positions: None,
+        }
     }
 
     /// A topology with distance sensing (unit disk graphs, Section 5
     /// model).
     pub fn from_udg(udg: &'a UnitDiskGraph) -> Self {
-        Topology { graph: udg.graph(), positions: Some(udg.positions()) }
+        Topology {
+            graph: udg.graph(),
+            positions: Some(udg.positions()),
+        }
     }
 
     /// The underlying graph.
@@ -43,7 +49,8 @@ impl<'a> Topology<'a> {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.positions.map(|pos| pos[u.index()].dist(pos[v.index()]))
+        self.positions
+            .map(|pos| pos[u.index()].dist(pos[v.index()]))
     }
 }
 

@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --release --example asynchronous`
 
-use ftclust::core::fractional::protocol::{
-    run_fractional_protocol, run_fractional_protocol_async,
-};
+use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_async};
 use ftclust::core::fractional::{solve_fractional, FractionalParams};
 use ftclust::core::prelude::*;
 use ftclust::graphs::generators;
@@ -40,7 +38,10 @@ fn main() -> Result<(), KmdsError> {
     //    are delayed by 1–9 ticks each; nodes advance their local round
     //    only when every neighbor's bundle for the previous round arrived.
     let async_sol = run_fractional_protocol_async(&inst, &params, 9)?;
-    println!("asynchronous:  Σx = {:.4}   (delays up to 9 ticks)", async_sol.value);
+    println!(
+        "asynchronous:  Σx = {:.4}   (delays up to 9 ticks)",
+        async_sol.value
+    );
 
     assert_eq!(engine, sync.solution, "sync protocol must equal the engine");
     assert_eq!(engine, async_sol, "async execution must equal the engine");

@@ -38,7 +38,12 @@ fn main() -> Result<(), KmdsError> {
         let mut world = RandomWaypoint::new(N, SIDE, SPEED, 7);
         let udg0 = world.udg(RADIUS).expect("valid UDG");
         let run = UdgAlgorithm::new(k).seed(k as u64).run(&udg0)?;
-        assert!(is_k_dominating(udg0.graph(), &run.set, k, Semantics::Strict));
+        assert!(is_k_dominating(
+            udg0.graph(),
+            &run.set,
+            k,
+            Semantics::Strict
+        ));
         print!("{:>4} {:>7}", k, run.set.len());
         for t in 0..=TICKS {
             if t % 5 == 0 {
@@ -63,7 +68,10 @@ fn main() -> Result<(), KmdsError> {
         }
         if t % 5 == 0 {
             let s = set.as_ref().expect("clustered at t=0");
-            println!("  t={t:>2}: coverage {:.3}", covered_fraction(udg.graph(), s, 1));
+            println!(
+                "  t={t:>2}: coverage {:.3}",
+                covered_fraction(udg.graph(), s, 1)
+            );
         }
         world.step();
     }

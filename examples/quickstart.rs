@@ -46,7 +46,11 @@ fn main() -> Result<(), KmdsError> {
     //    topology, no geometry needed.
     let inst = Instance::uniform_clamped(g, k);
     let pipeline = GeneralPipeline::new(4).seed(11).run(&inst)?;
-    assert!(is_k_dominating_instance(&inst, &pipeline.set, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &pipeline.set,
+        Semantics::CoverSelf
+    ));
     println!(
         "LP pipeline (t=4): fractional value {:.1}, rounded to {} heads \
          (certified ≤ {:.2}× the LP optimum)",

@@ -42,7 +42,7 @@ fn main() -> Result<(), KmdsError> {
                 FailureModel::IidNodeFailure { prob: p },
                 40,
                 k as u64 * 1000 + (p * 100.0) as u64,
-            );
+            )?;
             print!(" {:>8.4}", rep.mean_covered_fraction);
         }
         println!();
@@ -58,7 +58,7 @@ fn main() -> Result<(), KmdsError> {
         FailureModel::KillDominators { count: 2 },
         50,
         77,
-    );
+    )?;
     println!(
         "  worst covered fraction over 50 adversarial trials: {:.4} (must be 1.0)",
         rep.min_covered_fraction

@@ -13,8 +13,8 @@
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency tree at the workspace's approved set.
 
-use ftclust::core::prelude::*;
 use ftclust::core::baselines::{grid_clustering, jrs_kmds};
+use ftclust::core::prelude::*;
 use ftclust::core::udg::UdgAlgorithm;
 use ftclust::graphs::{generators, io, stats, Graph, UnitDiskGraph};
 use ftclust::render::{render_svg, SvgOptions};
@@ -73,13 +73,16 @@ impl Options {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: `{v}`")),
         }
     }
 
@@ -126,7 +129,10 @@ fn cmd_generate(opts: &Options) -> Result<(), String> {
     let out = opts.require("out")?;
     let (graph, positions): (Graph, Option<Vec<ftclust::geometry::Point>>) = match family {
         "gnp" => (generators::gnp(n, (avg / n as f64).min(1.0), seed), None),
-        "ba" => (generators::barabasi_albert(n, ((avg / 2.0) as u32).max(1), seed), None),
+        "ba" => (
+            generators::barabasi_albert(n, ((avg / 2.0) as u32).max(1), seed),
+            None,
+        ),
         "grid" => {
             let side = (n as f64).sqrt().round().max(2.0) as u32;
             (generators::grid_2d(side, side), None)
@@ -161,7 +167,10 @@ fn cmd_info(opts: &Options) -> Result<(), String> {
     let s = stats::degree_stats(&g);
     let comps = ftclust::graphs::traversal::connected_components(&g);
     println!("{g}");
-    println!("degrees: min {} / mean {:.2} / max {}", s.min, s.mean, s.max);
+    println!(
+        "degrees: min {} / mean {:.2} / max {}",
+        s.min, s.mean, s.max
+    );
     println!("connected components: {}", comps.component_count());
     Ok(())
 }
@@ -222,9 +231,11 @@ fn cmd_solve(opts: &Options) -> Result<(), String> {
     };
     print_set_summary(&g, &set, k);
     let set = if opts.flag("connect") {
-        let (cds, added) =
-            connect_dominating_set(&g, &set).map_err(|e| e.to_string())?;
-        println!("connected backbone: +{added} connectors → {} nodes", cds.len());
+        let (cds, added) = connect_dominating_set(&g, &set).map_err(|e| e.to_string())?;
+        println!(
+            "connected backbone: +{added} connectors → {} nodes",
+            cds.len()
+        );
         cds
     } else {
         set
@@ -243,7 +254,10 @@ fn cmd_udg(opts: &Options) -> Result<(), String> {
     let algorithm = opts.get("algorithm").unwrap_or("udg");
     let set = match algorithm {
         "udg" => {
-            let run = UdgAlgorithm::new(k).seed(seed).run(&udg).map_err(|e| e.to_string())?;
+            let run = UdgAlgorithm::new(k)
+                .seed(seed)
+                .run(&udg)
+                .map_err(|e| e.to_string())?;
             println!(
                 "part I: {} leaders in {} rounds; part II: {} iterations",
                 run.leaders.len(),
@@ -308,26 +322,50 @@ mod tests {
         let s_path = dir.join("s.txt");
         let svg_path = dir.join("v.svg");
         run(&strs(&[
-            "generate", "--family", "rgg", "--nodes", "120", "--seed", "5",
-            "--out", g_path.to_str().unwrap(),
-            "--positions", p_path.to_str().unwrap(),
+            "generate",
+            "--family",
+            "rgg",
+            "--nodes",
+            "120",
+            "--seed",
+            "5",
+            "--out",
+            g_path.to_str().unwrap(),
+            "--positions",
+            p_path.to_str().unwrap(),
         ]))
         .unwrap();
         run(&strs(&["info", "--graph", g_path.to_str().unwrap()])).unwrap();
         run(&strs(&[
-            "solve", "--graph", g_path.to_str().unwrap(), "--k", "2",
-            "--algorithm", "greedy", "--connect",
-            "--out", s_path.to_str().unwrap(),
+            "solve",
+            "--graph",
+            g_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--algorithm",
+            "greedy",
+            "--connect",
+            "--out",
+            s_path.to_str().unwrap(),
         ]))
         .unwrap();
         let ids = std::fs::read_to_string(&s_path).unwrap();
         assert!(!ids.trim().is_empty());
         run(&strs(&[
-            "udg", "--positions", p_path.to_str().unwrap(), "--radius", "1.0",
-            "--k", "2", "--svg", svg_path.to_str().unwrap(),
+            "udg",
+            "--positions",
+            p_path.to_str().unwrap(),
+            "--radius",
+            "1.0",
+            "--k",
+            "2",
+            "--svg",
+            svg_path.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(std::fs::read_to_string(&svg_path).unwrap().starts_with("<svg"));
+        assert!(std::fs::read_to_string(&svg_path)
+            .unwrap()
+            .starts_with("<svg"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

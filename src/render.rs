@@ -20,7 +20,10 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 800.0, draw_edges: true }
+        SvgOptions {
+            width: 800.0,
+            draw_edges: true,
+        }
     }
 }
 
@@ -34,9 +37,10 @@ impl Default for SvgOptions {
 /// Panics if the set universe does not match the graph.
 pub fn render_svg(udg: &UnitDiskGraph, set: &DominatingSet, options: &SvgOptions) -> String {
     assert_eq!(set.universe(), udg.node_count(), "set universe mismatch");
-    let (lo, hi) = udg
-        .bounding_box()
-        .unwrap_or((ftclust_geometry::Point::ORIGIN, ftclust_geometry::Point::new(1.0, 1.0)));
+    let (lo, hi) = udg.bounding_box().unwrap_or((
+        ftclust_geometry::Point::ORIGIN,
+        ftclust_geometry::Point::new(1.0, 1.0),
+    ));
     let margin = udg.radius().max(0.5);
     let span_x = (hi.x - lo.x + 2.0 * margin).max(1e-9);
     let span_y = (hi.y - lo.y + 2.0 * margin).max(1e-9);
@@ -46,52 +50,57 @@ pub fn render_svg(udg: &UnitDiskGraph, set: &DominatingSet, options: &SvgOptions
     let py = |y: f64| height - (y - lo.y + margin) * scale;
 
     let mut svg = String::new();
-    writeln!(
+    let _ = writeln!(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
         options.width, height, options.width, height
-    )
-    .expect("string write");
-    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).expect("string write");
+    );
+
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
     if options.draw_edges {
-        writeln!(svg, r##"<g stroke="#c8d4e0" stroke-width="0.5">"##).expect("string write");
+        let _ = writeln!(svg, r##"<g stroke="#c8d4e0" stroke-width="0.5">"##);
         for (u, v) in udg.graph().edges() {
             let (a, b) = (udg.position(u), udg.position(v));
-            writeln!(
+            let _ = writeln!(
                 svg,
                 r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
                 px(a.x),
                 py(a.y),
                 px(b.x),
                 py(b.y)
-            )
-            .expect("string write");
+            );
         }
-        writeln!(svg, "</g>").expect("string write");
+        let _ = writeln!(svg, "</g>");
     }
     let dot = (scale * udg.radius() * 0.08).clamp(1.5, 6.0);
-    writeln!(svg, r##"<g fill="#7f8c99">"##).expect("string write");
+    let _ = writeln!(svg, r##"<g fill="#7f8c99">"##);
     for v in udg.graph().nodes().filter(|&v| !set.contains(v)) {
         let p = udg.position(v);
-        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="{dot:.1}"/>"#, px(p.x), py(p.y))
-            .expect("string write");
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{dot:.1}"/>"#,
+            px(p.x),
+            py(p.y)
+        );
     }
-    writeln!(svg, "</g>").expect("string write");
-    writeln!(svg, r##"<g fill="#d62728" stroke="#7a1516" stroke-width="0.8">"##)
-        .expect("string write");
+    let _ = writeln!(svg, "</g>");
+    let _ = writeln!(
+        svg,
+        r##"<g fill="#d62728" stroke="#7a1516" stroke-width="0.8">"##
+    );
+
     for v in set.ids() {
         let p = udg.position(v);
-        writeln!(
+        let _ = writeln!(
             svg,
             r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}"/>"#,
             px(p.x),
             py(p.y),
             dot * 1.8
-        )
-        .expect("string write");
+        );
     }
-    writeln!(svg, "</g>").expect("string write");
-    writeln!(svg, "</svg>").expect("string write");
+    let _ = writeln!(svg, "</g>");
+    let _ = writeln!(svg, "</svg>");
     svg
 }
 
@@ -116,7 +125,14 @@ mod tests {
     fn edges_can_be_disabled() {
         let udg = generators::random_udg(30, 5.0, 1.0, 2);
         let set = DominatingSet::empty(30);
-        let svg = render_svg(&udg, &set, &SvgOptions { draw_edges: false, ..Default::default() });
+        let svg = render_svg(
+            &udg,
+            &set,
+            &SvgOptions {
+                draw_edges: false,
+                ..Default::default()
+            },
+        );
         assert!(!svg.contains("<line"));
     }
 

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-9c7868afc6142fd5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9c7868afc6142fd5.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9c7868afc6142fd5.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

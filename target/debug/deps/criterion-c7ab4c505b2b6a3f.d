@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c7ab4c505b2b6a3f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-c7ab4c505b2b6a3f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6ba639f5e72cad49.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6ba639f5e72cad49: tests/end_to_end.rs
+
+tests/end_to_end.rs:

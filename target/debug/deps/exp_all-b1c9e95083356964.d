@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-b1c9e95083356964.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-b1c9e95083356964: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e10_tradeoff-588ee1718e315cc0.d: crates/bench/src/bin/exp_e10_tradeoff.rs
+
+/root/repo/target/debug/deps/exp_e10_tradeoff-588ee1718e315cc0: crates/bench/src/bin/exp_e10_tradeoff.rs
+
+crates/bench/src/bin/exp_e10_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e11_baselines-ad12054008ce8f79.d: crates/bench/src/bin/exp_e11_baselines.rs
+
+/root/repo/target/debug/deps/exp_e11_baselines-ad12054008ce8f79: crates/bench/src/bin/exp_e11_baselines.rs
+
+crates/bench/src/bin/exp_e11_baselines.rs:

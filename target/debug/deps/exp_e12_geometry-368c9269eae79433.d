@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e12_geometry-368c9269eae79433.d: crates/bench/src/bin/exp_e12_geometry.rs
+
+/root/repo/target/debug/deps/exp_e12_geometry-368c9269eae79433: crates/bench/src/bin/exp_e12_geometry.rs
+
+crates/bench/src/bin/exp_e12_geometry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e13_ablations-ea6b222e771ecefe.d: crates/bench/src/bin/exp_e13_ablations.rs
+
+/root/repo/target/debug/deps/exp_e13_ablations-ea6b222e771ecefe: crates/bench/src/bin/exp_e13_ablations.rs
+
+crates/bench/src/bin/exp_e13_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e1_fractional_ratio-b0374d8cd69f0306.d: crates/bench/src/bin/exp_e1_fractional_ratio.rs
+
+/root/repo/target/debug/deps/exp_e1_fractional_ratio-b0374d8cd69f0306: crates/bench/src/bin/exp_e1_fractional_ratio.rs
+
+crates/bench/src/bin/exp_e1_fractional_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e2_rounds_bits-f7be45b61e0d3f63.d: crates/bench/src/bin/exp_e2_rounds_bits.rs
+
+/root/repo/target/debug/deps/exp_e2_rounds_bits-f7be45b61e0d3f63: crates/bench/src/bin/exp_e2_rounds_bits.rs
+
+crates/bench/src/bin/exp_e2_rounds_bits.rs:

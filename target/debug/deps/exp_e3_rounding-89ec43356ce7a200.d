@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e3_rounding-89ec43356ce7a200.d: crates/bench/src/bin/exp_e3_rounding.rs
+
+/root/repo/target/debug/deps/exp_e3_rounding-89ec43356ce7a200: crates/bench/src/bin/exp_e3_rounding.rs
+
+crates/bench/src/bin/exp_e3_rounding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e4_end_to_end-a94847b5aa494573.d: crates/bench/src/bin/exp_e4_end_to_end.rs
+
+/root/repo/target/debug/deps/exp_e4_end_to_end-a94847b5aa494573: crates/bench/src/bin/exp_e4_end_to_end.rs
+
+crates/bench/src/bin/exp_e4_end_to_end.rs:

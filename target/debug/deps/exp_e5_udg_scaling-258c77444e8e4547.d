@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e5_udg_scaling-258c77444e8e4547.d: crates/bench/src/bin/exp_e5_udg_scaling.rs
+
+/root/repo/target/debug/deps/exp_e5_udg_scaling-258c77444e8e4547: crates/bench/src/bin/exp_e5_udg_scaling.rs
+
+crates/bench/src/bin/exp_e5_udg_scaling.rs:

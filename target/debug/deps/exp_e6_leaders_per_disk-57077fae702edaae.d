@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e6_leaders_per_disk-57077fae702edaae.d: crates/bench/src/bin/exp_e6_leaders_per_disk.rs
+
+/root/repo/target/debug/deps/exp_e6_leaders_per_disk-57077fae702edaae: crates/bench/src/bin/exp_e6_leaders_per_disk.rs
+
+crates/bench/src/bin/exp_e6_leaders_per_disk.rs:

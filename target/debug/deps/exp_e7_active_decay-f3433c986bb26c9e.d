@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e7_active_decay-f3433c986bb26c9e.d: crates/bench/src/bin/exp_e7_active_decay.rs
+
+/root/repo/target/debug/deps/exp_e7_active_decay-f3433c986bb26c9e: crates/bench/src/bin/exp_e7_active_decay.rs
+
+crates/bench/src/bin/exp_e7_active_decay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e8_message_bits-5eeb370abc5dcdda.d: crates/bench/src/bin/exp_e8_message_bits.rs
+
+/root/repo/target/debug/deps/exp_e8_message_bits-5eeb370abc5dcdda: crates/bench/src/bin/exp_e8_message_bits.rs
+
+crates/bench/src/bin/exp_e8_message_bits.rs:

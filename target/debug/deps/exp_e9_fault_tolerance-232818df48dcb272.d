@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e9_fault_tolerance-232818df48dcb272.d: crates/bench/src/bin/exp_e9_fault_tolerance.rs
+
+/root/repo/target/debug/deps/exp_e9_fault_tolerance-232818df48dcb272: crates/bench/src/bin/exp_e9_fault_tolerance.rs
+
+crates/bench/src/bin/exp_e9_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-5fc67249f69b7d93.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-5fc67249f69b7d93: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftclust-8295b0c0429df211.d: src/lib.rs src/render.rs
+
+/root/repo/target/debug/deps/libftclust-8295b0c0429df211.rlib: src/lib.rs src/render.rs
+
+/root/repo/target/debug/deps/libftclust-8295b0c0429df211.rmeta: src/lib.rs src/render.rs
+
+src/lib.rs:
+src/render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftclust-8a087c8788f10cd9.d: src/bin/ftclust.rs
+
+/root/repo/target/debug/deps/ftclust-8a087c8788f10cd9: src/bin/ftclust.rs
+
+src/bin/ftclust.rs:

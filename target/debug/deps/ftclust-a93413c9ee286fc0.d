@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ftclust-a93413c9ee286fc0.d: src/lib.rs src/render.rs
+
+/root/repo/target/debug/deps/ftclust-a93413c9ee286fc0: src/lib.rs src/render.rs
+
+src/lib.rs:
+src/render.rs:

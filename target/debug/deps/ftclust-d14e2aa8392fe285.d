@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftclust-d14e2aa8392fe285.d: src/lib.rs src/render.rs
+
+/root/repo/target/debug/deps/libftclust-d14e2aa8392fe285.rlib: src/lib.rs src/render.rs
+
+/root/repo/target/debug/deps/libftclust-d14e2aa8392fe285.rmeta: src/lib.rs src/render.rs
+
+src/lib.rs:
+src/render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftclust-edfe2b46d19c1ada.d: src/bin/ftclust.rs
+
+/root/repo/target/debug/deps/ftclust-edfe2b46d19c1ada: src/bin/ftclust.rs
+
+src/bin/ftclust.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftclust_bench-626a335fd253c14e.d: crates/bench/src/lib.rs crates/bench/src/families.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libftclust_bench-626a335fd253c14e.rlib: crates/bench/src/lib.rs crates/bench/src/families.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libftclust_bench-626a335fd253c14e.rmeta: crates/bench/src/lib.rs crates/bench/src/families.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/families.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftclust_bench-8ad3fba75f6dcd73.d: crates/bench/src/lib.rs crates/bench/src/families.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/ftclust_bench-8ad3fba75f6dcd73: crates/bench/src/lib.rs crates/bench/src/families.rs crates/bench/src/stats.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/families.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/ftclust_core-fe7fb2cf2af5963d.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/error.rs crates/core/src/instance.rs crates/core/src/set.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/exact.rs crates/core/src/baselines/greedy.rs crates/core/src/baselines/jrs.rs crates/core/src/baselines/udg_grid.rs crates/core/src/bounds.rs crates/core/src/connect.rs crates/core/src/fault.rs crates/core/src/fractional/mod.rs crates/core/src/fractional/engine.rs crates/core/src/fractional/protocol.rs crates/core/src/general.rs crates/core/src/rounding/mod.rs crates/core/src/rounding/protocol.rs crates/core/src/udg/mod.rs crates/core/src/udg/part1.rs crates/core/src/udg/part2.rs crates/core/src/udg/analysis.rs crates/core/src/udg/protocol.rs crates/core/src/validate.rs crates/core/src/weighted.rs
+
+/root/repo/target/debug/deps/libftclust_core-fe7fb2cf2af5963d.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/error.rs crates/core/src/instance.rs crates/core/src/set.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/exact.rs crates/core/src/baselines/greedy.rs crates/core/src/baselines/jrs.rs crates/core/src/baselines/udg_grid.rs crates/core/src/bounds.rs crates/core/src/connect.rs crates/core/src/fault.rs crates/core/src/fractional/mod.rs crates/core/src/fractional/engine.rs crates/core/src/fractional/protocol.rs crates/core/src/general.rs crates/core/src/rounding/mod.rs crates/core/src/rounding/protocol.rs crates/core/src/udg/mod.rs crates/core/src/udg/part1.rs crates/core/src/udg/part2.rs crates/core/src/udg/analysis.rs crates/core/src/udg/protocol.rs crates/core/src/validate.rs crates/core/src/weighted.rs
+
+/root/repo/target/debug/deps/libftclust_core-fe7fb2cf2af5963d.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/error.rs crates/core/src/instance.rs crates/core/src/set.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/exact.rs crates/core/src/baselines/greedy.rs crates/core/src/baselines/jrs.rs crates/core/src/baselines/udg_grid.rs crates/core/src/bounds.rs crates/core/src/connect.rs crates/core/src/fault.rs crates/core/src/fractional/mod.rs crates/core/src/fractional/engine.rs crates/core/src/fractional/protocol.rs crates/core/src/general.rs crates/core/src/rounding/mod.rs crates/core/src/rounding/protocol.rs crates/core/src/udg/mod.rs crates/core/src/udg/part1.rs crates/core/src/udg/part2.rs crates/core/src/udg/analysis.rs crates/core/src/udg/protocol.rs crates/core/src/validate.rs crates/core/src/weighted.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/error.rs:
+crates/core/src/instance.rs:
+crates/core/src/set.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/exact.rs:
+crates/core/src/baselines/greedy.rs:
+crates/core/src/baselines/jrs.rs:
+crates/core/src/baselines/udg_grid.rs:
+crates/core/src/bounds.rs:
+crates/core/src/connect.rs:
+crates/core/src/fault.rs:
+crates/core/src/fractional/mod.rs:
+crates/core/src/fractional/engine.rs:
+crates/core/src/fractional/protocol.rs:
+crates/core/src/general.rs:
+crates/core/src/rounding/mod.rs:
+crates/core/src/rounding/protocol.rs:
+crates/core/src/udg/mod.rs:
+crates/core/src/udg/part1.rs:
+crates/core/src/udg/part2.rs:
+crates/core/src/udg/analysis.rs:
+crates/core/src/udg/protocol.rs:
+crates/core/src/validate.rs:
+crates/core/src/weighted.rs:

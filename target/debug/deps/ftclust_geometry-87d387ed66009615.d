@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftclust_geometry-87d387ed66009615.d: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+/root/repo/target/debug/deps/ftclust_geometry-87d387ed66009615: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/disk.rs:
+crates/geometry/src/grid.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/cover.rs:
+crates/geometry/src/hex.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftclust_geometry-ed8089ab2e489880.d: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+/root/repo/target/debug/deps/libftclust_geometry-ed8089ab2e489880.rlib: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+/root/repo/target/debug/deps/libftclust_geometry-ed8089ab2e489880.rmeta: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/disk.rs:
+crates/geometry/src/grid.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/cover.rs:
+crates/geometry/src/hex.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ftclust_graphs-006401e0010304d3.d: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/error.rs crates/graphs/src/geometric.rs crates/graphs/src/graph.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/ba.rs crates/graphs/src/generators/er.rs crates/graphs/src/generators/geo.rs crates/graphs/src/generators/structured.rs crates/graphs/src/io.rs crates/graphs/src/mobility.rs crates/graphs/src/stats.rs crates/graphs/src/traversal.rs
+
+/root/repo/target/debug/deps/libftclust_graphs-006401e0010304d3.rlib: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/error.rs crates/graphs/src/geometric.rs crates/graphs/src/graph.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/ba.rs crates/graphs/src/generators/er.rs crates/graphs/src/generators/geo.rs crates/graphs/src/generators/structured.rs crates/graphs/src/io.rs crates/graphs/src/mobility.rs crates/graphs/src/stats.rs crates/graphs/src/traversal.rs
+
+/root/repo/target/debug/deps/libftclust_graphs-006401e0010304d3.rmeta: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/error.rs crates/graphs/src/geometric.rs crates/graphs/src/graph.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/ba.rs crates/graphs/src/generators/er.rs crates/graphs/src/generators/geo.rs crates/graphs/src/generators/structured.rs crates/graphs/src/io.rs crates/graphs/src/mobility.rs crates/graphs/src/stats.rs crates/graphs/src/traversal.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/builder.rs:
+crates/graphs/src/error.rs:
+crates/graphs/src/geometric.rs:
+crates/graphs/src/graph.rs:
+crates/graphs/src/generators/mod.rs:
+crates/graphs/src/generators/ba.rs:
+crates/graphs/src/generators/er.rs:
+crates/graphs/src/generators/geo.rs:
+crates/graphs/src/generators/structured.rs:
+crates/graphs/src/io.rs:
+crates/graphs/src/mobility.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/traversal.rs:

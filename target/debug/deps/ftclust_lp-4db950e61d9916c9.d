@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ftclust_lp-4db950e61d9916c9.d: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/ftclust_lp-4db950e61d9916c9: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/covering.rs:
+crates/lp/src/error.rs:
+crates/lp/src/simplex.rs:

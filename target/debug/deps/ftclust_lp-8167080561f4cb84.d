@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftclust_lp-8167080561f4cb84.d: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libftclust_lp-8167080561f4cb84.rlib: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libftclust_lp-8167080561f4cb84.rmeta: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/covering.rs:
+crates/lp/src/error.rs:
+crates/lp/src/simplex.rs:

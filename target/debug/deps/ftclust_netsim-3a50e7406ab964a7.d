@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ftclust_netsim-3a50e7406ab964a7.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+/root/repo/target/debug/deps/libftclust_netsim-3a50e7406ab964a7.rlib: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+/root/repo/target/debug/deps/libftclust_netsim-3a50e7406ab964a7.rmeta: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/metrics.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/synchronizer.rs:

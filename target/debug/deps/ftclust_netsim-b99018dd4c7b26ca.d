@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftclust_netsim-b99018dd4c7b26ca.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+/root/repo/target/debug/deps/ftclust_netsim-b99018dd4c7b26ca: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/metrics.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/synchronizer.rs:

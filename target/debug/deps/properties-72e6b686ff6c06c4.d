@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-72e6b686ff6c06c4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-72e6b686ff6c06c4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-89428ff30908a985.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-89428ff30908a985.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-89428ff30908a985.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e1bf2cf2bff6b837.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-e1bf2cf2bff6b837: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-0a189880cf187aae.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/theorems-0a189880cf187aae: tests/theorems.rs
+
+tests/theorems.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d.d: xtask/src/main.rs xtask/src/congest.rs xtask/src/headers.rs xtask/src/hygiene.rs xtask/src/selftest.rs xtask/src/source.rs
+
+/root/repo/target/debug/deps/xtask-54450d6bf96ad32d: xtask/src/main.rs xtask/src/congest.rs xtask/src/headers.rs xtask/src/hygiene.rs xtask/src/selftest.rs xtask/src/source.rs
+
+xtask/src/main.rs:
+xtask/src/congest.rs:
+xtask/src/headers.rs:
+xtask/src/hygiene.rs:
+xtask/src/selftest.rs:
+xtask/src/source.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/xtask

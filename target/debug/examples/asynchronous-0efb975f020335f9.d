@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asynchronous-0efb975f020335f9.d: examples/asynchronous.rs
+
+/root/repo/target/debug/examples/asynchronous-0efb975f020335f9: examples/asynchronous.rs
+
+examples/asynchronous.rs:

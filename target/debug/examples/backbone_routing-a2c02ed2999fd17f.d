@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backbone_routing-a2c02ed2999fd17f.d: examples/backbone_routing.rs
+
+/root/repo/target/debug/examples/backbone_routing-a2c02ed2999fd17f: examples/backbone_routing.rs
+
+examples/backbone_routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility-076cdfdfd4625011.d: examples/mobility.rs
+
+/root/repo/target/debug/examples/mobility-076cdfdfd4625011: examples/mobility.rs
+
+examples/mobility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1388c72ad57d8d16.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1388c72ad57d8d16: examples/quickstart.rs
+
+examples/quickstart.rs:

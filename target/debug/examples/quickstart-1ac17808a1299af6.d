@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ac17808a1299af6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ac17808a1299af6: examples/quickstart.rs
+
+examples/quickstart.rs:

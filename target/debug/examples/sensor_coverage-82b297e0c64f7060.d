@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_coverage-82b297e0c64f7060.d: examples/sensor_coverage.rs
+
+/root/repo/target/debug/examples/sensor_coverage-82b297e0c64f7060: examples/sensor_coverage.rs
+
+examples/sensor_coverage.rs:

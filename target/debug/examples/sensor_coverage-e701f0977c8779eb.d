@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_coverage-e701f0977c8779eb.d: examples/sensor_coverage.rs
+
+/root/repo/target/debug/examples/sensor_coverage-e701f0977c8779eb: examples/sensor_coverage.rs
+
+examples/sensor_coverage.rs:

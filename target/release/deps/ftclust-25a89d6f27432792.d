@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ftclust-25a89d6f27432792.d: src/bin/ftclust.rs
+
+/root/repo/target/release/deps/ftclust-25a89d6f27432792: src/bin/ftclust.rs
+
+src/bin/ftclust.rs:

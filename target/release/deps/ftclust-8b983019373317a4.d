@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ftclust-8b983019373317a4.d: src/lib.rs src/render.rs
+
+/root/repo/target/release/deps/libftclust-8b983019373317a4.rlib: src/lib.rs src/render.rs
+
+/root/repo/target/release/deps/libftclust-8b983019373317a4.rmeta: src/lib.rs src/render.rs
+
+src/lib.rs:
+src/render.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ftclust_geometry-de0e40414186bee1.d: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+/root/repo/target/release/deps/libftclust_geometry-de0e40414186bee1.rlib: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+/root/repo/target/release/deps/libftclust_geometry-de0e40414186bee1.rmeta: crates/geometry/src/lib.rs crates/geometry/src/disk.rs crates/geometry/src/grid.rs crates/geometry/src/point.rs crates/geometry/src/cover.rs crates/geometry/src/hex.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/disk.rs:
+crates/geometry/src/grid.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/cover.rs:
+crates/geometry/src/hex.rs:

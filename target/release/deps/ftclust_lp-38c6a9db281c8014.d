@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ftclust_lp-38c6a9db281c8014.d: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libftclust_lp-38c6a9db281c8014.rlib: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libftclust_lp-38c6a9db281c8014.rmeta: crates/lp/src/lib.rs crates/lp/src/covering.rs crates/lp/src/error.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/covering.rs:
+crates/lp/src/error.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ftclust_netsim-931d3bf5cb45226c.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+/root/repo/target/release/deps/libftclust_netsim-931d3bf5cb45226c.rlib: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+/root/repo/target/release/deps/libftclust_netsim-931d3bf5cb45226c.rmeta: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/fault.rs crates/netsim/src/message.rs crates/netsim/src/metrics.rs crates/netsim/src/node.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/synchronizer.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/message.rs:
+crates/netsim/src/metrics.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/synchronizer.rs:

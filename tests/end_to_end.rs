@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full pipelines over generated networks,
 //! engines vs. protocols vs. the asynchronous synchronizer.
 
-use ftclust::core::fractional::protocol::{
-    run_fractional_protocol, run_fractional_protocol_async,
-};
+use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_async};
 use ftclust::core::fractional::{solve_fractional, FractionalParams};
 use ftclust::core::prelude::*;
 use ftclust::core::udg::protocol::run_udg_protocol;
@@ -20,7 +18,10 @@ fn pipeline_feasible_on_every_graph_family() {
         ("tree", generators::random_tree(120, 4)),
         ("cycle", generators::cycle(120)),
         ("star", generators::star(120)),
-        ("rgg", generators::random_udg(120, 7.0, 1.0, 5).graph().clone()),
+        (
+            "rgg",
+            generators::random_udg(120, 7.0, 1.0, 5).graph().clone(),
+        ),
     ];
     for (name, g) in &graphs {
         for k in [1u32, 2, 3] {
@@ -87,7 +88,11 @@ fn serde_roundtrip_of_graphs_through_edge_lists() {
     // The round-tripped graph supports the full pipeline.
     let inst = Instance::uniform_clamped(&back, 2);
     let run = GeneralPipeline::new(2).run(&inst).unwrap();
-    assert!(is_k_dominating_instance(&inst, &run.set, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &run.set,
+        Semantics::CoverSelf
+    ));
 }
 
 #[test]
@@ -99,11 +104,23 @@ fn per_node_demands_flow_through_everything() {
         .collect();
     let inst = Instance::with_demands(&g, demands).unwrap();
     let run = GeneralPipeline::new(2).seed(3).run(&inst).unwrap();
-    assert!(is_k_dominating_instance(&inst, &run.set, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &run.set,
+        Semantics::CoverSelf
+    ));
     let greedy = greedy_kmds(&inst, Semantics::CoverSelf);
-    assert!(is_k_dominating_instance(&inst, &greedy, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &greedy,
+        Semantics::CoverSelf
+    ));
     let jrs = ftclust::core::baselines::jrs_kmds(&inst, Semantics::CoverSelf, 5);
-    assert!(is_k_dominating_instance(&inst, &jrs.set, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &jrs.set,
+        Semantics::CoverSelf
+    ));
 }
 
 #[test]
@@ -116,7 +133,11 @@ fn disconnected_graphs_are_handled() {
     let g = b.build();
     let inst = Instance::uniform_clamped(&g, 2);
     let run = GeneralPipeline::new(2).run(&inst).unwrap();
-    assert!(is_k_dominating_instance(&inst, &run.set, Semantics::CoverSelf));
+    assert!(is_k_dominating_instance(
+        &inst,
+        &run.set,
+        Semantics::CoverSelf
+    ));
     // Isolated nodes must be in the set.
     for v in [3u32, 7, 8, 9] {
         assert!(run.set.contains(ftclust::graphs::NodeId::new(v)));

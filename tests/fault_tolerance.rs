@@ -36,7 +36,8 @@ fn survivability_improves_monotonically_with_k() {
             FailureModel::IidNodeFailure { prob: 0.25 },
             60,
             k as u64,
-        );
+        )
+        .unwrap();
         fully.push(rep.mean_covered_fraction);
     }
     for w in fully.windows(2) {
@@ -64,7 +65,8 @@ fn greedy_backbones_also_benefit_from_k() {
             FailureModel::IidNodeFailure { prob: 0.3 },
             50,
             9,
-        );
+        )
+        .unwrap();
         res.push(rep.mean_covered_fraction);
     }
     assert!(res[1] >= res[0], "k=3 should beat k=1: {res:?}");
@@ -124,7 +126,11 @@ fn netsim_crash_injection_with_backbone_gossip() {
     let topo = Topology::from_udg(&udg);
     let mut sim = Simulator::with_faults(
         topo,
-        |v| Relay { backbone: backbone.contains(v), heard: false, rounds: 600 },
+        |v| Relay {
+            backbone: backbone.contains(v),
+            heard: false,
+            rounds: 600,
+        },
         0,
         faults,
     );
@@ -166,7 +172,11 @@ fn message_loss_degrades_gracefully_not_catastrophically() {
     }
     impl NodeLogic for Head {
         type Payload = Beacon;
-        fn on_round(&mut self, inbox: &[Envelope<Beacon>], ctx: &mut Context<'_, Beacon>) -> Control {
+        fn on_round(
+            &mut self,
+            inbox: &[Envelope<Beacon>],
+            ctx: &mut Context<'_, Beacon>,
+        ) -> Control {
             self.heard += inbox.len() as u32;
             if ctx.round() >= 4 {
                 return Control::Halt;
@@ -183,7 +193,10 @@ fn message_loss_degrades_gracefully_not_catastrophically() {
     let topo = Topology::from_udg(&udg);
     let mut sim = Simulator::with_faults(
         topo,
-        |v| Head { is_head: set.contains(v), heard: 0 },
+        |v| Head {
+            is_head: set.contains(v),
+            heard: 0,
+        },
         7,
         FaultPlan::none().drop_probability(0.10),
     );
@@ -198,5 +211,8 @@ fn message_loss_degrades_gracefully_not_catastrophically() {
         (silent as f64) < 0.02 * clients as f64 + 2.0,
         "{silent}/{clients} clients heard nothing despite 3-fold redundancy"
     );
-    assert!(sim.metrics().dropped_messages > 0, "loss injection did not fire");
+    assert!(
+        sim.metrics().dropped_messages > 0,
+        "loss injection did not fire"
+    );
 }

@@ -12,8 +12,11 @@ use ftclust::lp::solve as lp_solve;
 use proptest::prelude::*;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (2u32..40, proptest::collection::vec((0u32..40, 0u32..40), 0..150)).prop_map(
-        |(n, edges)| {
+    (
+        2u32..40,
+        proptest::collection::vec((0u32..40, 0u32..40), 0..150),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = ftclust::graphs::GraphBuilder::new(n);
             for (u, v) in edges {
                 if u != v && u < n && v < n {
@@ -21,8 +24,7 @@ fn arbitrary_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -52,7 +52,11 @@ fn theorem_4_6_expected_blowup() {
     let mut sum = 0.0;
     for seed in 0..trials {
         let out = round_fractional(&inst, &sol.x, sol.delta, seed, &RoundingParams::default());
-        assert!(is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf));
+        assert!(is_k_dominating_instance(
+            &inst,
+            &out.set,
+            Semantics::CoverSelf
+        ));
         sum += out.set.len() as f64;
     }
     let mean = sum / trials as f64;
@@ -62,7 +66,10 @@ fn theorem_4_6_expected_blowup() {
         blowup <= predicted + 1.0,
         "measured blowup {blowup:.2} vs predicted {predicted:.2}"
     );
-    assert!(blowup >= 1.0, "rounding cannot shrink below the fractional value on average");
+    assert!(
+        blowup >= 1.0,
+        "rounding cannot shrink below the fractional value on average"
+    );
 }
 
 /// Theorem 5.7 (shape): the UDG algorithm's output size stays within a
@@ -96,11 +103,19 @@ fn lemma_5_5_and_5_6_disk_occupancy() {
         let udg = generators::random_udg(n, 15.0, 1.0, n as u64 + 9);
         let run1 = UdgAlgorithm::new(1).seed(2).run(&udg).unwrap();
         let occ1 = analysis::members_per_half_disk(&udg, &run1.leaders).unwrap();
-        assert!(occ1.max <= 12, "Part I occupancy too high at n={n}: {}", occ1.max);
+        assert!(
+            occ1.max <= 12,
+            "Part I occupancy too high at n={n}: {}",
+            occ1.max
+        );
         let run4 = UdgAlgorithm::new(4).seed(2).run(&udg).unwrap();
         let occ4 = analysis::members_per_half_disk(&udg, &run4.set).unwrap();
         // O(k) with k = 4: allow a generous constant.
-        assert!(occ4.max <= 12 * 4, "Part II occupancy too high at n={n}: {}", occ4.max);
+        assert!(
+            occ4.max <= 12 * 4,
+            "Part II occupancy too high at n={n}: {}",
+            occ4.max
+        );
     }
 }
 
@@ -123,7 +138,10 @@ fn lemma_5_2_decay_shape() {
         .fold(0.0f64, f64::max);
     assert!(best_factor >= 2.5, "no super-geometric round: {h:?}");
     // And the end state is a sparse leader set.
-    assert!(*h.last().unwrap() < 4000 / 10, "final leader count too large: {h:?}");
+    assert!(
+        *h.last().unwrap() < 4000 / 10,
+        "final leader count too large: {h:?}"
+    );
 }
 
 /// Lemma 5.3 / Figure 1: geometric covering counts.
@@ -151,7 +169,11 @@ fn true_approximation_ratios_small_instances() {
             // Greedy: H(Δ+1) bound.
             let greedy = greedy_kmds(&inst, Semantics::CoverSelf).len() as f64;
             let h: f64 = (1..=g.max_degree() + 1).map(|i| 1.0 / i as f64).sum();
-            assert!(greedy <= (h + 1.0) * opt + 1e-9, "greedy {greedy} vs H·OPT {}", h * opt);
+            assert!(
+                greedy <= (h + 1.0) * opt + 1e-9,
+                "greedy {greedy} vs H·OPT {}",
+                h * opt
+            );
             // Pipeline: Theorem 4.5 × Theorem 4.6 bound (expectation; a
             // single seeded run gets slack 2).
             let run = GeneralPipeline::new(3).seed(seed).run(&inst).unwrap();

@@ -1,0 +1,173 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion/0.8).
+//!
+//! The benchmark sources in `crates/bench/benches/` keep their upstream
+//! criterion form; this stand-in makes them compile and run without the
+//! real dependency. Instead of statistical sampling it executes each
+//! benchmark closure **once** and prints the wall-clock time — a smoke
+//! test proving the benched paths work, not a measurement framework.
+//!
+//! Behavior of a generated `main`:
+//!
+//! * invoked with a `--bench` argument (as `cargo bench` does): runs
+//!   every target once and reports timings,
+//! * invoked any other way (e.g. `cargo test --benches` compiles the
+//!   target with libtest conventions): exits immediately so test runs
+//!   stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// The benchmark driver (stand-in: holds only display configuration).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (recorded but unused: the stand-in
+    /// always runs one iteration).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Mirrors criterion's CLI handling; the stand-in has no CLI.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b| f(b, input));
+    }
+
+    /// Runs an unparameterized benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed_any: false };
+    let start = Instant::now();
+    f(&mut bencher);
+    println!(
+        "bench {label:<40} {:>12.3?} (1 iteration, criterion stand-in)",
+        start.elapsed()
+    );
+}
+
+/// Drives the timed closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_any: bool,
+}
+
+impl Bencher {
+    /// Executes the routine once (the stand-in does not sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.elapsed_any = true;
+        black_box(routine());
+    }
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declares a group of benchmark targets with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, gated on `--bench` (see the
+/// [crate docs](crate)).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let bench_mode = std::env::args().any(|a| a == "--bench");
+            if !bench_mode {
+                // `cargo test` builds and runs bench targets without
+                // --bench; skip instantly so test runs stay fast.
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest/1).
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses —
+//! the [`proptest!`] macro, range/tuple/`prop_map` strategies,
+//! [`collection::vec`], [`ProptestConfig::with_cases`] and the
+//! `prop_assert*` macros — as a plain deterministic sampling loop:
+//!
+//! * every `#[test]` inside [`proptest!`] runs `cases` times with inputs
+//!   drawn from its strategies,
+//! * sampling is seeded per test **deterministically** (from the test's
+//!   name), so failures reproduce exactly across runs and machines,
+//! * there is **no shrinking**: a failing case reports the panic from
+//!   `prop_assert!` directly. For the invariant-style properties in this
+//!   repository (feasibility, monotonicity, bracketing bounds) the raw
+//!   counterexample is already small enough to debug.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs the body; on a false condition, panics with the formatted
+/// message (stand-in for proptest's error-propagating version).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each function runs `config.cases` times with
+/// fresh inputs sampled from the strategies named after `in`.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///     /// doc comments and attributes pass through
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0f64..1.0, 0..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

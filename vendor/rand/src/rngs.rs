@@ -1,0 +1,58 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: **xoshiro256++**.
+///
+/// Not the upstream `StdRng` (ChaCha12); see the [crate docs](crate) for
+/// why that is acceptable here. All determinism contracts in this
+/// repository (engine vs. protocol seed-for-seed equality) route through
+/// this one implementation, so they hold regardless of the algorithm
+/// behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(bytes);
+        }
+        // An all-zero state would be a fixed point; nudge it.
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 0x6a09_e667_f3bc_c909, 1, 2];
+        }
+        StdRng { s }
+    }
+}
+
+/// A small fast generator, aliased to [`StdRng`] in this stand-in.
+pub type SmallRng = StdRng;

@@ -1,0 +1,27 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde/1).
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so downstream users can opt into
+//! serialization, but nothing in the repository itself serializes through
+//! serde (all I/O is the plain-text format in `ftclust_graphs::io`).
+//! Since the build environment cannot fetch crates, this stand-in
+//! provides just enough for those annotations to compile: marker traits
+//! and derive macros that expand to nothing.
+//!
+//! If real serialization is ever needed, restore the upstream dependency
+//! and delete this crate — the annotations themselves are already
+//! correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in this
+/// stand-in).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in this
+/// stand-in).
+pub trait DeserializeMarker<'de> {}

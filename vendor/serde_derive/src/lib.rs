@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! Each derive expands to an empty token stream: the annotation compiles,
+//! no impl is generated, and nothing in the workspace depends on one
+//! being generated.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,49 @@
+//! NOT COMPILED — lint self-test fixture that must produce zero
+//! violations: panic paths only in comments, strings and tests; floats
+//! compared through tolerances or waived; payloads quantized.
+//!
+//! Message values are quantized to `FIXTURE_BITS` fixed-point bits.
+
+/// Quantization constant for the fixture payload (see module docs).
+pub const FIXTURE_BITS: usize = 24;
+
+/// A well-accounted protocol message.
+pub enum CleanMsg {
+    /// One-bit flag.
+    Flag(bool),
+    /// A quantized value plus a neighbor-count field.
+    Share { value: f64, others: u32 },
+}
+
+impl Payload for CleanMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            CleanMsg::Flag(_) => 1,
+            CleanMsg::Share { others, .. } => FIXTURE_BITS + bits_for_ids(*others as usize + 2),
+        }
+    }
+}
+
+/// Comparing floats through a tolerance is fine.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// Exact zero skip, documented. // float-eq: exact — sparse skip
+pub fn is_exact_zero(x: f64) -> bool {
+    x == 0.0 // float-eq: exact — sparse skip
+}
+
+/// Mentioning unwrap() in a doc comment or "a panic!(…) string" is not a
+/// violation.
+pub fn documented() -> &'static str {
+    "call .unwrap() and panic!(now)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

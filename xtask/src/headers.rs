@@ -1,0 +1,114 @@
+//! Crate-header and manifest audits.
+//!
+//! * **crate-headers** — every library crate root (`src/lib.rs`) must
+//!   carry `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! * **workspace-lints** — the root manifest must define
+//!   `[workspace.lints]`, and every workspace crate manifest must inherit
+//!   it with `[lints] workspace = true`.
+
+use crate::Violation;
+use std::path::Path;
+
+/// Required crate-root attributes.
+const REQUIRED_HEADERS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// Checks one `lib.rs` for the required crate-level attributes.
+pub(crate) fn check_crate_header(root: &Path, rel_lib: &str, out: &mut Vec<Violation>) {
+    let path = root.join(rel_lib);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        out.push(Violation {
+            rule: "crate-headers",
+            path: rel_lib.to_owned(),
+            line: 1,
+            message: "crate root not readable".to_owned(),
+        });
+        return;
+    };
+    for header in REQUIRED_HEADERS {
+        if !text.contains(header) {
+            out.push(Violation {
+                rule: "crate-headers",
+                path: rel_lib.to_owned(),
+                line: 1,
+                message: format!("crate root is missing `{header}`"),
+            });
+        }
+    }
+}
+
+/// Checks the root manifest for `[workspace.lints]` and each member
+/// manifest for `[lints] workspace = true`.
+pub(crate) fn check_manifests(root: &Path, members: &[&str], out: &mut Vec<Violation>) {
+    let root_manifest = root.join("Cargo.toml");
+    match std::fs::read_to_string(&root_manifest) {
+        Ok(text) if text.contains("[workspace.lints") => {}
+        Ok(_) => out.push(Violation {
+            rule: "workspace-lints",
+            path: "Cargo.toml".to_owned(),
+            line: 1,
+            message: "root manifest does not define `[workspace.lints]`".to_owned(),
+        }),
+        Err(_) => out.push(Violation {
+            rule: "workspace-lints",
+            path: "Cargo.toml".to_owned(),
+            line: 1,
+            message: "root manifest not readable".to_owned(),
+        }),
+    }
+    for member in members {
+        let rel = if member.is_empty() {
+            "Cargo.toml".to_owned()
+        } else {
+            format!("{member}/Cargo.toml")
+        };
+        let Ok(text) = std::fs::read_to_string(root.join(&rel)) else {
+            out.push(Violation {
+                rule: "workspace-lints",
+                path: rel,
+                line: 1,
+                message: "member manifest not readable".to_owned(),
+            });
+            continue;
+        };
+        if !inherits_workspace_lints(&text) {
+            out.push(Violation {
+                rule: "workspace-lints",
+                path: rel,
+                line: 1,
+                message: "manifest does not inherit the shared lint policy: add \
+                          `[lints]\\nworkspace = true`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Does the manifest contain a `[lints]` table with `workspace = true`?
+fn inherits_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_inheritance() {
+        assert!(inherits_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!inherits_workspace_lints("[package]\nname = \"x\"\n"));
+        assert!(!inherits_workspace_lints(
+            "[lints]\n\n[dependencies]\nworkspace = true\n"
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! Source-hygiene pass: forbidden macros/methods in library code and
+//! float equality in the numeric crates.
+//!
+//! Rules (applied to library sources only — binaries, examples, benches
+//! and `#[cfg(test)]` modules are exempt):
+//!
+//! * **no-panic-paths** — `.unwrap()`, `.expect(`, `panic!(`, `todo!(`
+//!   and `unimplemented!(` are forbidden. Truly impossible states use
+//!   `unreachable!` with a justification, checked invariants use
+//!   `assert!`/`debug_assert!`, and everything else returns a `Result`
+//!   through the crate's error type.
+//! * **no-float-eq** — in `crates/lp` and `crates/geometry`, `==`/`!=`
+//!   with a floating-point literal operand is forbidden unless the line
+//!   or an adjacent line carries a `// float-eq: exact` waiver explaining
+//!   why the exact comparison is intended (e.g. skipping exact zeros in
+//!   simplex elimination). Adjacent lines count because `rustfmt` moves
+//!   trailing comments onto their own line when a statement wraps.
+
+use crate::source::SourceFile;
+use crate::Violation;
+
+/// Method-call / macro tokens that must not appear in library code.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (".unwrap()", "call `.unwrap()`"),
+    (".expect(", "call `.expect(…)`"),
+    ("panic!(", "invoke `panic!`"),
+    ("todo!(", "invoke `todo!`"),
+    ("unimplemented!(", "invoke `unimplemented!`"),
+];
+
+/// Runs the no-panic-paths rule over one library source file.
+pub(crate) fn check_panic_paths(file: &SourceFile, out: &mut Vec<Violation>) {
+    let limit = file.test_code_start();
+    let code = &file.scrubbed[..limit];
+    for &(needle, what) in FORBIDDEN {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle) {
+            let offset = from + pos;
+            out.push(Violation {
+                rule: "no-panic-paths",
+                path: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "library code must not {what}; return a Result or use \
+                     `unreachable!` with a justification (line: `{}`)",
+                    file.line_text(offset)
+                ),
+            });
+            from = offset + needle.len();
+        }
+    }
+}
+
+/// Runs the no-float-eq rule over one numeric-crate source file.
+pub(crate) fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
+    let limit = file.test_code_start();
+    let code = &file.scrubbed[..limit];
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = find_eq_operator(code, from) {
+        from = pos + 2;
+        // `==` or `!=`: inspect both operand fragments on this line.
+        let line_start = bytes[..pos]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let line_end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(code.len(), |p| pos + p);
+        let left = &code[line_start..pos];
+        let right = &code[pos + 2..line_end];
+        if !(fragment_has_float_literal(left, true) || fragment_has_float_literal(right, false)) {
+            continue;
+        }
+        // Waiver: the raw line — or an adjacent one, since rustfmt moves
+        // trailing comments onto their own line — documents intent.
+        let raw_line = file.line_text(pos);
+        let line_no = file.line_of(pos);
+        let waived = [line_no.saturating_sub(1), line_no, line_no + 1]
+            .into_iter()
+            .filter(|&l| l >= 1)
+            .any(|l| file.raw_line(l).contains("float-eq: exact"));
+        if waived {
+            continue;
+        }
+        out.push(Violation {
+            rule: "no-float-eq",
+            path: file.rel_path.clone(),
+            line: file.line_of(pos),
+            message: format!(
+                "exact float equality in a numeric crate; compare against a \
+                 tolerance, or annotate `// float-eq: exact` with a reason \
+                 (line: `{raw_line}`)"
+            ),
+        });
+    }
+}
+
+/// Finds the next `==` or `!=` at or after `from` that is a comparison
+/// operator (not `<=`, `>=`, `=>`, or part of `===`-like runs, which Rust
+/// doesn't have anyway).
+fn find_eq_operator(code: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut i = from;
+    while i + 1 < bytes.len() {
+        if bytes[i + 1] == b'=' && (bytes[i] == b'=' || bytes[i] == b'!') {
+            // Exclude `<=`/`>=`-style and assignment `=`: we matched the
+            // first char exactly, so `a <= b` can't land here. Exclude a
+            // leading `=` that is itself preceded by `=` or `!` (already
+            // consumed) or followed by another `=`.
+            if bytes.get(i + 2) != Some(&b'=') && (i == 0 || bytes[i - 1] != b'=') {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Does the operand fragment next to the operator contain a float literal?
+///
+/// For the left fragment, the literal must be the *last* token; for the
+/// right fragment, the *first*. That keeps unrelated floats elsewhere on
+/// the line (array indices, earlier arguments) from triggering.
+fn fragment_has_float_literal(fragment: &str, left_side: bool) -> bool {
+    let token: &str = if left_side {
+        fragment
+            .trim_end()
+            .rsplit([' ', '(', ',', '[', '{'])
+            .next()
+            .unwrap_or("")
+    } else {
+        fragment
+            .trim_start()
+            .split([' ', ')', ',', ']', '}', ';'])
+            .next()
+            .unwrap_or("")
+    };
+    is_float_literal(token)
+        || token.ends_with("f64::EPSILON")
+        || token.ends_with("f32::EPSILON")
+        || token.ends_with("f64::INFINITY")
+        || token.ends_with("f64::NAN")
+}
+
+/// `1.0`, `0.5f64`, `1e-9`, `2.5e3` — but not `1..n` ranges or field
+/// accesses like `p.x`.
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let mut seen_dot_or_exp = false;
+    let mut prev = first;
+    for c in chars {
+        match c {
+            '0'..='9' | '_' => {}
+            '.' => {
+                if prev == '.' {
+                    return false; // `1..n` range
+                }
+                seen_dot_or_exp = true;
+            }
+            'e' | 'E' | '-' | '+' => seen_dot_or_exp = true,
+            _ => return false,
+        }
+        prev = c;
+    }
+    seen_dot_or_exp && !t.ends_with('.') || (seen_dot_or_exp && t.ends_with(".0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scrub;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: "test.rs".into(),
+            raw: src.into(),
+            scrubbed: scrub(src),
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let mut v = Vec::new();
+        check_panic_paths(&file(src), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_comments_and_strings() {
+        let src = "// x.unwrap()\nlet s = \"panic!(boom)\";\n";
+        let mut v = Vec::new();
+        check_panic_paths(&file(src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_float_eq_without_waiver() {
+        let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
+        let mut v = Vec::new();
+        check_float_eq(&file(src), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-float-eq");
+    }
+
+    #[test]
+    fn waiver_suppresses_float_eq() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // float-eq: exact — skip zeros\n";
+        let mut v = Vec::new();
+        check_float_eq(&file(src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waiver_on_adjacent_line_suppresses_float_eq() {
+        // rustfmt moves trailing comments of wrapped statements onto the
+        // following line; the waiver must still count there.
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0\n    // float-eq: exact — skip zeros\n}\n";
+        let mut v = Vec::new();
+        check_float_eq(&file(src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn integer_eq_and_ranges_not_flagged() {
+        let src = "fn f(n: usize) -> bool { n == 1 && (0..n).len() == n }\n";
+        let mut v = Vec::new();
+        check_float_eq(&file(src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task so far is `lint`: the static-analysis gate described in
+//! `DESIGN.md`. It is self-contained (no external dependencies, no
+//! network) and runs four passes over the workspace sources:
+//!
+//! 1. manifest audit ([`headers::check_manifests`]) — shared
+//!    `[workspace.lints]` policy and per-crate inheritance,
+//! 2. crate-header audit ([`headers::check_crate_header`]) —
+//!    `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]`,
+//! 3. source hygiene ([`hygiene`]) — no panic paths in library code, no
+//!    float `==` in the numeric crates,
+//! 4. CONGEST conformance ([`congest`]) — every protocol message charges
+//!    an `O(log n)`-bounded `bit_size`.
+//!
+//! Exit status: 0 when clean, 1 when any violation is found, 2 on usage
+//! errors. `cargo xtask lint --self-test` additionally runs the checkers
+//! against the seeded-violation fixtures in `xtask/fixtures/` and fails
+//! if any seeded violation goes undetected (guarding the gate itself
+//! against silent regressions).
+
+mod congest;
+mod headers;
+mod hygiene;
+mod selftest;
+mod source;
+
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One finding of one lint rule.
+#[derive(Debug, Clone)]
+pub(crate) struct Violation {
+    /// Stable rule identifier (kebab-case).
+    pub(crate) rule: &'static str,
+    /// Workspace-relative file path.
+    pub(crate) path: String,
+    /// 1-indexed line.
+    pub(crate) line: usize,
+    /// Human-readable explanation.
+    pub(crate) message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Workspace members whose manifests must inherit `[workspace.lints]`.
+/// `""` is the root package.
+const MEMBERS: &[&str] = &[
+    "",
+    "crates/bench",
+    "crates/core",
+    "crates/geometry",
+    "crates/graphs",
+    "crates/lp",
+    "crates/netsim",
+    "xtask",
+];
+
+/// Crate roots audited for the required header attributes.
+const CRATE_ROOTS: &[&str] = &[
+    "src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/geometry/src/lib.rs",
+    "crates/graphs/src/lib.rs",
+    "crates/lp/src/lib.rs",
+    "crates/netsim/src/lib.rs",
+];
+
+/// Source trees holding shipping library code (hygiene scope). Binaries
+/// (`src/bin/`), examples, benches and test modules are exempt.
+const LIBRARY_TREES: &[&str] = &[
+    "src",
+    "crates/bench/src",
+    "crates/core/src",
+    "crates/geometry/src",
+    "crates/graphs/src",
+    "crates/lp/src",
+    "crates/netsim/src",
+];
+
+/// Numeric crates where float `==` is checked.
+const FLOAT_EQ_TREES: &[&str] = &["crates/lp/src", "crates/geometry/src"];
+
+/// Files subject to the CONGEST pass: the whole simulator crate plus the
+/// core protocol modules. The `bool` marks protocol modules, where every
+/// `*Msg` type must have a `Payload` impl.
+const CONGEST_SCOPES: &[(&str, bool)] = &[
+    ("crates/netsim/src", false),
+    ("crates/core/src/fractional/protocol.rs", true),
+    ("crates/core/src/rounding/protocol.rs", true),
+    ("crates/core/src/udg/protocol.rs", true),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--self-test") {
+                eprintln!("unknown option `{bad}`; usage: cargo xtask lint [--self-test]");
+                return ExitCode::from(2);
+            }
+            let self_test = args.iter().any(|a| a == "--self-test");
+            if self_test {
+                if let Err(msg) = selftest::run(&root) {
+                    eprintln!("self-test FAILED: {msg}");
+                    return ExitCode::from(1);
+                }
+                println!("self-test passed: seeded violations detected, clean fixture clean");
+            }
+            run_lint(&root)
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available: lint [--self-test]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--self-test]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// Runs every pass and reports. Exit 0 iff no violations.
+fn run_lint(root: &Path) -> ExitCode {
+    let mut violations = Vec::new();
+    headers::check_manifests(root, MEMBERS, &mut violations);
+    for lib in CRATE_ROOTS {
+        headers::check_crate_header(root, lib, &mut violations);
+    }
+    let mut files_checked = 0usize;
+    for tree in LIBRARY_TREES {
+        for file in load_tree(root, tree) {
+            hygiene::check_panic_paths(&file, &mut violations);
+            files_checked += 1;
+        }
+    }
+    for tree in FLOAT_EQ_TREES {
+        for file in load_tree(root, tree) {
+            hygiene::check_float_eq(&file, &mut violations);
+        }
+    }
+    for &(scope, protocol_module) in CONGEST_SCOPES {
+        for file in load_tree(root, scope) {
+            congest::check(&file, protocol_module, &mut violations);
+        }
+    }
+    report(&violations, files_checked)
+}
+
+fn report(violations: &[Violation], files_checked: usize) -> ExitCode {
+    if violations.is_empty() {
+        println!("lint clean: {files_checked} library files, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        let mut sorted: Vec<&Violation> = violations.iter().collect();
+        sorted.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        for v in &sorted {
+            eprintln!("{v}");
+        }
+        eprintln!("lint FAILED: {} violation(s)", sorted.len());
+        ExitCode::from(1)
+    }
+}
+
+/// Loads and scrubs every `.rs` file under `root/rel` (a directory or a
+/// single file), excluding `bin/` subtrees.
+pub(crate) fn load_tree(root: &Path, rel: &str) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    let base = root.join(rel);
+    if base.is_file() {
+        if let Ok(f) = SourceFile::load(&base, rel.to_owned()) {
+            out.push(f);
+        }
+        return out;
+    }
+    let mut stack = vec![base];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "bin") {
+                    continue; // binaries are exempt from library hygiene
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel_path = path
+                    .strip_prefix(root)
+                    .map_or_else(|_| path.display().to_string(), |p| p.display().to_string());
+                if let Ok(f) = SourceFile::load(&path, rel_path) {
+                    out.push(f);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    out
+}

@@ -1,0 +1,71 @@
+//! Self-test: run the checkers against the seeded-violation fixtures.
+//!
+//! The gate is only as good as its checkers, and textual checkers are
+//! easy to break silently (a refactor of the scrubber, a typo in a
+//! needle). The fixtures under `xtask/fixtures/` pin the contract:
+//!
+//! * `seeded_violations.rs` must trigger every rule listed in
+//!   [`EXPECTED_RULES`] — if any seeded violation goes undetected the
+//!   self-test fails,
+//! * `clean.rs` must produce zero violations — guarding against false
+//!   positives on comments, strings, waivers and test modules.
+
+use crate::source::SourceFile;
+use crate::{congest, hygiene, Violation};
+use std::path::Path;
+
+/// Rules that must each fire at least once on the seeded fixture.
+const EXPECTED_RULES: &[&str] = &[
+    "no-panic-paths",
+    "no-float-eq",
+    "payload-impl-required",
+    "no-width-of-type",
+    "quantized-floats",
+    "no-flat-blob",
+];
+
+/// Runs all checkers over one fixture file.
+fn check_fixture(root: &Path, rel: &str) -> Result<Vec<Violation>, String> {
+    let path = root.join(rel);
+    let file = SourceFile::load(&path, rel.to_owned())
+        .map_err(|e| format!("cannot load fixture {rel}: {e}"))?;
+    let mut v = Vec::new();
+    hygiene::check_panic_paths(&file, &mut v);
+    hygiene::check_float_eq(&file, &mut v);
+    congest::check(&file, true, &mut v);
+    Ok(v)
+}
+
+/// Runs the self-test; `Err` describes the first failure.
+pub(crate) fn run(root: &Path) -> Result<(), String> {
+    let seeded = check_fixture(root, "xtask/fixtures/seeded_violations.rs")?;
+    if seeded.is_empty() {
+        return Err("the seeded fixture produced no violations at all".to_owned());
+    }
+    for rule in EXPECTED_RULES {
+        if !seeded.iter().any(|v| v.rule == *rule) {
+            return Err(format!(
+                "seeded violation for rule `{rule}` was NOT detected — the checker \
+                 has regressed (detected: {:?})",
+                seeded.iter().map(|v| v.rule).collect::<Vec<_>>()
+            ));
+        }
+    }
+    // Test-module exemption: the fixture's #[cfg(test)] unwrap must not
+    // be flagged, so every no-panic-paths hit must precede the module.
+    let fixture = std::fs::read_to_string(root.join("xtask/fixtures/seeded_violations.rs"))
+        .map_err(|e| e.to_string())?;
+    let test_line = fixture
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .map_or(usize::MAX, |p| p + 1);
+    if let Some(v) = seeded.iter().find(|v| v.line >= test_line) {
+        return Err(format!("flagged test-module code: {v}"));
+    }
+
+    let clean = check_fixture(root, "xtask/fixtures/clean.rs")?;
+    if let Some(v) = clean.first() {
+        return Err(format!("false positive on the clean fixture: {v}"));
+    }
+    Ok(())
+}

@@ -1,0 +1,296 @@
+//! A minimal Rust source scrubber for line-oriented static checks.
+//!
+//! The checkers in this tool are textual: they look for forbidden tokens
+//! (`.unwrap()`, float `==`, …) in *code*, not in comments, doc comments,
+//! or string literals. [`scrub`] produces a same-length copy of the source
+//! in which every comment and literal body is blanked out with spaces, so
+//! byte offsets (and therefore line numbers) in the scrubbed text map 1:1
+//! onto the original file.
+//!
+//! The scrubber is a pragmatic lexer, not a full one: it understands line
+//! and nested block comments, ordinary/raw/byte string literals, char
+//! literals, and the lifetime-vs-char-literal ambiguity. That covers
+//! everything this workspace's style produces.
+
+/// A loaded source file plus its scrubbed shadow copy.
+#[derive(Debug)]
+pub(crate) struct SourceFile {
+    /// Repo-relative path, used in reports.
+    pub(crate) rel_path: String,
+    /// Raw file contents.
+    pub(crate) raw: String,
+    /// Same length as `raw`, with comments and literal bodies blanked.
+    pub(crate) scrubbed: String,
+}
+
+impl SourceFile {
+    /// Loads and scrubs `abs_path`, reporting it as `rel_path`.
+    pub(crate) fn load(abs_path: &std::path::Path, rel_path: String) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(abs_path)?;
+        let scrubbed = scrub(&raw);
+        Ok(SourceFile {
+            rel_path,
+            raw,
+            scrubbed,
+        })
+    }
+
+    /// 1-indexed line number of a byte offset.
+    pub(crate) fn line_of(&self, offset: usize) -> usize {
+        self.raw.as_bytes()[..offset]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// The raw text of the line containing `offset`, trimmed.
+    pub(crate) fn line_text(&self, offset: usize) -> &str {
+        let bytes = self.raw.as_bytes();
+        let start = bytes[..offset]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(self.raw.len(), |p| offset + p);
+        self.raw[start..end].trim()
+    }
+
+    /// The raw text of the 1-indexed line `line`, trimmed; empty for
+    /// out-of-range line numbers.
+    pub(crate) fn raw_line(&self, line: usize) -> &str {
+        self.raw
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Byte offset where test-only code begins (`#[cfg(test)]`), or the
+    /// file length if the file has no test module. Checks that only apply
+    /// to shipping library code stop scanning there. The workspace style
+    /// keeps test modules at the bottom of each file, which this relies
+    /// on (the conformance self-test pins the behavior).
+    pub(crate) fn test_code_start(&self) -> usize {
+        self.scrubbed.find("#[cfg(test)]").unwrap_or(self.raw.len())
+    }
+}
+
+/// Blanks comments and literal bodies, preserving length and newlines.
+pub(crate) fn scrub(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): blank to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        i += 1;
+                        out[i] = b' ';
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        i += 1;
+                        out[i] = b' ';
+                    } else if bytes[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => i = blank_string(bytes, &mut out, i),
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                // Skip the prefix (`r`, `b`, `br`) then handle the literal.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'#') || bytes.get(j) == Some(&b'"') {
+                    i = blank_raw_string(bytes, &mut out, i, j);
+                } else if bytes.get(j) == Some(&b'\'') {
+                    i = blank_char(bytes, &mut out, j);
+                } else {
+                    i = blank_string(bytes, &mut out, j);
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    for k in i + 1..end {
+                        if bytes[k] != b'\n' {
+                            out[k] = b' ';
+                        }
+                    }
+                    i = end;
+                } // else: a lifetime — leave it alone.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Only ASCII bytes were replaced with ASCII spaces, so this is still
+    // valid UTF-8.
+    String::from_utf8(out).unwrap_or_else(|_| unreachable!("scrub preserves UTF-8"))
+}
+
+/// Does `r…` / `b…` at `i` start a literal (vs. an identifier like `radius`)?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of an identifier.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if bytes[i] == b'b' && bytes.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    matches!(bytes.get(j), Some(&b'"') | Some(&b'#') | Some(&b'\'')) && {
+        // `r#ident` (raw identifier) is not a string: require `#` runs to
+        // end at a quote.
+        let mut k = j;
+        while bytes.get(k) == Some(&b'#') {
+            k += 1;
+        }
+        bytes.get(k) == Some(&b'"') || bytes.get(j) == Some(&b'"') || bytes.get(j) == Some(&b'\'')
+    }
+}
+
+/// Blanks a `"…"` literal starting at the quote; returns the index after it.
+fn blank_string(bytes: &[u8], out: &mut [u8], quote: usize) -> usize {
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                if bytes[i] != b'\n' {
+                    out[i] = b' ';
+                }
+                i += 1;
+                if i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                }
+            }
+            b'"' => return i + 1,
+            b'\n' => {}
+            _ => out[i] = b' ',
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Blanks a raw string `r##"…"##` whose `#`/`"` run starts at `hashes`.
+fn blank_raw_string(bytes: &[u8], out: &mut [u8], _start: usize, hashes: usize) -> usize {
+    let mut n_hashes = 0;
+    let mut i = hashes;
+    while bytes.get(i) == Some(&b'#') {
+        n_hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // `r#ident`: not a string after all.
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < n_hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == n_hashes {
+                return i + 1 + n_hashes;
+            }
+        }
+        if bytes[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Blanks a char literal at `quote`; returns the index after it.
+fn blank_char(bytes: &[u8], out: &mut [u8], quote: usize) -> usize {
+    match char_literal_end(bytes, quote) {
+        Some(end) => {
+            for k in quote + 1..end {
+                if bytes[k] != b'\n' {
+                    out[k] = b' ';
+                }
+            }
+            end + 1
+        }
+        None => quote + 1,
+    }
+}
+
+/// If `'` at `i` opens a char literal, the index of its closing quote.
+/// Returns `None` for lifetimes (`'a`, `'static`).
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => {
+            // Escaped char: scan to the closing quote (bounded lookahead —
+            // the longest escape is `\u{10FFFF}`).
+            (i + 2..(i + 12).min(bytes.len())).find(|&k| bytes[k] == b'\'')
+        }
+        Some(_) => {
+            // `'x'` is a char; `'x` followed by anything else is a lifetime.
+            (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2)
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_preserves_length_and_newlines() {
+        let src = "let x = 1; // unwrap()\nlet s = \"panic!(\";\n/* expect( */ let y = 2;\n";
+        let out = scrub(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("expect"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"unwrap()\"#; let c = '\\n'; }";
+        let out = scrub(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("fn f<'a>(s: &'a str)"));
+    }
+
+    #[test]
+    fn scrub_keeps_code_with_quotes_in_chars() {
+        let src = "if c == '\"' { x.unwrap() }";
+        let out = scrub(src);
+        assert!(out.contains("x.unwrap()"), "{out}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still */ code()";
+        let out = scrub(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("code()"));
+    }
+}
