@@ -1,9 +1,21 @@
-//! Runs every experiment binary in sequence — convenience wrapper for
-//! regenerating the whole of EXPERIMENTS.md in one command:
+//! Runs every experiment binary — convenience wrapper for regenerating
+//! the whole of EXPERIMENTS.md in one command:
 //!
 //! ```text
 //! cargo run -p ftclust-bench --release --bin exp_all
 //! ```
+//!
+//! Independent experiments run **concurrently** (process-level fan-out via
+//! `ftclust-par`, bounded by `FTCLUST_THREADS` / the core count), each
+//! with its output captured; once all have finished, the captured output
+//! is printed in the fixed experiment order, every line prefixed with
+//! `[exp_name]`, so the overall output is byte-stable regardless of how
+//! the processes interleaved.
+//!
+//! Child processes get `FTCLUST_THREADS=1` unless the variable is set
+//! explicitly: with all experiments in flight at once, process-level
+//! concurrency already saturates the cores, and nested fan-out would just
+//! oversubscribe.
 //!
 //! Each experiment remains individually runnable; this wrapper shells out
 //! to the sibling binaries in the same target directory.
@@ -27,25 +39,54 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e13_ablations",
 ];
 
+struct Outcome {
+    name: &'static str,
+    ok: bool,
+    stdout: String,
+    stderr: String,
+}
+
 fn main() -> ExitCode {
     let me = std::env::current_exe().expect("current executable path");
     let dir: PathBuf = me.parent().expect("executable directory").to_path_buf();
-    let mut failed = Vec::new();
-    for name in EXPERIMENTS {
-        println!("================================================================");
-        println!("=== {name}");
-        println!("================================================================");
+    let child_threads = std::env::var("FTCLUST_THREADS").unwrap_or_else(|_| "1".to_string());
+    let outcomes: Vec<Outcome> = ftclust_par::par_map_indexed(EXPERIMENTS, |_, name| {
         let path = dir.join(name);
-        match Command::new(&path).status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{name} exited with {status}");
-                failed.push(*name);
-            }
-            Err(e) => {
-                eprintln!("cannot run {} ({e}); build with `cargo build --release -p ftclust-bench --bins` first", path.display());
-                failed.push(*name);
-            }
+        match Command::new(&path)
+            .env("FTCLUST_THREADS", &child_threads)
+            .output()
+        {
+            Ok(out) => Outcome {
+                name,
+                ok: out.status.success(),
+                stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+                stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+            },
+            Err(e) => Outcome {
+                name,
+                ok: false,
+                stdout: String::new(),
+                stderr: format!(
+                    "cannot run {} ({e}); build with `cargo build --release -p ftclust-bench --bins` first",
+                    path.display()
+                ),
+            },
+        }
+    });
+    let mut failed = Vec::new();
+    for o in &outcomes {
+        println!("================================================================");
+        println!("=== {}", o.name);
+        println!("================================================================");
+        for line in o.stdout.lines() {
+            println!("[{}] {line}", o.name);
+        }
+        for line in o.stderr.lines() {
+            eprintln!("[{}] {line}", o.name);
+        }
+        if !o.ok {
+            eprintln!("{} failed", o.name);
+            failed.push(o.name);
         }
         println!();
     }

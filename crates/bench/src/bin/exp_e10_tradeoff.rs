@@ -2,7 +2,8 @@
 //! Algorithm 1 (+ rounding) against the `Ω(Δ^{1/t}/t)` locality lower
 //! bound of \[13\] and the Theorem 4.5 upper bound.
 
-use ftclust_bench::families::Family;
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, Family};
 use ftclust_bench::stats::mean;
 use ftclust_bench::table::{f2, f3, Table};
 use ftclust_core::bounds::{kmw_lower_bound, theorem_4_5_bound};
@@ -30,7 +31,9 @@ fn main() {
         "bound45",
         "int_ratio",
     ]);
-    for t in [1u32, 2, 3, 4, 6, 8, 10] {
+    let ts = [1u32, 2, 3, 4, 6, 8, 10];
+    let rows = run_trials_par(0..ts.len() as u64, |ti| {
+        let t = ts[ti as usize];
         let sol = solve_fractional(&inst, &FractionalParams::new(t)).unwrap();
         let int_sizes: Vec<f64> = (0..10u64)
             .map(|s| {
@@ -42,15 +45,16 @@ fn main() {
                     .len() as f64
             })
             .collect();
-        table.row(&[
-            &t,
-            &(2 * t * t + 3),
-            &f3(kmw_lower_bound(t, delta)),
-            &f3(sol.value / opt),
-            &f2(theorem_4_5_bound(t, delta)),
-            &f3(mean(&int_sizes) / opt),
-        ]);
-    }
+        cells![
+            t,
+            (2 * t * t + 3),
+            f3(kmw_lower_bound(t, delta)),
+            f3(sol.value / opt),
+            f2(theorem_4_5_bound(t, delta)),
+            f3(mean(&int_sizes) / opt)
+        ]
+    });
+    table.push_rows(rows);
     table.print();
     println!();
     println!("expected shape: the measured frac_ratio sits between the locality");

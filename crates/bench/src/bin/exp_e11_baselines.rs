@@ -2,7 +2,8 @@
 //! `H(Δ+1)` guarantee, the UDG algorithm beats the geometric grid
 //! heuristic and prior distributed baselines on clustered deployments.
 
-use ftclust_bench::families::udg_workload;
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, udg_workload};
 use ftclust_bench::table::{f2, Table};
 use ftclust_core::baselines::{greedy_kmds, grid_clustering, jrs_kmds};
 use ftclust_core::bounds::udg_packing_lower_bound;
@@ -34,23 +35,25 @@ fn main() {
         ),
         ("sparse d=4", udg_workload(3000, 4.0, 4)),
     ];
-    for (name, udg) in &workloads {
+    let rows = run_trials_par(0..workloads.len() as u64, |wi| {
+        let (name, udg) = &workloads[wi as usize];
         let inst = Instance::uniform_clamped(udg.graph(), k);
         let udg_run = UdgAlgorithm::new(k).seed(6).run(udg).expect("udg");
         let grid = grid_clustering(udg, k);
         let greedy = greedy_kmds(&inst, Semantics::Strict);
         let jrs = jrs_kmds(&inst, Semantics::Strict, 6);
-        table.row(&[
+        cells![
             name,
-            &udg.node_count(),
-            &udg_packing_lower_bound(udg),
-            &udg_run.set.len(),
-            &grid.len(),
-            &greedy.len(),
-            &jrs.set.len(),
-            &jrs.rounds,
-        ]);
-    }
+            udg.node_count(),
+            udg_packing_lower_bound(udg),
+            udg_run.set.len(),
+            grid.len(),
+            greedy.len(),
+            jrs.set.len(),
+            jrs.rounds
+        ]
+    });
+    table.push_rows(rows);
     table.print();
 
     println!();

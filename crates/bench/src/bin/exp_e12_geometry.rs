@@ -1,6 +1,8 @@
 //! **E12 — Lemma 5.3 and Figure 1**: the hexagonal covering counts used
 //! throughout the Section 5 analysis, computed exactly.
 
+use ftclust_bench::cells;
+use ftclust_bench::families::run_trials_par;
 use ftclust_bench::table::{f2, Table};
 use ftclust_geometry::cover;
 
@@ -18,7 +20,9 @@ fn main() {
         "covers_C",
         "disks_in_D",
     ]);
-    for theta in [0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0] {
+    let thetas = [0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0];
+    let rows = run_trials_par(0..thetas.len() as u64, |ti| {
+        let theta = thetas[ti as usize];
         let alpha = cover::alpha_constructive(theta);
         let lemma = cover::eta() / (theta * theta);
         let packing = cover::alpha_bound(theta);
@@ -31,8 +35,9 @@ fn main() {
         assert!(covers, "constructive cover incomplete at theta={theta}");
         let in_d = cover::disks_covered_by_d(theta);
         assert_eq!(in_d, 19, "Figure 1's 19-disk claim violated");
-        table.row(&[&theta, &alpha, &f2(lemma), &f2(packing), &covers, &in_d]);
-    }
+        cells![theta, alpha, f2(lemma), f2(packing), covers, in_d]
+    });
+    table.push_rows(rows);
     table.print();
     println!();
     println!("expected shape: alpha grows as Θ(1/theta²) while staying below both");

@@ -6,8 +6,7 @@
 //! 3. engine vs. protocol executions (must agree bit-for-bit),
 //! 4. exact vs. over-estimated knowledge of Δ in Algorithm 1.
 
-use ftclust_bench::families::udg_workload;
-use ftclust_bench::families::Family;
+use ftclust_bench::families::{run_trials_par, udg_workload, Family};
 use ftclust_bench::stats::mean;
 use ftclust_bench::table::{f2, f3, Table};
 use ftclust_core::fractional::{
@@ -30,19 +29,18 @@ fn main() {
         ),
     ] {
         for mode in [IdMode::FreshPerRound, IdMode::FixedAtStart] {
-            let mut leaders = Vec::new();
-            let mut max_disk = Vec::new();
-            for seed in 0..10u64 {
+            let trials = run_trials_par(0..10u64, |seed| {
                 let run = UdgAlgorithm::new(1)
                     .seed(seed)
                     .id_mode(mode)
                     .run(&udg)
                     .unwrap();
-                leaders.push(run.leaders.len() as f64);
                 let occ =
                     ftclust_core::udg::analysis::members_per_half_disk(&udg, &run.leaders).unwrap();
-                max_disk.push(occ.max as f64);
-            }
+                (run.leaders.len() as f64, occ.max as f64)
+            });
+            let leaders: Vec<f64> = trials.iter().map(|(l, _)| *l).collect();
+            let max_disk: Vec<f64> = trials.iter().map(|(_, m)| *m).collect();
             t1.row(&[
                 &name,
                 &format!("{mode:?}"),
@@ -65,15 +63,13 @@ fn main() {
             repair,
             ..Default::default()
         };
-        let mut feas = 0u32;
-        let mut sizes = Vec::new();
-        for seed in 0..50u64 {
+        let trials = run_trials_par(0..50u64, |seed| {
             let out = round_fractional(&inst, &sol.x, sol.delta, seed, &params);
-            if is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf) {
-                feas += 1;
-            }
-            sizes.push(out.set.len() as f64);
-        }
+            let feasible = is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf);
+            (feasible, out.set.len() as f64)
+        });
+        let feas = trials.iter().filter(|(f, _)| *f).count() as u32;
+        let sizes: Vec<f64> = trials.iter().map(|(_, s)| *s).collect();
         t2.row(&[&repair, &f2(feas as f64 * 2.0), &f2(mean(&sizes))]);
     }
     t2.print();

@@ -1,7 +1,8 @@
 //! **E2 — Theorem 4.5 (time) + model**: Algorithm 1 as a message-passing
 //! protocol uses exactly `2t² + 3` rounds and `O(log n)`-bit messages.
 
-use ftclust_bench::families::Family;
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, Family};
 use ftclust_bench::table::Table;
 use ftclust_core::fractional::{protocol::run_fractional_protocol, FractionalParams};
 use ftclust_core::Instance;
@@ -19,26 +20,31 @@ fn main() {
         "mean_bits",
         "log2(n)",
     ]);
-    for n in [100u32, 400, 1600] {
+    let sizes = [100u32, 400, 1600];
+    let rows = run_trials_par(0..sizes.len() as u64, |ni| {
+        let n = sizes[ni as usize];
         let g = Family::Gnp.build(n, 3);
         let inst = Instance::uniform_clamped(&g, 2);
+        let mut out = Vec::new();
         for t in [1u32, 2, 4, 6] {
             let run = run_fractional_protocol(&inst, &FractionalParams::new(t))
                 .expect("protocol completes");
             let predicted = 2 * (t as u64).pow(2) + 3;
             assert_eq!(run.metrics.rounds, predicted, "round count mismatch");
-            table.row(&[
-                &g.node_count(),
-                &t,
-                &run.metrics.rounds,
-                &predicted,
-                &run.metrics.messages,
-                &run.metrics.max_message_bits,
-                &format!("{:.1}", run.metrics.mean_message_bits()),
-                &format!("{:.1}", (g.node_count() as f64).log2()),
+            out.push(cells![
+                g.node_count(),
+                t,
+                run.metrics.rounds,
+                predicted,
+                run.metrics.messages,
+                run.metrics.max_message_bits,
+                format!("{:.1}", run.metrics.mean_message_bits()),
+                format!("{:.1}", (g.node_count() as f64).log2())
             ]);
         }
-    }
+        out
+    });
+    table.push_rows(rows.into_iter().flatten());
     table.print();
     println!();
     println!("expected shape: rounds = 2t²+3 exactly (independent of n); max message");

@@ -2,7 +2,7 @@
 //! `≈ ln(Δ+1) + O(1)` over the fractional value and is always feasible
 //! (with the repair step).
 
-use ftclust_bench::families::Family;
+use ftclust_bench::families::{run_trials_par, Family};
 use ftclust_bench::stats::{mean, stddev};
 use ftclust_bench::table::{f2, f3, Table};
 use ftclust_core::fractional::{solve_fractional, FractionalParams};
@@ -23,16 +23,16 @@ fn main() {
             let g = family.build(n, 11);
             let inst = Instance::uniform_clamped(&g, k);
             let sol = solve_fractional(&inst, &FractionalParams::new(4)).unwrap();
-            let mut sizes = Vec::new();
-            let mut feasible = 0u64;
-            for seed in 0..TRIALS {
+            // Each trial's randomness comes solely from its seed, so the
+            // fan-out reproduces the serial trial loop exactly.
+            let trials = run_trials_par(0..TRIALS, |seed| {
                 let out =
                     round_fractional(&inst, &sol.x, sol.delta, seed, &RoundingParams::default());
-                if is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf) {
-                    feasible += 1;
-                }
-                sizes.push(out.set.len() as f64);
-            }
+                let feasible = is_k_dominating_instance(&inst, &out.set, Semantics::CoverSelf);
+                (feasible, out.set.len() as f64)
+            });
+            let feasible = trials.iter().filter(|(f, _)| *f).count() as u64;
+            let sizes: Vec<f64> = trials.iter().map(|(_, s)| *s).collect();
             assert_eq!(feasible, TRIALS, "repair must guarantee feasibility");
             let m = mean(&sizes);
             table.row(&[

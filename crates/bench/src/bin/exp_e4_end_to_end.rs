@@ -2,7 +2,8 @@
 //! against the exact optimum (small n), the centralized greedy, the
 //! JRS-style distributed baseline and the one-round local heuristic.
 
-use ftclust_bench::families::Family;
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, Family};
 use ftclust_bench::stats::mean;
 use ftclust_bench::table::{f2, Table};
 use ftclust_core::baselines::{exact_kmds, greedy_kmds, jrs_kmds, local_heuristic};
@@ -25,24 +26,31 @@ fn main() {
     ]);
     for family in [Family::Gnp, Family::Grid] {
         for k in [1u32, 2] {
+            let trials = run_trials_par(0..10u64, |seed| {
+                let g = family.build(24, 50 + seed);
+                let inst = Instance::uniform_clamped(&g, k);
+                let opt = exact_kmds(&inst, Semantics::CoverSelf)?;
+                let o = opt.len().max(1) as f64;
+                let run = GeneralPipeline::new(3).seed(seed).run(&inst).unwrap();
+                Some((
+                    o,
+                    run.set.len() as f64 / o,
+                    greedy_kmds(&inst, Semantics::CoverSelf).len() as f64 / o,
+                    jrs_kmds(&inst, Semantics::CoverSelf, seed).set.len() as f64 / o,
+                    local_heuristic(&inst).len() as f64 / o,
+                ))
+            });
             let mut pipe = Vec::new();
             let mut greedy_r = Vec::new();
             let mut jrs_r = Vec::new();
             let mut local_r = Vec::new();
             let mut opt_sz = Vec::new();
-            for seed in 0..10u64 {
-                let g = family.build(24, 50 + seed);
-                let inst = Instance::uniform_clamped(&g, k);
-                let Some(opt) = exact_kmds(&inst, Semantics::CoverSelf) else {
-                    continue;
-                };
-                let o = opt.len().max(1) as f64;
+            for (o, p, gr, j, l) in trials.into_iter().flatten() {
                 opt_sz.push(o);
-                let run = GeneralPipeline::new(3).seed(seed).run(&inst).unwrap();
-                pipe.push(run.set.len() as f64 / o);
-                greedy_r.push(greedy_kmds(&inst, Semantics::CoverSelf).len() as f64 / o);
-                jrs_r.push(jrs_kmds(&inst, Semantics::CoverSelf, seed).set.len() as f64 / o);
-                local_r.push(local_heuristic(&inst).len() as f64 / o);
+                pipe.push(p);
+                greedy_r.push(gr);
+                jrs_r.push(j);
+                local_r.push(l);
             }
             small.row(&[
                 &family.name(),
@@ -72,27 +80,33 @@ fn main() {
         "local",
         "trivial",
     ]);
+    let mut configs = Vec::new();
     for family in [Family::Gnp, Family::Ba, Family::Rgg] {
         for (n, k) in [(2000u32, 2u32), (2000, 3)] {
-            let g = family.build(n, 9);
-            let inst = Instance::uniform_clamped(&g, k);
-            let run = GeneralPipeline::new(4).seed(1).run(&inst).unwrap();
-            let greedy = greedy_kmds(&inst, Semantics::CoverSelf);
-            let jrs = jrs_kmds(&inst, Semantics::CoverSelf, 1);
-            let local = local_heuristic(&inst);
-            large.row(&[
-                &family.name(),
-                &g.node_count(),
-                &k,
-                &run.set.len(),
-                &greedy.len(),
-                &jrs.set.len(),
-                &jrs.rounds,
-                &local.len(),
-                &g.node_count(),
-            ]);
+            configs.push((family, n, k));
         }
     }
+    let rows = run_trials_par(0..configs.len() as u64, |ci| {
+        let (family, n, k) = configs[ci as usize];
+        let g = family.build(n, 9);
+        let inst = Instance::uniform_clamped(&g, k);
+        let run = GeneralPipeline::new(4).seed(1).run(&inst).unwrap();
+        let greedy = greedy_kmds(&inst, Semantics::CoverSelf);
+        let jrs = jrs_kmds(&inst, Semantics::CoverSelf, 1);
+        let local = local_heuristic(&inst);
+        cells![
+            family.name(),
+            g.node_count(),
+            k,
+            run.set.len(),
+            greedy.len(),
+            jrs.set.len(),
+            jrs.rounds,
+            local.len(),
+            g.node_count()
+        ]
+    });
+    large.push_rows(rows);
     large.print();
     println!();
     println!("expected shape: greedy smallest (it is centralized and sequential);");

@@ -3,7 +3,8 @@
 //! grows (measured against the disk-packing lower bound and, at small n,
 //! the exact LP).
 
-use ftclust_bench::families::udg_workload;
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, udg_workload};
 use ftclust_bench::table::{f2, Table};
 use ftclust_core::bounds::udg_packing_lower_bound;
 use ftclust_core::udg::{protocol::run_udg_protocol, theta_schedule, UdgAlgorithm};
@@ -26,9 +27,12 @@ fn main() {
         "pack_lb",
         "ratio",
     ]);
-    for n in [100u32, 1000, 10_000, 100_000] {
+    let sizes = [100u32, 1000, 10_000, 100_000];
+    let rows = run_trials_par(0..sizes.len() as u64, |ni| {
+        let n = sizes[ni as usize];
         let udg = udg_workload(n, 12.0, n as u64);
         let pack = udg_packing_lower_bound(&udg).max(1);
+        let mut out = Vec::new();
         for k in [1u32, 3] {
             let config = UdgAlgorithm::new(k).seed(5);
             // Engine for the result; protocol (metered) for the smaller
@@ -44,19 +48,21 @@ fn main() {
             } else {
                 "-".into()
             };
-            table.row(&[
-                &n,
-                &k,
-                &run.part1_rounds,
-                &theta_schedule(n as usize, 1.0).len(),
-                &run.part2_iterations,
-                &sim_rounds,
-                &run.set.len(),
-                &pack,
-                &f2(run.set.len() as f64 / (k as usize * pack) as f64),
+            out.push(cells![
+                n,
+                k,
+                run.part1_rounds,
+                theta_schedule(n as usize, 1.0).len(),
+                run.part2_iterations,
+                sim_rounds,
+                run.set.len(),
+                pack,
+                f2(run.set.len() as f64 / (k as usize * pack) as f64)
             ]);
         }
-    }
+        out
+    });
+    table.push_rows(rows.into_iter().flatten());
     table.print();
     println!();
     println!("expected shape: p1_rounds grows like ⌈log_1.5 log2 n⌉ (5→8 over the");

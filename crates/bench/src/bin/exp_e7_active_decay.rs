@@ -2,7 +2,7 @@
 //! super-geometrically (`x' ≲ √m·log m` per disk per round) once the
 //! consideration radius is large enough for disks to be populated.
 
-use ftclust_bench::families::udg_workload;
+use ftclust_bench::families::{run_trials_par, udg_workload};
 use ftclust_bench::table::{f2, Table};
 use ftclust_core::udg::{theta_schedule, UdgAlgorithm};
 use ftclust_graphs::generators;
@@ -29,16 +29,25 @@ fn print_series(label: &str, n: u32, history: &[usize]) {
 fn main() {
     println!("E7: per-round active-node decay in Part I (Lemma 5.2)");
     println!();
-    // Uniform deployment with moderate density.
-    let udg = udg_workload(20_000, 15.0, 4);
-    let run = UdgAlgorithm::new(1).seed(1).run(&udg).expect("udg");
-    print_series("uniform deployment", 20_000, &run.active_history);
-
-    // A dense deployment where mid-game disks hold thousands of nodes —
-    // the regime where the √m collapse is most visible.
+    // Two independent deployments: the uniform one with moderate density,
+    // and a dense one where mid-game disks hold thousands of nodes (the
+    // regime where the √m collapse is most visible). Run as a parallel
+    // pair; the dense deployment is reused by the census below.
     let dense = generators::random_udg_in_square(20_000, 8.0, 1.0, 5);
-    let run = UdgAlgorithm::new(1).seed(1).run(&dense).expect("udg");
-    print_series("dense deployment (8×8 area)", 20_000, &run.active_history);
+    let histories = run_trials_par(0..2u64, |which| {
+        let udg = if which == 0 {
+            udg_workload(20_000, 15.0, 4)
+        } else {
+            dense.clone()
+        };
+        UdgAlgorithm::new(1)
+            .seed(1)
+            .run(&udg)
+            .expect("udg")
+            .active_history
+    });
+    print_series("uniform deployment", 20_000, &histories[0]);
+    print_series("dense deployment (8×8 area)", 20_000, &histories[1]);
 
     // The lemma's own per-disk statement: x'_i ≤ δ·√m_i·ln m_i.
     println!("per-disk census of the dense deployment (Lemma 5.2 verbatim):");

@@ -1,7 +1,8 @@
 //! **E8 — the `O(log n)` message-size model**: maximum message size of
 //! both protocols, measured in bits, against `log₂ n`.
 
-use ftclust_bench::families::{udg_workload, Family};
+use ftclust_bench::cells;
+use ftclust_bench::families::{run_trials_par, udg_workload, Family};
 use ftclust_bench::table::{f2, Table};
 use ftclust_core::fractional::{protocol::run_fractional_protocol, FractionalParams};
 use ftclust_core::udg::{protocol::run_udg_protocol, UdgAlgorithm};
@@ -18,7 +19,9 @@ fn main() {
         "udg_max_bits",
         "udg/logn",
     ]);
-    for n in [100u32, 400, 1600, 6400] {
+    let sizes = [100u32, 400, 1600, 6400];
+    let rows = run_trials_par(0..sizes.len() as u64, |ni| {
+        let n = sizes[ni as usize];
         let log2n = (n as f64).log2();
         let g = Family::Gnp.build(n, 2);
         let inst = Instance::uniform_clamped(&g, 2);
@@ -29,15 +32,16 @@ fn main() {
         let u = run_udg_protocol(&udg, &UdgAlgorithm::new(2).seed(3))
             .expect("udg protocol")
             .metrics;
-        table.row(&[
-            &n,
-            &f2(log2n),
-            &lp.max_message_bits,
-            &f2(lp.max_message_bits as f64 / log2n),
-            &u.max_message_bits,
-            &f2(u.max_message_bits as f64 / log2n),
-        ]);
-    }
+        cells![
+            n,
+            f2(log2n),
+            lp.max_message_bits,
+            f2(lp.max_message_bits as f64 / log2n),
+            u.max_message_bits,
+            f2(u.max_message_bits as f64 / log2n)
+        ]
+    });
+    table.push_rows(rows);
     table.print();
     println!();
     println!("expected shape: the UDG protocol's biggest message is the [1, n⁴]");

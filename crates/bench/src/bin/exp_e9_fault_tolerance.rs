@@ -2,7 +2,7 @@
 //! Deterministic guarantee (any k−1 dominator crashes leave everyone
 //! covered) plus survivability curves under i.i.d. failures.
 
-use ftclust_bench::families::udg_workload;
+use ftclust_bench::families::{run_trials_par, udg_workload};
 use ftclust_bench::table::Table;
 use ftclust_core::fault::{guarantee_holds, regional_survivability, survivability, FailureModel};
 use ftclust_core::udg::UdgAlgorithm;
@@ -23,7 +23,9 @@ fn main() {
         let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         Table::new(&hdr_refs)
     };
-    for k in [1u32, 2, 3, 5] {
+    let ks = [1u32, 2, 3, 5];
+    let rows = run_trials_par(0..ks.len() as u64, |ki| {
+        let k = ks[ki as usize];
         let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
         let guar = guarantee_holds(&inst, &run.set, k, 300, 11);
         assert!(guar, "deterministic guarantee violated at k={k}");
@@ -39,16 +41,17 @@ fn main() {
             .expect("iid model is supported");
             cells.push(format!("{:.4}", rep.mean_covered_fraction));
         }
-        let refs: Vec<&dyn std::fmt::Display> =
-            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
-        table.row(&refs);
-    }
+        cells
+    });
+    table.push_rows(rows);
     table.print();
     println!();
     println!("adversarial model: killing exactly k−1 dominators (worst case allowed");
     println!("by the definition) — coverage must be exactly 1.0:");
     let mut adv = Table::new(&["k", "killed", "min_covered"]);
-    for k in [2u32, 3, 5] {
+    let adv_ks = [2u32, 3, 5];
+    let adv_rows = run_trials_par(0..adv_ks.len() as u64, |ki| {
+        let k = adv_ks[ki as usize];
         let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
         let rep = survivability(
             &inst,
@@ -61,15 +64,22 @@ fn main() {
         )
         .expect("kill-dominators model is supported");
         assert_eq!(rep.min_covered_fraction, 1.0);
-        adv.row(&[&k, &(k - 1), &format!("{:.4}", rep.min_covered_fraction)]);
-    }
+        vec![
+            k.to_string(),
+            (k - 1).to_string(),
+            format!("{:.4}", rep.min_covered_fraction),
+        ]
+    });
+    adv.push_rows(adv_rows);
     adv.print();
     println!();
     println!("correlated regional failures (a disaster disk wipes out everything");
     println!("inside it) — redundancy helps the survivors at the disaster's edge,");
     println!("but no k protects nodes whose entire neighborhood burned:");
     let mut reg = Table::new(&["k", "all r=2", "at-risk r=1", "at-risk r=2", "at-risk r=4"]);
-    for k in [1u32, 3, 5] {
+    let reg_ks = [1u32, 3, 5];
+    let reg_rows = run_trials_par(0..reg_ks.len() as u64, |ki| {
+        let k = reg_ks[ki as usize];
         let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
         let mut cells: Vec<String> = vec![k.to_string()];
         let overall = regional_survivability(&udg, &inst, &run.set, 2.0, TRIALS, 900 + k as u64);
@@ -81,10 +91,9 @@ fn main() {
                 rep.mean_at_risk_covered_fraction.expect("regional report")
             ));
         }
-        let refs: Vec<&dyn std::fmt::Display> =
-            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
-        reg.row(&refs);
-    }
+        cells
+    });
+    reg.push_rows(reg_rows);
     reg.print();
     println!();
     println!("expected shape: survivability rises monotonically with k at every");

@@ -1,0 +1,180 @@
+//! **Perf baseline** for the parallel execution substrate: simulator
+//! throughput (node-rounds/sec and envelopes/sec) on a min-flood gossip
+//! workload over random geometric graphs, at `n ∈ {1k, 10k, 100k}` and
+//! `threads ∈ {1, max}`.
+//!
+//! Emits a machine-readable `BENCH.json` (also printed to stdout) so perf
+//! changes have a trajectory to be measured against. Before timing, the
+//! run at every thread count is checked to produce **bit-for-bit** the
+//! same final node states and metrics as the serial run — a throughput
+//! number from a wrong computation is worthless.
+//!
+//! ```text
+//! cargo run --release -p ftclust-bench --bin exp_perf_baseline            # full
+//! cargo run --release -p ftclust-bench --bin exp_perf_baseline -- --smoke # CI-sized
+//! ```
+//!
+//! `--smoke` shrinks the sweep (n ∈ {1k, 5k}, fewer rounds) so CI can
+//! exercise the whole path in seconds. The "max" thread count is whatever
+//! `FTCLUST_THREADS` / the machine resolves to; on a single-core host
+//! both entries measure the serial engine.
+
+use ftclust_bench::families::Family;
+use ftclust_netsim::{Context, Control, Envelope, NodeLogic, Payload, Simulator, Topology};
+use ftclust_par as par;
+use rand::Rng;
+use std::time::Instant;
+
+/// The flooded value: each node's current minimum, 64 bits on the wire.
+#[derive(Clone, Debug)]
+struct Token(u64);
+
+impl Payload for Token {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Min-flood gossip: every node draws a random token in round 0, then
+/// broadcasts its running minimum for a fixed number of rounds. Exercises
+/// the full hot path — per-node RNG, inbox scan, broadcast fan-out — with
+/// per-round message volume Θ(m).
+struct Gossip {
+    best: u64,
+    remaining: u32,
+}
+
+impl NodeLogic for Gossip {
+    type Payload = Token;
+
+    fn on_round(&mut self, inbox: &[Envelope<Token>], ctx: &mut Context<'_, Token>) -> Control {
+        if ctx.round() == 0 {
+            self.best = ctx.rng().random();
+        }
+        for env in inbox {
+            self.best = self.best.min(env.payload.0);
+        }
+        if self.remaining == 0 {
+            return Control::Halt;
+        }
+        self.remaining -= 1;
+        ctx.broadcast(Token(self.best));
+        Control::Continue
+    }
+}
+
+struct Measurement {
+    n: u32,
+    threads: usize,
+    rounds: u64,
+    messages: u64,
+    wall_secs: f64,
+    node_rounds_per_sec: f64,
+    envelopes_per_sec: f64,
+}
+
+/// Runs the gossip workload to quiescence and returns (final states,
+/// metrics, measurement).
+fn run_once(
+    g: &ftclust_graphs::Graph,
+    n: u32,
+    rounds: u32,
+    threads: usize,
+) -> (Vec<u64>, Measurement) {
+    par::with_threads(threads, || {
+        let mut sim = Simulator::new(
+            Topology::from_graph(g),
+            |_| Gossip {
+                best: u64::MAX,
+                remaining: rounds,
+            },
+            42,
+        );
+        let start = Instant::now();
+        sim.run(u64::from(rounds) + 2).expect("gossip quiesces");
+        let wall = start.elapsed().as_secs_f64();
+        let m = sim.metrics();
+        let executed = m.rounds;
+        let measurement = Measurement {
+            n,
+            threads,
+            rounds: executed,
+            messages: m.messages,
+            wall_secs: wall,
+            node_rounds_per_sec: n as f64 * executed as f64 / wall.max(1e-9),
+            envelopes_per_sec: m.messages as f64 / wall.max(1e-9),
+        };
+        let states: Vec<u64> = sim.logics().map(|l| l.best).collect();
+        (states, measurement)
+    })
+}
+
+fn json_escape_free(m: &Measurement) -> String {
+    format!(
+        "    {{\"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"wall_secs\": {:.6}, \"node_rounds_per_sec\": {:.1}, \"envelopes_per_sec\": {:.1}}}",
+        m.n, m.threads, m.rounds, m.messages, m.wall_secs, m.node_rounds_per_sec, m.envelopes_per_sec
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, rounds): (&[u32], u32) = if smoke {
+        (&[1_000, 5_000], 6)
+    } else {
+        (&[1_000, 10_000, 100_000], 16)
+    };
+    let max_threads = par::num_threads();
+    let thread_counts: Vec<usize> = if max_threads > 1 {
+        vec![1, max_threads]
+    } else {
+        vec![1]
+    };
+    eprintln!(
+        "perf baseline: gossip flood, sizes {sizes:?}, {rounds} broadcast rounds, threads {thread_counts:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    let mut speedup_at_largest = 1.0f64;
+    for &n in sizes {
+        let g = Family::Rgg.build(n, u64::from(n));
+        let mut serial_states: Option<Vec<u64>> = None;
+        let mut serial_nrps = 0.0f64;
+        for &threads in &thread_counts {
+            let (states, m) = run_once(&g, n, rounds, threads);
+            // Determinism gate: every thread count must reproduce the
+            // serial states exactly before its throughput counts.
+            match &serial_states {
+                None => serial_states = Some(states),
+                Some(reference) => assert_eq!(
+                    reference, &states,
+                    "parallel run diverged from serial at n={n}, threads={threads}"
+                ),
+            }
+            eprintln!(
+                "  n={n:>6} threads={threads:>2}: {:.3}s, {:.2e} node-rounds/s, {:.2e} envelopes/s",
+                m.wall_secs, m.node_rounds_per_sec, m.envelopes_per_sec
+            );
+            if threads == 1 {
+                serial_nrps = m.node_rounds_per_sec;
+            } else if n == *sizes.last().expect("non-empty sizes") {
+                speedup_at_largest = m.node_rounds_per_sec / serial_nrps.max(1e-9);
+            }
+            results.push(m);
+        }
+    }
+
+    let body = results
+        .iter()
+        .map(json_escape_free)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"ftclust-perf-baseline-v1\",\n  \"workload\": \"gossip-min-flood-rgg\",\n  \"smoke\": {smoke},\n  \"max_threads\": {max_threads},\n  \"speedup_at_largest_n\": {speedup_at_largest:.3},\n  \"results\": [\n{body}\n  ]\n}}\n"
+    );
+    print!("{json}");
+    match std::fs::write("BENCH.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH.json"),
+        Err(e) => eprintln!("could not write BENCH.json: {e}"),
+    }
+}

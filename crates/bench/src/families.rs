@@ -2,6 +2,30 @@
 
 use ftclust_graphs::{generators, Graph, UnitDiskGraph};
 
+/// Runs one closure call per trial in `trials` (typically master seeds),
+/// fanning the calls out over [`ftclust_par`]'s workers, and returns the
+/// results **in trial order**.
+///
+/// Seed-stream-safe by construction: every trial derives all of its
+/// randomness from its own `u64` argument (the workspace convention — no
+/// experiment shares an RNG across trials), so the fan-out consumes
+/// exactly the random streams the serial loop would, and
+/// `run_trials_par(r, f)` equals `r.map(f).collect()` bit for bit at any
+/// thread count.
+///
+/// # Panics
+///
+/// Propagates any panic raised inside a trial (e.g. an experiment's own
+/// assertion), once all workers have joined.
+pub fn run_trials_par<T, F>(trials: std::ops::Range<u64>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let len = usize::try_from(trials.end.saturating_sub(trials.start)).unwrap_or(usize::MAX);
+    ftclust_par::par_map_range(len, |i| f(trials.start + i as u64))
+}
+
 /// The general-graph families the experiments sweep over. Densities are
 /// chosen so that the expected average degree stays ≈ 10 independent of
 /// `n` (so `Δ` grows slowly and ratios are comparable across sizes).
@@ -68,6 +92,18 @@ pub fn udg_workload(n: u32, avg_deg: f64, seed: u64) -> UnitDiskGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_trials_par_matches_serial_map_at_any_thread_count() {
+        let serial: Vec<u64> = (5..40u64).map(|s| s.wrapping_mul(0x9e37_79b9)).collect();
+        for threads in [1usize, 2, 3, 7] {
+            let par = ftclust_par::with_threads(threads, || {
+                run_trials_par(5..40, |s| s.wrapping_mul(0x9e37_79b9))
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        assert!(run_trials_par(7..7, |s| s).is_empty());
+    }
 
     #[test]
     fn families_build_at_requested_sizes() {

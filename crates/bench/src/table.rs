@@ -44,6 +44,26 @@ impl Table {
         self
     }
 
+    /// Appends a row of pre-rendered cells — the shape worker threads
+    /// return (rows are computed in parallel, then appended in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends many pre-rendered rows in iteration order.
+    pub fn push_rows(&mut self, rows: impl IntoIterator<Item = Vec<String>>) -> &mut Self {
+        for r in rows {
+            self.push_row(r);
+        }
+        self
+    }
+
     /// Renders the table as a string.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -76,6 +96,16 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+}
+
+/// Renders a list of `Display` values into the `Vec<String>` row shape of
+/// [`Table::push_row`] — the convenient form for rows built on worker
+/// threads, where `&dyn Display` borrows cannot outlive the closure.
+#[macro_export]
+macro_rules! cells {
+    ($($v:expr),+ $(,)?) => {
+        vec![$(format!("{}", $v)),+]
+    };
 }
 
 /// Formats a float with 3 decimal places (the experiments' default).

@@ -4,9 +4,19 @@
 //! adjacency structure, without simulator overhead. The message-passing
 //! implementation in [`super::protocol`] performs the same floating-point
 //! operations in the same order, so both produce bit-identical results.
+//!
+//! The per-node loops (threshold powers, raises, dual accounting, dynamic
+//! degrees, dual assembly) run data-parallel over contiguous node shards
+//! via `ftclust_par`: every node writes only its own slots (`x_i`,
+//! `cov_i`, the `α`/`β` slots of its out-edges, …) and reads only state
+//! frozen for the phase, so the arithmetic — per node, in program order —
+//! is **identical for every thread count**, including the serial fallback.
 
 use super::{DeltaKnowledge, FractionalParams, FractionalSolution};
 use crate::{Instance, KmdsError};
+use ftclust_graphs::NodeId;
+use ftclust_par as par;
+use par::default_chunk as par_chunk;
 
 /// Tolerance for "x has reached its cap of 1".
 const X_EPS: f64 = 1e-12;
@@ -60,29 +70,55 @@ impl AlgoState {
 
     pub(crate) fn recompute_dyndeg(&mut self, inst: &Instance<'_>) {
         let g = inst.graph();
-        for v in g.nodes() {
-            self.dyndeg[v.index()] = g
-                .closed_neighbors(v)
-                .filter(|w| self.white[w.index()])
-                .count() as u32;
-        }
-    }
-
-    /// The raise step of inner iteration `(p, q)` at node `i`
-    /// (lines 5–8 of the pseudocode). Returns `x_i^+`.
-    pub(crate) fn raise(&mut self, i: usize, threshold: f64, inc: f64) -> f64 {
-        let xp = if self.x[i] < 1.0 - X_EPS && (self.dyndeg[i] as f64) >= threshold - THRESH_EPS {
-            let xp = inc.min(1.0 - self.x[i]);
-            self.x[i] += xp;
-            if self.x[i] > 1.0 - X_EPS {
-                self.x[i] = 1.0;
+        let n = g.node_count();
+        let AlgoState { white, dyndeg, .. } = self;
+        let white = &white[..];
+        par::par_chunks_mut(dyndeg, par_chunk(n), |start, chunk| {
+            for (j, d) in chunk.iter_mut().enumerate() {
+                let v = NodeId::new((start + j) as u32);
+                *d = g.closed_neighbors(v).filter(|w| white[w.index()]).count() as u32;
             }
-            xp
-        } else {
-            0.0
-        };
-        self.xplus[i] = xp;
+        });
+    }
+}
+
+/// One worker's contiguous block of the raise phase: it owns `x` and
+/// `xplus` for nodes `start..start + x.len()`.
+struct RaiseShard<'s> {
+    start: usize,
+    x: &'s mut [f64],
+    xplus: &'s mut [f64],
+}
+
+/// One worker's contiguous block of the accounting phase: per-node state
+/// for `nodes`, plus the `α`/`β` slot sub-slices covering exactly those
+/// nodes' out-edges (slot indices shifted down by `slot_base`).
+struct AccountShard<'s> {
+    nodes: std::ops::Range<usize>,
+    slot_base: usize,
+    cov: &'s mut [f64],
+    white: &'s mut [bool],
+    alpha: &'s mut [f64],
+    alpha_self: &'s mut [f64],
+    beta: &'s mut [f64],
+    beta_self: &'s mut [f64],
+    y: &'s mut [f64],
+}
+
+/// The raise step of inner iteration `(p, q)` at a single node
+/// (lines 5–8 of the pseudocode), operating on the node's own `x` cell.
+/// Returns `x_i^+`. A free function so the engine's sharded parallel loop
+/// touches nothing but the cells the shard owns.
+pub(crate) fn raise_at(x: &mut f64, dyndeg: u32, threshold: f64, inc: f64) -> f64 {
+    if *x < 1.0 - X_EPS && (dyndeg as f64) >= threshold - THRESH_EPS {
+        let xp = inc.min(1.0 - *x);
+        *x += xp;
+        if *x > 1.0 - X_EPS {
+            *x = 1.0;
+        }
         xp
+    } else {
+        0.0
     }
 }
 
@@ -150,26 +186,21 @@ pub fn solve_fractional(
     let d1: Vec<f64> = match params.knowledge {
         DeltaKnowledge::Global => vec![(delta + 1) as f64; n],
         DeltaKnowledge::TwoHopMax => {
-            let deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
-            let hop1: Vec<usize> = g
-                .nodes()
-                .map(|v| {
-                    g.closed_neighbors(v)
-                        .map(|w| deg[w.index()])
-                        .max()
-                        .unwrap_or(0)
-                })
-                .collect();
-            g.nodes()
-                .map(|v| {
-                    let m = g
-                        .closed_neighbors(v)
-                        .map(|w| hop1[w.index()])
-                        .max()
-                        .unwrap_or(0);
-                    (m + 1) as f64
-                })
-                .collect()
+            let deg: Vec<usize> = par::par_map_range(n, |i| g.degree(NodeId::new(i as u32)));
+            let hop1: Vec<usize> = par::par_map_range(n, |i| {
+                g.closed_neighbors(NodeId::new(i as u32))
+                    .map(|w| deg[w.index()])
+                    .max()
+                    .unwrap_or(0)
+            });
+            par::par_map_range(n, |i| {
+                let m = g
+                    .closed_neighbors(NodeId::new(i as u32))
+                    .map(|w| hop1[w.index()])
+                    .max()
+                    .unwrap_or(0);
+                (m + 1) as f64
+            })
         }
     };
     let mut st = AlgoState::new(inst);
@@ -177,9 +208,11 @@ pub fn solve_fractional(
     let mut threshold = vec![0.0f64; n];
 
     for p in (0..t).rev() {
-        for i in 0..n {
-            threshold[i] = d1[i].powf(p as f64 / t as f64);
-        }
+        par::par_chunks_mut(&mut threshold, par_chunk(n), |start, chunk| {
+            for (j, th) in chunk.iter_mut().enumerate() {
+                *th = d1[start + j].powf(p as f64 / t as f64);
+            }
+        });
         // Lemma 4.1, measured: entering outer iteration p (for p < t−1),
         // every node with x_i < 1 has δ̃_i ≤ (Δ_i+1)^{(p+1)/t}. (Stated by
         // the paper for global Δ; measured for whichever knowledge model
@@ -193,13 +226,40 @@ pub fn solve_fractional(
             }
         }
         for q in (0..t).rev() {
-            // Lines 5–9: simultaneous raises.
-            for i in 0..n {
-                let inc = d1[i].powf(-(q as f64) / t as f64);
-                st.raise(i, threshold[i], inc);
+            // Lines 5–9: simultaneous raises. Each shard owns a contiguous
+            // block of `x`/`xplus`; `dyndeg` is frozen for the phase.
+            {
+                let AlgoState {
+                    x, xplus, dyndeg, ..
+                } = &mut st;
+                let dyndeg = &dyndeg[..];
+                let mut shards: Vec<RaiseShard<'_>> = Vec::new();
+                let (mut x_rest, mut xp_rest) = (&mut x[..], &mut xplus[..]);
+                for r in par::split_ranges(n, par::num_threads()) {
+                    let (x_here, x_next) = x_rest.split_at_mut(r.len());
+                    let (xp_here, xp_next) = xp_rest.split_at_mut(r.len());
+                    x_rest = x_next;
+                    xp_rest = xp_next;
+                    shards.push(RaiseShard {
+                        start: r.start,
+                        x: x_here,
+                        xplus: xp_here,
+                    });
+                }
+                par::par_for_each_mut(&mut shards, |_, s| {
+                    for (j, xj) in s.x.iter_mut().enumerate() {
+                        let i = s.start + j;
+                        let inc = d1[i].powf(-(q as f64) / t as f64);
+                        s.xplus[j] = raise_at(xj, dyndeg[i], threshold[i], inc);
+                    }
+                });
             }
             // Lines 10–22: dual accounting at white nodes, using the
-            // raises just exchanged. (Split borrows of the state fields.)
+            // raises just exchanged. A white node writes only its own
+            // `cov`/`white`/`y`/dual cells and the `α, β` slots of its own
+            // out-edges, and reads only the frozen `xplus` — so contiguous
+            // node shards (with `α`/`β` cut at the matching slot
+            // boundaries) never touch each other's cells.
             {
                 let AlgoState {
                     xplus,
@@ -212,35 +272,81 @@ pub fn solve_fractional(
                     y,
                     ..
                 } = &mut st;
-                for v in g.nodes() {
-                    let i = v.index();
-                    if !white[i] {
-                        continue;
-                    }
-                    let mut cplus = xplus[i];
-                    for &w in g.neighbors(v) {
-                        cplus += xplus[w.index()];
-                    }
-                    let slot_start = g.slot_range(v).start;
-                    let turned_gray = account(
-                        inst.demand(v) as f64,
-                        threshold[i],
-                        &mut cov[i],
-                        cplus,
-                        xplus[i],
-                        &mut alpha_self[i],
-                        &mut beta_self[i],
-                        g.neighbors(v).iter().map(|&w| xplus[w.index()]),
-                        |o, da, db| {
-                            alpha[slot_start + o] += da;
-                            beta[slot_start + o] += db;
-                        },
-                    );
-                    if let Some(yv) = turned_gray {
-                        white[i] = false;
-                        y[i] = yv;
-                    }
+                let xplus = &xplus[..];
+                let mut shards: Vec<AccountShard<'_>> = Vec::new();
+                let (mut cov_r, mut white_r) = (&mut cov[..], &mut white[..]);
+                let (mut as_r, mut bs_r, mut y_r) =
+                    (&mut alpha_self[..], &mut beta_self[..], &mut y[..]);
+                let (mut alpha_r, mut beta_r) = (&mut alpha[..], &mut beta[..]);
+                let mut slot_base = 0usize;
+                for r in par::split_ranges(n, par::num_threads()) {
+                    let slot_end = if r.end == n {
+                        g.slot_count()
+                    } else {
+                        g.slot_range(NodeId::new(r.end as u32)).start
+                    };
+                    let len = r.len();
+                    let slots = slot_end - slot_base;
+                    let (cov_h, cov_n) = cov_r.split_at_mut(len);
+                    let (white_h, white_n) = white_r.split_at_mut(len);
+                    let (as_h, as_n) = as_r.split_at_mut(len);
+                    let (bs_h, bs_n) = bs_r.split_at_mut(len);
+                    let (y_h, y_n) = y_r.split_at_mut(len);
+                    let (alpha_h, alpha_n) = alpha_r.split_at_mut(slots);
+                    let (beta_h, beta_n) = beta_r.split_at_mut(slots);
+                    cov_r = cov_n;
+                    white_r = white_n;
+                    as_r = as_n;
+                    bs_r = bs_n;
+                    y_r = y_n;
+                    alpha_r = alpha_n;
+                    beta_r = beta_n;
+                    shards.push(AccountShard {
+                        nodes: r,
+                        slot_base,
+                        cov: cov_h,
+                        white: white_h,
+                        alpha: alpha_h,
+                        alpha_self: as_h,
+                        beta: beta_h,
+                        beta_self: bs_h,
+                        y: y_h,
+                    });
+                    slot_base = slot_end;
                 }
+                par::par_for_each_mut(&mut shards, |_, s| {
+                    for i in s.nodes.clone() {
+                        let li = i - s.nodes.start;
+                        if !s.white[li] {
+                            continue;
+                        }
+                        let v = NodeId::new(i as u32);
+                        let mut cplus = xplus[i];
+                        for &w in g.neighbors(v) {
+                            cplus += xplus[w.index()];
+                        }
+                        let slot_start = g.slot_range(v).start - s.slot_base;
+                        let (alpha, beta) = (&mut *s.alpha, &mut *s.beta);
+                        let turned_gray = account(
+                            inst.demand(v) as f64,
+                            threshold[i],
+                            &mut s.cov[li],
+                            cplus,
+                            xplus[i],
+                            &mut s.alpha_self[li],
+                            &mut s.beta_self[li],
+                            g.neighbors(v).iter().map(|&w| xplus[w.index()]),
+                            |o, da, db| {
+                                alpha[slot_start + o] += da;
+                                beta[slot_start + o] += db;
+                            },
+                        );
+                        if let Some(yv) = turned_gray {
+                            s.white[li] = false;
+                            s.y[li] = yv;
+                        }
+                    }
+                });
             }
             // Lines 23–24: exchange colors, recompute dynamic degrees.
             st.recompute_dyndeg(inst);
@@ -253,15 +359,18 @@ pub fn solve_fractional(
     // lives at node j in the reverse slot of (i → j).
     let rev = g.reverse_slots();
     let mut z = vec![0.0f64; n];
-    for v in g.nodes() {
-        let i = v.index();
-        let mut zi = st.alpha_self[i] * st.y[i] - st.beta_self[i];
-        for (o, &w) in g.neighbors(v).iter().enumerate() {
-            let rs = rev[g.slot_range(v).start + o] as usize;
-            zi += st.alpha[rs] * st.y[w.index()] - st.beta[rs];
+    par::par_chunks_mut(&mut z, par_chunk(n), |start, chunk| {
+        for (j, zj) in chunk.iter_mut().enumerate() {
+            let i = start + j;
+            let v = NodeId::new(i as u32);
+            let mut zi = st.alpha_self[i] * st.y[i] - st.beta_self[i];
+            for (o, &w) in g.neighbors(v).iter().enumerate() {
+                let rs = rev[g.slot_range(v).start + o] as usize;
+                zi += st.alpha[rs] * st.y[w.index()] - st.beta[rs];
+            }
+            *zj = zi;
         }
-        z[i] = zi;
-    }
+    });
 
     // Dual scaling: Lemma 4.4's κ under global knowledge; the measured
     // violation factor under the unknown-Δ variant (where the lemma's
@@ -270,12 +379,16 @@ pub fn solve_fractional(
     let kappa = match params.knowledge {
         DeltaKnowledge::Global => t as f64 * ((delta + 1) as f64).powf(1.0 / t as f64),
         DeltaKnowledge::TwoHopMax => {
-            let mut factor = 1.0f64;
-            for v in g.nodes() {
-                let colsum: f64 = g.closed_neighbors(v).map(|w| st.y[w.index()]).sum();
-                factor = factor.max(colsum - z[v.index()]);
-            }
-            factor
+            // Per-node slacks in parallel; the max-fold stays in index
+            // order (not that `max` cares, but the habit is free).
+            let slack: Vec<f64> = par::par_map_range(n, |i| {
+                let colsum: f64 = g
+                    .closed_neighbors(NodeId::new(i as u32))
+                    .map(|w| st.y[w.index()])
+                    .sum();
+                colsum - z[i]
+            });
+            slack.into_iter().fold(1.0f64, f64::max)
         }
     };
     let dual_raw: f64 = (0..n)

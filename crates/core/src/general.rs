@@ -39,7 +39,7 @@ pub struct GeneralPipeline {
 }
 
 /// Result of a pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneralRun {
     /// The integral k-fold dominating set.
     pub set: DominatingSet,

@@ -5,8 +5,19 @@ use crate::DominatingSet;
 use ftclust_geometry::SpatialGrid;
 use ftclust_graphs::{NodeId, UnitDiskGraph};
 use ftclust_netsim::node_rng;
+use ftclust_par as par;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// One worker's contiguous block of the identifier-draw phase: each node
+/// advances only its own RNG stream and writes only its own `ids` /
+/// `fixed_drawn` cells, so sharding cannot change any draw.
+struct DrawShard<'s> {
+    start: usize,
+    rngs: &'s mut [StdRng],
+    ids: &'s mut [u64],
+    fixed_drawn: &'s mut [bool],
+}
 
 /// The consideration-radius schedule `θ_1, …, θ_R` in **absolute** units
 /// (multiples of `radius`):
@@ -69,9 +80,9 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
     }
     let schedule = theta_schedule(n, udg.radius());
     let cap = id_cap(n);
-    let mut rngs: Vec<StdRng> = (0..n)
-        .map(|i| node_rng(seed, NodeId::new(i as u32)))
-        .collect();
+    // Per-node streams are seeded independently (SplitMix64 over the node
+    // id), so even their construction parallelizes without reordering.
+    let mut rngs: Vec<StdRng> = par::par_map_range(n, |i| node_rng(seed, NodeId::new(i as u32)));
     let mut active = vec![true; n];
     let mut ids = vec![0u64; n];
     let mut fixed_drawn = vec![false; n];
@@ -80,32 +91,56 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
 
     for &theta in &schedule {
         masks.push(active.clone());
-        // Draw identifiers for the active nodes (line 5).
-        for i in 0..n {
-            if !active[i] {
-                continue;
+        // Draw identifiers for the active nodes (line 5). Each node's draw
+        // comes from its own private stream, so contiguous shards produce
+        // exactly the serial draws.
+        {
+            let active = &active[..];
+            let mut shards: Vec<DrawShard<'_>> = Vec::new();
+            let (mut rngs_r, mut ids_r, mut fd_r) =
+                (&mut rngs[..], &mut ids[..], &mut fixed_drawn[..]);
+            for r in par::split_ranges(n, par::num_threads()) {
+                let (rngs_h, rngs_n) = rngs_r.split_at_mut(r.len());
+                let (ids_h, ids_n) = ids_r.split_at_mut(r.len());
+                let (fd_h, fd_n) = fd_r.split_at_mut(r.len());
+                rngs_r = rngs_n;
+                ids_r = ids_n;
+                fd_r = fd_n;
+                shards.push(DrawShard {
+                    start: r.start,
+                    rngs: rngs_h,
+                    ids: ids_h,
+                    fixed_drawn: fd_h,
+                });
             }
-            match id_mode {
-                IdMode::FreshPerRound => ids[i] = rngs[i].random_range(1..=cap),
-                IdMode::FixedAtStart => {
-                    if !fixed_drawn[i] {
-                        ids[i] = rngs[i].random_range(1..=cap);
-                        fixed_drawn[i] = true;
+            par::par_for_each_mut(&mut shards, |_, s| {
+                for j in 0..s.rngs.len() {
+                    if !active[s.start + j] {
+                        continue;
+                    }
+                    match id_mode {
+                        IdMode::FreshPerRound => s.ids[j] = s.rngs[j].random_range(1..=cap),
+                        IdMode::FixedAtStart => {
+                            if !s.fixed_drawn[j] {
+                                s.ids[j] = s.rngs[j].random_range(1..=cap);
+                                s.fixed_drawn[j] = true;
+                            }
+                        }
                     }
                 }
-            }
+            });
         }
         // Build a grid over the active nodes only.
         let active_ids: Vec<u32> = (0..n).filter(|&i| active[i]).map(|i| i as u32).collect();
-        let active_pos: Vec<_> = active_ids
-            .iter()
-            .map(|&i| udg.position(NodeId::new(i)))
-            .collect();
+        let active_pos: Vec<_> =
+            par::par_map_indexed(&active_ids, |_, &i| udg.position(NodeId::new(i)));
         let grid = SpatialGrid::build(&active_pos, theta.max(1e-12));
         // Election (lines 8–12): each active node elects the max-identifier
-        // active node within θ (ties by node id), possibly itself.
-        let mut elected = vec![false; n];
-        for (gi, &i) in active_ids.iter().enumerate() {
+        // active node within θ (ties by node id), possibly itself. The
+        // winner scan per node is independent; the scatter into `elected`
+        // is a commutative OR, merged serially in index order.
+        let winners: Vec<u32> = par::par_map_range(active_ids.len(), |gi| {
+            let i = active_ids[gi];
             let mut best = (ids[i as usize], i);
             grid.for_each_within(active_pos[gi], theta, |gj| {
                 let j = active_ids[gj as usize];
@@ -114,11 +149,17 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
                     best = key;
                 }
             });
-            elected[best.1 as usize] = true;
+            best.1
+        });
+        let mut elected = vec![false; n];
+        for w in winners {
+            elected[w as usize] = true;
         }
-        for i in 0..n {
-            active[i] = active[i] && elected[i];
-        }
+        par::par_chunks_mut(&mut active, par::default_chunk(n), |start, chunk| {
+            for (j, a) in chunk.iter_mut().enumerate() {
+                *a = *a && elected[start + j];
+            }
+        });
         history.push(active.iter().filter(|&&a| a).count());
     }
     masks.push(active.clone());

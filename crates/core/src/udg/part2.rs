@@ -5,8 +5,19 @@ use super::PromotionRule;
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
 use ftclust_netsim::node_rng;
+use ftclust_par as par;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// One worker's contiguous block of a promotion iteration: the RNG streams
+/// it owns, plus a local list of promotion targets. Each leader draws only
+/// from its own stream; targets are OR-merged afterwards (commutative), so
+/// the outcome matches the serial scan exactly.
+struct PromoShard<'s> {
+    start: usize,
+    rngs: &'s mut [StdRng],
+    targets: Vec<NodeId>,
+}
 
 /// Where Part II gets its per-node random streams from.
 #[derive(Debug)]
@@ -75,9 +86,7 @@ pub(crate) fn run_part2(
     let n = g.node_count();
     let mut leader: Vec<bool> = leaders.as_members().to_vec();
     let mut rngs: Vec<StdRng> = match rng_source {
-        RngSource::Seed(seed) => (0..n)
-            .map(|i| node_rng(seed, NodeId::new(i as u32)))
-            .collect(),
+        RngSource::Seed(seed) => par::par_map_range(n, |i| node_rng(seed, NodeId::new(i as u32))),
         RngSource::Streams(rngs) => {
             assert_eq!(rngs.len(), n, "rng stream count mismatch");
             rngs
@@ -87,31 +96,54 @@ pub(crate) fn run_part2(
     loop {
         // Coverage snapshot: number of leaders in each closed neighborhood
         // (for a non-leader this equals the leader count among neighbors).
-        let cov: Vec<u32> = g
-            .nodes()
-            .map(|v| g.closed_neighbors(v).filter(|w| leader[w.index()]).count() as u32)
-            .collect();
-        let needy: Vec<bool> = (0..n).map(|i| !leader[i] && cov[i] < k).collect();
+        let cov: Vec<u32> = par::par_map_range(n, |i| {
+            g.closed_neighbors(NodeId::new(i as u32))
+                .filter(|w| leader[w.index()])
+                .count() as u32
+        });
+        let needy: Vec<bool> = par::par_map_range(n, |i| !leader[i] && cov[i] < k);
         if !needy.iter().any(|&b| b) {
             break;
         }
         iterations += 1;
+        // Promotion scan: each leader draws from its own stream, so RNG
+        // shards follow the node sharding; the scatter into `promoted` is
+        // a commutative OR, merged after the parallel part.
+        let mut shards: Vec<PromoShard<'_>> = Vec::new();
+        let mut rngs_rest = &mut rngs[..];
+        for r in par::split_ranges(n, par::num_threads()) {
+            let (rngs_here, rngs_next) = rngs_rest.split_at_mut(r.len());
+            rngs_rest = rngs_next;
+            shards.push(PromoShard {
+                start: r.start,
+                rngs: rngs_here,
+                targets: Vec::new(),
+            });
+        }
+        par::par_for_each_mut(&mut shards, |_, s| {
+            for j in 0..s.rngs.len() {
+                let i = s.start + j;
+                if !leader[i] {
+                    continue;
+                }
+                let v = NodeId::new(i as u32);
+                let u: Vec<NodeId> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|w| needy[w.index()])
+                    .collect();
+                if u.is_empty() {
+                    continue;
+                }
+                let picks =
+                    select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut s.rngs[j]);
+                s.targets.extend(picks);
+            }
+        });
         let mut promoted = vec![false; n];
-        for v in g.nodes() {
-            let i = v.index();
-            if !leader[i] {
-                continue;
-            }
-            let u: Vec<NodeId> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|w| needy[w.index()])
-                .collect();
-            if u.is_empty() {
-                continue;
-            }
-            for w in select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut rngs[i]) {
+        for s in &shards {
+            for w in &s.targets {
                 promoted[w.index()] = true;
             }
         }
@@ -122,9 +154,11 @@ pub(crate) fn run_part2(
                 limit: iterations as u64,
             });
         }
-        for i in 0..n {
-            leader[i] = leader[i] || promoted[i];
-        }
+        par::par_chunks_mut(&mut leader, par::default_chunk(n), |start, chunk| {
+            for (j, l) in chunk.iter_mut().enumerate() {
+                *l = *l || promoted[start + j];
+            }
+        });
     }
     Ok((DominatingSet::from_members(leader), iterations))
 }

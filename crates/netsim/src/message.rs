@@ -14,7 +14,11 @@ use ftclust_graphs::NodeId;
 ///   their mantissa/exponent budget (the algorithms only ever need
 ///   `O(log n)`-bit precision — values are sums of at most `Δ+1` terms of
 ///   the form `(Δ+1)^{-q/t}`).
-pub trait Payload: Clone + std::fmt::Debug {
+///
+/// Payloads are `Send + Sync` so the simulator can execute node rounds on
+/// worker threads (envelopes move to the merge thread; inboxes are read
+/// shared). Message types are plain data, so this is automatic.
+pub trait Payload: Clone + std::fmt::Debug + Send + Sync {
     /// Size of the encoded message in bits.
     fn bit_size(&self) -> usize;
 }

@@ -23,7 +23,12 @@ pub enum Control {
 /// X's"* therefore spans **two** simulator rounds — exactly the accounting
 /// the paper uses ("every iteration of the inner loop can be computed in 2
 /// rounds", proof of Theorem 4.5).
-pub trait NodeLogic {
+///
+/// Logic instances are `Send`: the simulator shards nodes across worker
+/// threads within a round (each instance is only ever touched by one
+/// thread at a time). Protocol state machines are plain data, so this is
+/// automatic.
+pub trait NodeLogic: Send {
     /// The message type this protocol exchanges.
     type Payload: Payload;
 

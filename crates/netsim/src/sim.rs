@@ -1,6 +1,7 @@
 use crate::node::Context;
 use crate::{Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology};
 use ftclust_graphs::NodeId;
+use ftclust_par as par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,21 +30,54 @@ struct NodeSlot<L: NodeLogic> {
     running: bool,
 }
 
+/// One worker's contiguous share of a round: the node slots it executes
+/// and the (recycled) buffer its envelopes accumulate in, in node order.
+struct StepShard<'t, L: NodeLogic> {
+    start: usize,
+    nodes: &'t mut [NodeSlot<L>],
+    outbox: &'t mut Vec<Envelope<L::Payload>>,
+}
+
 /// Executes a [`NodeLogic`] instance per node over a [`Topology`] in
 /// synchronous rounds.
 ///
 /// Messages sent in round `r` are delivered at the start of round `r + 1`.
 /// The simulation is quiescent when every node has halted (or crashed).
 /// See the [crate-level example](crate).
+///
+/// # Parallel execution
+///
+/// Each round, nodes are sharded into contiguous blocks executed on
+/// [`ftclust_par::num_threads`] worker threads (override with the
+/// `FTCLUST_THREADS` environment variable; `1` runs fully inline). Every
+/// node draws randomness only from its private stream ([`node_rng`]) and
+/// reads only the previous round's frozen inboxes, and envelopes are
+/// merged back **in sender order** before fault injection consumes the
+/// shared fault stream — so metrics, message drops, delivery order and
+/// final protocol states are **bit-for-bit identical** for every thread
+/// count. See `DESIGN.md` §7.
+///
+/// # Allocation
+///
+/// The per-recipient inbox buckets and per-worker outboxes are recycled
+/// across rounds, so steady-state rounds allocate nothing beyond what
+/// message volume itself demands.
 pub struct Simulator<'a, L: NodeLogic> {
     topo: Topology<'a>,
     nodes: Vec<NodeSlot<L>>,
     /// Messages to deliver in the upcoming round, bucketed by recipient.
     pending: Vec<Vec<Envelope<L::Payload>>>,
+    /// Last round's (drained) buckets, kept to recycle their capacity.
+    spare: Vec<Vec<Envelope<L::Payload>>>,
+    /// Recycled per-worker outbox buffers.
+    outboxes: Vec<Vec<Envelope<L::Payload>>>,
     metrics: Metrics,
     faults: FaultPlan,
     fault_rng: StdRng,
     round: u64,
+    /// Cached quiescence, recomputed once per step (state only changes in
+    /// [`Simulator::step`]).
+    quiescent: bool,
 }
 
 impl<L: NodeLogic> std::fmt::Debug for Simulator<'_, L> {
@@ -82,15 +116,20 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                 }
             })
             .collect();
-        Simulator {
+        let mut sim = Simulator {
             topo,
             nodes,
             pending: (0..n).map(|_| Vec::new()).collect(),
+            spare: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: Vec::new(),
             metrics: Metrics::default(),
             faults,
             fault_rng: StdRng::seed_from_u64(splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17)),
             round: 0,
-        }
+            quiescent: false,
+        };
+        sim.quiescent = sim.compute_quiescent();
+        sim
     }
 
     /// The current round number (the next round to execute).
@@ -99,7 +138,16 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     }
 
     /// Returns `true` once every node has halted or crashed.
+    ///
+    /// O(1): the answer is cached and refreshed at the end of every
+    /// [`Simulator::step`] (node and fault state only change there).
     pub fn is_quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    /// The full quiescence scan backing the [`Simulator::is_quiescent`]
+    /// cache.
+    fn compute_quiescent(&self) -> bool {
         self.nodes
             .iter()
             .enumerate()
@@ -119,39 +167,75 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
 
     /// Executes one synchronous round. Returns `false` if the network was
     /// already quiescent (in which case nothing happens).
+    ///
+    /// The round runs in three phases: (1) node logic executes on worker
+    /// threads over contiguous node shards, each appending envelopes to
+    /// its own recycled outbox in node order; (2) a sequential merge walks
+    /// the shard outboxes in node order, metering each envelope, drawing
+    /// the shared fault stream, and bucketing survivors by recipient —
+    /// exactly the order the serial engine used, so every thread count
+    /// yields identical state; (3) the drained inbox buckets are recycled
+    /// and the quiescence cache is refreshed.
     pub fn step(&mut self) -> bool {
-        if self.is_quiescent() {
+        if self.quiescent {
             return false;
         }
         self.metrics.begin_round();
         let round = self.round;
         let n = self.nodes.len();
-        // Take this round's inboxes; sends below fill the next ones.
-        let inboxes = std::mem::take(&mut self.pending);
-        self.pending = (0..n).map(|_| Vec::new()).collect();
-        let mut outbox: Vec<Envelope<L::Payload>> = Vec::new();
-        for (i, inbox) in inboxes.iter().enumerate() {
-            let me = NodeId::new(i as u32);
-            if self.faults.is_crashed(me, round) {
-                continue;
+        // Rotate buffers: `pending` (this round's deliveries) becomes the
+        // read-only inbox set; the drained `spare` buckets from last round
+        // become the next `pending`, keeping their capacity.
+        std::mem::swap(&mut self.pending, &mut self.spare);
+        let shard_ranges = par::split_ranges(n, par::num_threads());
+        if self.outboxes.len() < shard_ranges.len() {
+            self.outboxes.resize_with(shard_ranges.len(), Vec::new);
+        }
+        let shard_count = shard_ranges.len();
+        {
+            // Phase 1: execute node logic, sharded. Shared state is
+            // read-only (topology, faults, frozen inboxes); each shard
+            // owns its node slots and outbox exclusively.
+            let inboxes: &[Vec<Envelope<L::Payload>>] = &self.spare;
+            let topo = self.topo;
+            let faults = &self.faults;
+            let mut shards: Vec<StepShard<'_, L>> = Vec::with_capacity(shard_count);
+            let mut nodes_rest: &mut [NodeSlot<L>] = &mut self.nodes;
+            for (r, outbox) in shard_ranges.iter().zip(self.outboxes.iter_mut()) {
+                let (head, tail) = nodes_rest.split_at_mut(r.end - r.start);
+                nodes_rest = tail;
+                shards.push(StepShard {
+                    start: r.start,
+                    nodes: head,
+                    outbox,
+                });
             }
-            let slot = &mut self.nodes[i];
-            if !slot.running {
-                continue;
-            }
-            outbox.clear();
-            let mut ctx = Context {
-                me,
-                round,
-                topo: self.topo,
-                rng: &mut slot.rng,
-                outbox: &mut outbox,
-            };
-            let control = slot.logic.on_round(inbox, &mut ctx);
-            if control == Control::Halt {
-                slot.running = false;
-            }
-            // Deliver (next round), applying fault injection.
+            par::par_for_each_mut(&mut shards, |_, shard| {
+                shard.outbox.clear();
+                for (j, slot) in shard.nodes.iter_mut().enumerate() {
+                    let i = shard.start + j;
+                    let me = NodeId::new(i as u32);
+                    if faults.is_crashed(me, round) || !slot.running {
+                        continue;
+                    }
+                    let mut ctx = Context {
+                        me,
+                        round,
+                        topo,
+                        rng: &mut slot.rng,
+                        outbox: shard.outbox,
+                    };
+                    let control = slot.logic.on_round(&inboxes[i], &mut ctx);
+                    if control == Control::Halt {
+                        slot.running = false;
+                    }
+                }
+            });
+        }
+        // Phase 2: sequential merge in sender order — metrics and the
+        // shared fault stream consume envelopes exactly as the serial
+        // engine did.
+        for outbox in &mut self.outboxes[..shard_count] {
             for env in outbox.drain(..) {
                 self.metrics
                     .record_send(crate::Payload::bit_size(&env.payload));
@@ -167,7 +251,12 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                 self.pending[env.to.index()].push(env);
             }
         }
+        // Phase 3: recycle the consumed inbox buckets and refresh caches.
+        for bucket in &mut self.spare {
+            bucket.clear();
+        }
         self.round += 1;
+        self.quiescent = self.compute_quiescent();
         true
     }
 
@@ -410,6 +499,68 @@ mod tests {
         // Node streams are independent: different nodes draw differently.
         let picks = run(7);
         assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_execution() {
+        // The full fault gauntlet — crashes, message drops, randomized
+        // logic — must be bit-for-bit identical at every thread count,
+        // including metrics and the drop decisions drawn from the shared
+        // fault stream.
+        let g = generators::gnp(40, 0.2, 11);
+        let run = |threads: usize| {
+            ftclust_par::with_threads(threads, || {
+                let topo = Topology::from_graph(&g);
+                let faults = FaultPlan::none()
+                    .crash(NodeId::new(3), 2)
+                    .drop_probability(0.2);
+                let mut sim = Simulator::with_faults(
+                    topo,
+                    |_| Gossip {
+                        heard: vec![],
+                        rounds: 6,
+                    },
+                    9,
+                    faults,
+                );
+                sim.run(100).unwrap();
+                let heard: Vec<Vec<u64>> = sim.logics().map(|l| l.heard.clone()).collect();
+                (heard, sim.metrics().clone())
+            })
+        };
+        let baseline = run(1);
+        for threads in [2usize, 3, 7, 16] {
+            assert_eq!(run(threads), baseline, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn buffers_are_recycled_across_rounds() {
+        // White-box: after a run, the recycled buckets exist and are
+        // empty, and repeated stepping on a fresh simulator reuses them
+        // (no per-round growth of the bucket vectors themselves).
+        let g = generators::complete(6);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 4,
+            },
+            0,
+        );
+        sim.run(100).unwrap();
+        assert_eq!(sim.pending.len(), 6);
+        assert_eq!(sim.spare.len(), 6);
+        assert!(sim.pending.iter().all(Vec::is_empty));
+        assert!(sim.spare.iter().all(Vec::is_empty));
+        // Capacity was retained somewhere: a complete-graph broadcast
+        // filled every bucket each round.
+        assert!(sim
+            .spare
+            .iter()
+            .chain(&sim.pending)
+            .any(|b| b.capacity() > 0));
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //! synchronous execution, the final protocol states are **identical** to a
 //! synchronous run with the same master seed — the tests assert this
 //! bit-for-bit.
+//!
+//! # Why this module stays single-threaded
+//!
+//! Unlike [`crate::Simulator`] (whose rounds are data-parallel over nodes,
+//! see `DESIGN.md` §7), the synchronizer is an **event-driven** executor:
+//! each [`AsyncExec::try_advance`] draws per-bundle delays from the single
+//! shared `delay_rng` stream and pushes arrivals tagged with a global
+//! sequence number, and which node advances next *depends on* those draws.
+//! Batching independent `try_advance` calls across threads would reorder
+//! the shared stream and change every delay — breaking the determinism
+//! contract the tests pin down. The per-node protocol work it schedules is
+//! the same work the parallel simulator covers, so the synchronizer keeps
+//! the simple sequential event loop.
 
 use crate::node::Context;
 use crate::sim::node_rng;

@@ -1,0 +1,357 @@
+//! Minimal deterministic data-parallel primitives for the ftclust
+//! workspace.
+//!
+//! The build environment has no registry access, so instead of `rayon`
+//! this crate provides the small subset of fork-join parallelism the
+//! simulator and engines need, built entirely on [`std::thread::scope`]
+//! (no `unsafe`, no dependencies):
+//!
+//! * [`par_map_range`] / [`par_map_indexed`] — map over an index range or
+//!   a slice, with the results **always merged in index order**, so a
+//!   parallel run returns exactly what the serial run returns,
+//! * [`par_chunks_mut`] / [`par_for_each_mut`] — mutate disjoint chunks
+//!   of a slice in place (the caller pre-splits any further state along
+//!   the same boundaries with `split_at_mut`),
+//! * [`split_ranges`] — the canonical contiguous block partition, shared
+//!   so every layer shards the same way.
+//!
+//! # Determinism contract
+//!
+//! Work is distributed as *contiguous blocks in index order* and results
+//! are merged in the same order. As long as the per-item closure depends
+//! only on its index and on state that is read-only during the call (the
+//! discipline every caller in this workspace follows), the outcome is
+//! **bit-for-bit identical** for every thread count, including the serial
+//! fallback at one thread.
+//!
+//! # Thread-count selection
+//!
+//! [`num_threads`] resolves, in order: a scoped programmatic override
+//! ([`with_threads`], used by tests and the perf baseline), the
+//! `FTCLUST_THREADS` environment variable (a positive integer; anything
+//! else is ignored), and finally [`std::thread::available_parallelism`].
+//! At one thread every primitive runs inline without spawning.
+//!
+//! Worker panics are re-raised on the calling thread with their original
+//! payload once the scope has joined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`] (0 = none).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The worker count parallel primitives use on this thread.
+///
+/// Resolution order: [`with_threads`] override, then the
+/// `FTCLUST_THREADS` environment variable (positive integers only —
+/// malformed or zero values are ignored), then the machine's available
+/// parallelism (1 if unknown).
+pub fn num_threads() -> usize {
+    let forced = OVERRIDE.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("FTCLUST_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with [`num_threads`] forced to `threads` (minimum 1) on the
+/// current thread, restoring the previous setting afterwards — also on
+/// panic. Used by the determinism tests and the perf baseline to compare
+/// thread counts within one process.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(threads.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Splits `0..len` into at most `parts` contiguous, non-empty ranges of
+/// near-equal size, in index order. Returns no ranges for `len == 0`.
+///
+/// This is the partition every parallel primitive here uses; engines that
+/// shard additional state with `split_at_mut` use it too, so all layers
+/// agree on the block boundaries.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// The chunk length that gives every worker one contiguous block of `len`
+/// items — the canonical `chunk_size` argument for [`par_chunks_mut`].
+pub fn default_chunk(len: usize) -> usize {
+    len.div_ceil(num_threads()).max(1)
+}
+
+/// Joins a worker, re-raising its panic payload on the calling thread.
+fn join_unwinding<R>(handle: std::thread::ScopedJoinHandle<'_, R>) -> R {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Maps `f` over `0..len` in parallel, returning results in index order.
+///
+/// Equivalent to `(0..len).map(f).collect()` — and exactly that at one
+/// thread.
+pub fn par_map_range<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let ranges = split_ranges(len, threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || r.map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.append(&mut join_unwinding(h));
+        }
+        out
+    })
+}
+
+/// Maps `f` over a slice in parallel, returning results in index order.
+///
+/// Equivalent to `items.iter().enumerate().map(..).collect()`.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Calls `f(chunk_start_index, chunk)` for every `chunk_size`-sized chunk
+/// of `data` (the last chunk may be shorter), distributing whole chunks
+/// over the workers as contiguous batches.
+///
+/// The chunk decomposition — and therefore each invocation `f` sees — is
+/// independent of the thread count; only the worker executing it varies.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk_size.max(1);
+    let n_chunks = data.len().div_ceil(chunk);
+    let threads = num_threads();
+    if threads <= 1 || n_chunks <= 1 {
+        for (ci, c) in data.chunks_mut(chunk).enumerate() {
+            f(ci * chunk, c);
+        }
+        return;
+    }
+    let batches = split_ranges(n_chunks, threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(batches.len());
+        let mut rest = data;
+        for b in batches {
+            let elems = ((b.end - b.start) * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let base = b.start * chunk;
+            handles.push(s.spawn(move || {
+                for (j, c) in head.chunks_mut(chunk).enumerate() {
+                    f(base + j * chunk, c);
+                }
+            }));
+        }
+        for h in handles {
+            join_unwinding(h);
+        }
+    });
+}
+
+/// Calls `f(index, &mut item)` for every element, one contiguous block
+/// per worker. Convenience wrapper over [`par_chunks_mut`].
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_chunks_mut(items, default_chunk(items.len()), |start, chunk| {
+        for (j, item) in chunk.iter_mut().enumerate() {
+            f(start + j, item);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        with_threads(7, || {
+            assert_eq!(num_threads(), 7);
+            with_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 7);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let outer = num_threads();
+        let result = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 200] {
+                let rs = split_ranges(len, parts);
+                if len == 0 {
+                    assert!(rs.is_empty());
+                    continue;
+                }
+                assert!(rs.len() <= parts.max(1));
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, len);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Near-equal block sizes (difference at most 1).
+                let sizes: Vec<usize> = rs.iter().map(ExactSizeIterator::len).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "len={len} parts={parts}: {sizes:?}");
+                assert!(*lo >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        for threads in [1usize, 2, 3, 7, 64] {
+            let par = with_threads(threads, || par_map_indexed(&items, |i, x| x * 3 + i as u64));
+            assert_eq!(par, serial, "threads={threads}");
+            let ranged = with_threads(threads, || {
+                par_map_range(items.len(), |i| items[i] * 3 + i as u64)
+            });
+            assert_eq!(ranged, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_inputs() {
+        assert_eq!(par_map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range(1, |i| i + 41), vec![41]);
+        let empty: [u8; 0] = [];
+        assert_eq!(par_map_indexed(&empty, |_, &b| b), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once_with_correct_base() {
+        for threads in [1usize, 2, 5] {
+            for chunk in [1usize, 3, 64, 1000] {
+                let mut data = vec![0usize; 100];
+                with_threads(threads, || {
+                    par_chunks_mut(&mut data, chunk, |start, c| {
+                        for (j, slot) in c.iter_mut().enumerate() {
+                            *slot += start + j + 1;
+                        }
+                    });
+                });
+                let expect: Vec<usize> = (1..=100).collect();
+                assert_eq!(data, expect, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_passes_global_indices() {
+        let mut data = vec![0usize; 97];
+        with_threads(4, || par_for_each_mut(&mut data, |i, slot| *slot = i * i));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn work_actually_lands_on_all_blocks() {
+        // Not a scheduling guarantee — just checks the batching math hits
+        // every element exactly once under contention.
+        let counter = AtomicUsize::new(0);
+        with_threads(8, || {
+            par_map_range(10_000, |_| counter.fetch_add(1, Ordering::Relaxed))
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded")]
+    fn worker_panic_propagates_with_payload() {
+        with_threads(3, || {
+            par_map_range(64, |i| {
+                assert!(i != 17, "worker exploded");
+                i
+            })
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mutating worker exploded")]
+    fn chunks_mut_panic_propagates() {
+        let mut data = vec![0u8; 64];
+        with_threads(3, || {
+            par_chunks_mut(&mut data, 4, |start, _| {
+                assert!(start != 16, "mutating worker exploded");
+            });
+        });
+    }
+}

@@ -1,0 +1,196 @@
+//! Determinism regression tests for the parallel execution substrate.
+//!
+//! The contract of `ftclust-par` is that the thread count is a pure
+//! performance knob: every algorithm and protocol must produce
+//! **bit-for-bit** the same outputs at any number of worker threads.
+//! These tests pin that contract by running Algorithms 1–3 (engine and
+//! protocol forms) serially and at several awkward thread counts —
+//! including 7, which never divides the node counts evenly — across
+//! multiple master seeds, and comparing final states, metrics, and
+//! dominating sets for exact equality.
+
+use ftclust::core::fractional::protocol::run_fractional_protocol;
+use ftclust::core::fractional::FractionalSolution;
+use ftclust::core::prelude::*;
+use ftclust::core::rounding::{protocol::run_rounding_protocol, RoundingParams};
+use ftclust::core::udg::protocol::run_udg_protocol;
+use ftclust::graphs::{generators, Graph};
+use ftclust_par::with_threads;
+use proptest::prelude::*;
+
+/// Thread counts exercised against the serial reference. 2 is the
+/// smallest parallel case; 7 is odd and coprime to the test sizes, so
+/// shard boundaries land mid-structure.
+const THREADS: &[usize] = &[2, 7];
+
+/// Master seeds for graph generation and algorithm randomness.
+const SEEDS: &[u64] = &[3, 17, 1234];
+
+fn gnp_instance(seed: u64) -> (Graph, u32) {
+    (generators::gnp(180, 0.05, seed), 2)
+}
+
+/// Algorithm 1 (engine): `solve_fractional` must be thread-count
+/// invariant in both knowledge modes.
+#[test]
+fn fractional_engine_is_thread_invariant() {
+    for &seed in SEEDS {
+        let (g, k) = gnp_instance(seed);
+        let inst = Instance::uniform_clamped(&g, k);
+        for params in [
+            FractionalParams::new(3),
+            FractionalParams::new(3).without_global_delta(),
+        ] {
+            let reference: FractionalSolution =
+                with_threads(1, || solve_fractional(&inst, &params).expect("solve"));
+            for &t in THREADS {
+                let parallel = with_threads(t, || solve_fractional(&inst, &params).expect("solve"));
+                assert_eq!(
+                    reference, parallel,
+                    "fractional engine diverged at seed={seed}, threads={t}"
+                );
+            }
+        }
+    }
+}
+
+/// Algorithm 1 (protocol): solution *and* communication metrics must
+/// match — the simulator's merge order is part of the contract.
+#[test]
+fn fractional_protocol_is_thread_invariant() {
+    for &seed in SEEDS {
+        let (g, k) = gnp_instance(seed);
+        let inst = Instance::uniform_clamped(&g, k);
+        let params = FractionalParams::new(2);
+        let reference = with_threads(1, || {
+            run_fractional_protocol(&inst, &params).expect("protocol")
+        });
+        for &t in THREADS {
+            let parallel = with_threads(t, || {
+                run_fractional_protocol(&inst, &params).expect("protocol")
+            });
+            assert_eq!(
+                reference.solution, parallel.solution,
+                "protocol solution diverged at seed={seed}, threads={t}"
+            );
+            assert_eq!(
+                reference.metrics, parallel.metrics,
+                "protocol metrics diverged at seed={seed}, threads={t}"
+            );
+        }
+    }
+}
+
+/// Algorithm 2: the randomized rounding (engine and protocol) must
+/// draw identical per-node coins at every thread count.
+#[test]
+fn rounding_is_thread_invariant() {
+    for &seed in SEEDS {
+        let (g, k) = gnp_instance(seed);
+        let inst = Instance::uniform_clamped(&g, k);
+        let sol = solve_fractional(&inst, &FractionalParams::new(2)).expect("solve");
+        let params = RoundingParams::default();
+        let reference = with_threads(1, || {
+            round_fractional(&inst, &sol.x, sol.delta, seed, &params)
+        });
+        let proto_ref = with_threads(1, || {
+            run_rounding_protocol(&inst, &sol.x, sol.delta, seed, &params).expect("protocol")
+        });
+        assert_eq!(reference.set, proto_ref.outcome.set);
+        for &t in THREADS {
+            let parallel = with_threads(t, || {
+                round_fractional(&inst, &sol.x, sol.delta, seed, &params)
+            });
+            assert_eq!(
+                reference, parallel,
+                "rounding engine diverged at seed={seed}, threads={t}"
+            );
+            let proto = with_threads(t, || {
+                run_rounding_protocol(&inst, &sol.x, sol.delta, seed, &params).expect("protocol")
+            });
+            assert_eq!(
+                proto_ref.outcome, proto.outcome,
+                "rounding protocol outcome diverged at seed={seed}, threads={t}"
+            );
+            assert_eq!(
+                proto_ref.metrics, proto.metrics,
+                "rounding protocol metrics diverged at seed={seed}, threads={t}"
+            );
+        }
+    }
+}
+
+/// Algorithm 3 (engine + protocol): leader election and promotion use
+/// per-node RNG streams; the elected sets, dominating sets, and
+/// metrics must be identical at every thread count.
+#[test]
+fn udg_algorithm_is_thread_invariant() {
+    for &seed in SEEDS {
+        let udg = generators::random_udg_in_square(500, 8.0, 1.0, seed);
+        let config = UdgAlgorithm::new(2).seed(seed);
+        let reference = with_threads(1, || config.run(&udg).expect("udg run"));
+        let proto_ref = with_threads(1, || run_udg_protocol(&udg, &config).expect("protocol"));
+        assert_eq!(reference, proto_ref.run);
+        for &t in THREADS {
+            let parallel = with_threads(t, || config.run(&udg).expect("udg run"));
+            assert_eq!(
+                reference, parallel,
+                "udg engine diverged at seed={seed}, threads={t}"
+            );
+            let proto = with_threads(t, || run_udg_protocol(&udg, &config).expect("protocol"));
+            assert_eq!(
+                proto_ref.run, proto.run,
+                "udg protocol run diverged at seed={seed}, threads={t}"
+            );
+            assert_eq!(
+                proto_ref.metrics, proto.metrics,
+                "udg protocol metrics diverged at seed={seed}, threads={t}"
+            );
+        }
+    }
+}
+
+/// End-to-end pipeline (Algorithm 1 + 2 + repair) through the
+/// high-level [`GeneralPipeline`] entry point.
+#[test]
+fn general_pipeline_is_thread_invariant() {
+    for &seed in SEEDS {
+        let (g, k) = gnp_instance(seed);
+        let inst = Instance::uniform_clamped(&g, k);
+        let pipe = GeneralPipeline::new(3).seed(seed);
+        let reference = with_threads(1, || pipe.run(&inst).expect("pipeline"));
+        for &t in THREADS {
+            let parallel = with_threads(t, || pipe.run(&inst).expect("pipeline"));
+            assert_eq!(
+                reference, parallel,
+                "general pipeline diverged at seed={seed}, threads={t}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: on arbitrary sparse instances, the fractional engine
+    /// and the UDG algorithm are invariant under the thread count.
+    #[test]
+    fn arbitrary_instances_are_thread_invariant(
+        n in 20u32..120,
+        seed in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let g = generators::gnp(n, 0.08, seed);
+        let inst = Instance::uniform_clamped(&g, 1);
+        let params = FractionalParams::new(2);
+        let serial = with_threads(1, || solve_fractional(&inst, &params).expect("solve"));
+        let parallel = with_threads(threads, || solve_fractional(&inst, &params).expect("solve"));
+        prop_assert_eq!(serial, parallel);
+
+        let udg = generators::random_udg_in_square(n, 6.0, 1.0, seed);
+        let config = UdgAlgorithm::new(1).seed(seed);
+        let serial_udg = with_threads(1, || config.run(&udg).expect("udg"));
+        let parallel_udg = with_threads(threads, || config.run(&udg).expect("udg"));
+        prop_assert_eq!(serial_udg, parallel_udg);
+    }
+}

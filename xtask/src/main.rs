@@ -62,6 +62,7 @@ const MEMBERS: &[&str] = &[
     "crates/graphs",
     "crates/lp",
     "crates/netsim",
+    "crates/par",
     "xtask",
 ];
 
@@ -74,6 +75,7 @@ const CRATE_ROOTS: &[&str] = &[
     "crates/graphs/src/lib.rs",
     "crates/lp/src/lib.rs",
     "crates/netsim/src/lib.rs",
+    "crates/par/src/lib.rs",
 ];
 
 /// Source trees holding shipping library code (hygiene scope). Binaries
@@ -86,6 +88,7 @@ const LIBRARY_TREES: &[&str] = &[
     "crates/graphs/src",
     "crates/lp/src",
     "crates/netsim/src",
+    "crates/par/src",
 ];
 
 /// Numeric crates where float `==` is checked.
