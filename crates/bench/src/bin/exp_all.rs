@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e11_baselines",
     "exp_e12_geometry",
     "exp_e13_ablations",
+    "exp_e14_churn",
 ];
 
 struct Outcome {

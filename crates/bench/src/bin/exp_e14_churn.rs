@@ -1,0 +1,306 @@
+//! **E14 — churn and repair**: self-healing k-fold domination under live
+//! fault injection.
+//!
+//! Each epoch schedules crashes and recoveries in the simulator's
+//! [`ChurnPlan`] (some nodes die mid-heartbeat-window, some previously
+//! dead nodes come back), detects the surviving topology with a heartbeat
+//! protocol running on the simulator, cross-checks the detection against
+//! the simulator's ground-truth liveness mask, and then runs the
+//! distributed coverage repair of `ftclust_core::repair`. After every
+//! epoch the repaired set is re-validated as a **strict** k-fold
+//! dominating set of the surviving subgraph — the run aborts if healing
+//! ever fails.
+//!
+//! Reported per epoch: churn applied, peak coverage deficit, re-election
+//! iterations and protocol rounds to heal, repair message/bit cost, and
+//! set growth. The closing table summarizes time-to-heal versus `k`.
+//!
+//! ```text
+//! cargo run --release -p ftclust-bench --bin exp_e14_churn            # full
+//! cargo run --release -p ftclust-bench --bin exp_e14_churn -- --smoke # CI-sized
+//! ```
+//!
+//! Output is deterministic and byte-identical at every `FTCLUST_THREADS`
+//! setting (CI diffs 1 vs 2 threads).
+
+use ftclust_bench::families::udg_workload;
+use ftclust_bench::table::Table;
+use ftclust_core::repair::{repair_coverage, surviving_instance, RepairConfig};
+use ftclust_core::udg::UdgAlgorithm;
+use ftclust_core::validate::{is_k_dominating, Semantics};
+use ftclust_core::DominatingSet;
+use ftclust_graphs::{Graph, NodeId};
+use ftclust_netsim::{
+    ChurnPlan, Context, Control, Envelope, NodeLogic, Payload, Simulator, Topology,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One-bit liveness beacon.
+#[derive(Clone, Debug)]
+struct Beacon;
+
+impl Payload for Beacon {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Heartbeat detector: broadcast a beacon every round and remember who was
+/// heard in the most recent round. After the churn settles, the last
+/// round's senders are exactly the surviving neighbors.
+struct Heartbeat {
+    heard: Vec<NodeId>,
+}
+
+impl NodeLogic for Heartbeat {
+    type Payload = Beacon;
+
+    fn on_round(&mut self, inbox: &[Envelope<Beacon>], ctx: &mut Context<'_, Beacon>) -> Control {
+        self.heard.clear();
+        self.heard.extend(inbox.iter().map(|e| e.from));
+        ctx.broadcast(Beacon);
+        Control::Continue
+    }
+}
+
+/// Rounds stepped per detection window. Scheduled churn is fully applied
+/// by round 2, so the final round's beacons reflect the settled topology.
+const DETECT_ROUNDS: u64 = 6;
+
+struct EpochRow {
+    cells: Vec<String>,
+    iterations: u32,
+    repair_rounds: u64,
+    messages: u64,
+    bits: u64,
+    added: usize,
+}
+
+/// Plays one churn epoch: schedule the churn, run heartbeat detection on
+/// the simulator, verify the detection against ground truth, repair, and
+/// re-validate. Updates `alive` and `set` in place.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    g: &Graph,
+    alive: &mut Vec<bool>,
+    set: &mut DominatingSet,
+    k: u32,
+    epoch: u32,
+    kills: usize,
+    recoveries: usize,
+    seed: u64,
+) -> EpochRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Recover some of the currently-dead; kill a member-biased sample of
+    // the currently-alive (members and non-members are disjoint from the
+    // recovery pool, so no node is scheduled twice).
+    let mut dead_pool: Vec<NodeId> = g.nodes().filter(|v| !alive[v.index()]).collect();
+    dead_pool.shuffle(&mut rng);
+    let recovering: Vec<NodeId> = dead_pool.iter().copied().take(recoveries).collect();
+    let mut member_pool: Vec<NodeId> = set.ids().filter(|v| alive[v.index()]).collect();
+    member_pool.shuffle(&mut rng);
+    let mut other_pool: Vec<NodeId> = g
+        .nodes()
+        .filter(|v| alive[v.index()] && !set.contains(*v))
+        .collect();
+    other_pool.shuffle(&mut rng);
+    let mut victims: Vec<NodeId> = member_pool.iter().copied().take(kills).collect();
+    victims.extend(other_pool.iter().copied().take(kills / 2));
+
+    // Carried-over deaths at round 0; recoveries at round 1; this epoch's
+    // victims crash live at round 2, mid-heartbeat-window, so beacons
+    // already in flight to them are written off as dead on arrival.
+    let mut plan = ChurnPlan::none();
+    for &v in &dead_pool[recovering.len()..] {
+        plan = plan.crash(v, 0);
+    }
+    for &v in &recovering {
+        plan = plan.crash(v, 0).recover(v, 1);
+    }
+    for &v in &victims {
+        plan = plan.crash(v, 2);
+    }
+
+    let mut sim = Simulator::with_churn(
+        Topology::from_graph(g),
+        |_| Heartbeat { heard: Vec::new() },
+        seed ^ 0xE14,
+        plan,
+    );
+    for _ in 0..=DETECT_ROUNDS {
+        sim.step();
+    }
+
+    // Ground truth from the simulator must equal the schedule we wrote.
+    let alive_now: Vec<bool> = sim.down_mask().iter().map(|&d| !d).collect();
+    for v in g.nodes() {
+        let expect_down = (dead_pool[recovering.len()..].contains(&v) || victims.contains(&v))
+            && !recovering.contains(&v);
+        assert_eq!(
+            !alive_now[v.index()],
+            expect_down,
+            "simulator liveness diverged from the churn schedule at {v:?}"
+        );
+    }
+    // Detection check: every survivor's last-round beacon set is exactly
+    // its surviving neighborhood.
+    for v in g.nodes().filter(|v| alive_now[v.index()]) {
+        let mut heard = sim.logic(v).heard.clone();
+        heard.sort_unstable();
+        let expected: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|w| alive_now[w.index()])
+            .collect();
+        assert_eq!(heard, expected, "heartbeat detection wrong at {v:?}");
+    }
+    // Message conservation, with the in-flight tail of the cut-off window.
+    let m = sim.metrics();
+    assert_eq!(
+        m.messages,
+        m.delivered_messages + m.dropped_messages + m.dead_on_arrival + sim.in_flight_messages(),
+        "message conservation violated"
+    );
+    let doa = m.dead_on_arrival;
+
+    let before_len = set.ids().filter(|v| alive_now[v.index()]).count();
+    let out = repair_coverage(
+        g,
+        set,
+        &alive_now,
+        k,
+        &RepairConfig::new(seed.rotate_left(17)),
+    )
+    .expect("repair converges");
+    let (sub, survivors) = surviving_instance(g, &out.set, &alive_now);
+    assert!(
+        is_k_dominating(&sub, &survivors, k, Semantics::Strict),
+        "epoch {epoch}: repaired set is not strictly {k}-dominating on the survivors"
+    );
+
+    let row = EpochRow {
+        cells: vec![
+            epoch.to_string(),
+            victims.len().to_string(),
+            recovering.len().to_string(),
+            alive_now.iter().filter(|&&a| a).count().to_string(),
+            doa.to_string(),
+            out.deficit_nodes.to_string(),
+            out.peak_deficit.to_string(),
+            out.iterations.to_string(),
+            out.rounds.to_string(),
+            out.messages.to_string(),
+            out.message_bits.to_string(),
+            format!("{before_len}→{}", out.set.len()),
+            "yes".into(),
+        ],
+        iterations: out.iterations,
+        repair_rounds: out.rounds,
+        messages: out.messages,
+        bits: out.message_bits,
+        added: out.added.len(),
+    };
+    *alive = alive_now;
+    *set = out.set;
+    row
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, epochs, ks, kills): (u32, u32, &[u32], usize) = if smoke {
+        (400, 3, &[2], 6)
+    } else {
+        (1200, 5, &[1, 2, 3, 5], 10)
+    };
+    println!("E14: churn → repair, n={n}, {epochs} epochs per k, {kills} member kills");
+    println!(
+        "+ {} bystander kills per epoch, up to {} recoveries",
+        kills / 2,
+        kills / 2
+    );
+    println!("every epoch: ChurnPlan-driven crashes/recoveries inside the simulator,");
+    println!("heartbeat detection (verified against ground truth), distributed repair,");
+    println!("then strict re-validation of k-domination on the surviving subgraph.");
+    println!();
+
+    let udg = udg_workload(n, 12.0, 77);
+    let g = udg.graph();
+    let headers = [
+        "epoch",
+        "killed",
+        "recovered",
+        "alive",
+        "doa",
+        "deficit",
+        "peak",
+        "iters",
+        "rounds",
+        "msgs",
+        "bits",
+        "|S|",
+        "healed",
+    ];
+    let mut summary = Table::new(&[
+        "k",
+        "mean iters",
+        "mean rounds",
+        "mean msgs",
+        "mean bits",
+        "added total",
+        "final |S|",
+    ]);
+    for &k in ks {
+        let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
+        let mut alive = vec![true; g.node_count()];
+        let mut set = run.set;
+        println!("k={k} (initial |S| = {}):", set.len());
+        let mut table = Table::new(&headers);
+        let mut rows = Vec::new();
+        for epoch in 0..epochs {
+            let seed = 10_000 * u64::from(k) + 97 * u64::from(epoch) + 13;
+            rows.push(run_epoch(
+                g,
+                &mut alive,
+                &mut set,
+                k,
+                epoch,
+                kills,
+                kills / 2,
+                seed,
+            ));
+        }
+        table.push_rows(rows.iter().map(|r| r.cells.clone()));
+        table.print();
+        println!();
+        let e = rows.len() as f64;
+        summary.push_row(vec![
+            k.to_string(),
+            format!(
+                "{:.2}",
+                rows.iter().map(|r| f64::from(r.iterations)).sum::<f64>() / e
+            ),
+            format!(
+                "{:.2}",
+                rows.iter().map(|r| r.repair_rounds as f64).sum::<f64>() / e
+            ),
+            format!(
+                "{:.1}",
+                rows.iter().map(|r| r.messages as f64).sum::<f64>() / e
+            ),
+            format!("{:.1}", rows.iter().map(|r| r.bits as f64).sum::<f64>() / e),
+            rows.iter().map(|r| r.added).sum::<usize>().to_string(),
+            set.len().to_string(),
+        ]);
+    }
+    println!("time-to-heal vs k (averaged over the epochs):");
+    summary.print();
+    println!();
+    println!("expected shape: every epoch heals (strict re-validation passed);");
+    println!("repair cost grows with k (more coverage to restore per failure) but");
+    println!("iterations stay a small constant — repair is local re-election, not");
+    println!("a recomputation from scratch.");
+}

@@ -82,10 +82,12 @@ fn main() {
         let k = reg_ks[ki as usize];
         let run = UdgAlgorithm::new(k).seed(4).run(&udg).expect("udg");
         let mut cells: Vec<String> = vec![k.to_string()];
-        let overall = regional_survivability(&udg, &inst, &run.set, 2.0, TRIALS, 900 + k as u64);
+        let overall = regional_survivability(&udg, &inst, &run.set, 2.0, TRIALS, 900 + k as u64)
+            .expect("regional survivability");
         cells.push(format!("{:.4}", overall.mean_covered_fraction));
         for radius in [1.0, 2.0, 4.0] {
-            let rep = regional_survivability(&udg, &inst, &run.set, radius, TRIALS, 900 + k as u64);
+            let rep = regional_survivability(&udg, &inst, &run.set, radius, TRIALS, 900 + k as u64)
+                .expect("regional survivability");
             cells.push(format!(
                 "{:.4}",
                 rep.mean_at_risk_covered_fraction.expect("regional report")

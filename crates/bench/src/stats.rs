@@ -18,9 +18,14 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Maximum of a sample (NaN-free inputs assumed; 0 for empty).
+/// Maximum of a sample (NaN-free inputs assumed; 0 for empty, matching
+/// [`mean`]). Folding from `-∞` rather than `0` keeps all-negative
+/// samples honest: `max(&[-3.0, -1.0])` is `-1.0`, not `0.0`.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(0.0, f64::max)
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
 #[cfg(test)]
@@ -35,5 +40,14 @@ mod tests {
         assert_eq!(max(&xs), 3.0);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(stddev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn max_handles_negative_samples_and_empty_input() {
+        // Pre-fix, the fold started at 0.0 and clamped any all-negative
+        // sample up to zero.
+        assert_eq!(max(&[-3.0, -1.0]), -1.0);
+        assert_eq!(max(&[-0.5]), -0.5);
+        assert_eq!(max(&[]), 0.0);
     }
 }

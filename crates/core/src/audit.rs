@@ -19,14 +19,21 @@
 //!   `Σᵢ θᵢ` (the deterministic core of Lemma 5.1), and leader density
 //!   per radius-`r/2` disk stays `O(1)` (Lemma 5.5, with a generous
 //!   explicit constant).
+//! * **Coverage repair** ([`repair_postconditions`]) — after
+//!   [`crate::repair::repair_coverage`], the healed set strictly
+//!   k-dominates the surviving subgraph, contains no dead node, and —
+//!   whenever the pre-failure set was itself strictly k-dominating —
+//!   every added node lies within 2 hops of a failure (the locality
+//!   guarantee of the repair protocol).
 //!
 //! The audits assume a *validated* instance (`k_i ≤ |N[i]|`), the same
 //! precondition the algorithms themselves document.
 
 use crate::fractional::FractionalSolution;
-use crate::Instance;
+use crate::validate::{is_k_dominating, Semantics};
+use crate::{DominatingSet, Instance};
 use ftclust_geometry::SpatialGrid;
-use ftclust_graphs::{NodeId, UnitDiskGraph};
+use ftclust_graphs::{Graph, NodeId, UnitDiskGraph};
 
 /// Tolerance for the feasibility certificates.
 const CERT_TOL: f64 = 1e-7;
@@ -167,6 +174,42 @@ pub(crate) fn part1_invariants(
     }
 }
 
+/// Audits [`crate::repair::repair_coverage`]'s postconditions: the healed
+/// set re-validates as strictly k-dominating on the surviving subgraph,
+/// no dead node is a member, and — when the pre-failure set was valid on
+/// the full graph — every added node is within 2 hops of a failed node
+/// (the repair protocol's locality bound).
+pub(crate) fn repair_postconditions(
+    g: &Graph,
+    before: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    repaired: &DominatingSet,
+    added: &[NodeId],
+) {
+    debug_assert!(
+        repaired.ids().all(|v| alive[v.index()]),
+        "strict-invariants: a dead node is a member of the repaired set"
+    );
+    let (sub, survivors) = crate::repair::surviving_instance(g, repaired, alive);
+    debug_assert!(
+        is_k_dominating(&sub, &survivors, k, Semantics::Strict),
+        "strict-invariants: repaired set does not strictly {k}-dominate the surviving subgraph"
+    );
+    // The locality bound is only promised when repair started from a set
+    // that strictly k-dominated the *full* graph (pre-failure validity).
+    if is_k_dominating(g, before, k, Semantics::Strict) {
+        let near_failure = |v: NodeId| {
+            g.closed_neighbors(v)
+                .any(|u| !alive[u.index()] || g.neighbors(u).iter().any(|w| !alive[w.index()]))
+        };
+        debug_assert!(
+            added.iter().all(|&v| near_failure(v)),
+            "strict-invariants: repair added a node farther than 2 hops from any failure"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +296,48 @@ mod tests {
         let n = udg.node_count();
         let masks = vec![vec![false; n], vec![true; n]];
         part1_invariants(&udg, &masks, &vec![true; n], 1.0);
+    }
+
+    #[test]
+    fn repair_passes_audits() {
+        // With the feature on, repair_coverage runs repair_postconditions
+        // on every call — exercise the full hook end to end.
+        let udg = generators::random_udg(300, 10.0, 1.0, 5);
+        let run = UdgAlgorithm::new(2).seed(1).run(&udg).unwrap();
+        let mut alive = vec![true; udg.node_count()];
+        for v in run.set.ids().take(4) {
+            alive[v.index()] = false;
+        }
+        let out = crate::repair::repair_coverage(
+            udg.graph(),
+            &run.set,
+            &alive,
+            2,
+            &crate::repair::RepairConfig::new(7),
+        )
+        .unwrap();
+        assert!(out.set.ids().all(|v| alive[v.index()]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "does not strictly")]
+    fn repair_audit_catches_unhealed_set() {
+        // Node 1 of the path 0-1-2 dies; claiming the empty set "healed"
+        // the survivors must trip the re-validation audit.
+        let g = generators::path(3);
+        let set = DominatingSet::from_ids(3, [NodeId::new(1)]);
+        let alive = [true, false, true];
+        repair_postconditions(&g, &set, &alive, 1, &DominatingSet::empty(3), &[]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dead node is a member")]
+    fn repair_audit_catches_dead_member() {
+        let g = generators::cycle(4);
+        let set = DominatingSet::full(4);
+        let alive = [true, true, false, true];
+        repair_postconditions(&g, &set, &alive, 1, &set, &[]);
     }
 }

@@ -44,6 +44,13 @@ pub enum KmdsError {
         /// Why the model cannot be evaluated, and which API to use instead.
         reason: &'static str,
     },
+    /// A Monte-Carlo evaluation was requested with zero trials: the
+    /// aggregate statistics (means, minima) would be undefined, and
+    /// pre-fix code silently returned `min = +∞` next to `mean = 0`.
+    ZeroTrials {
+        /// Which evaluator rejected the request.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for KmdsError {
@@ -63,6 +70,9 @@ impl fmt::Display for KmdsError {
             }
             KmdsError::UnsupportedFailureModel { reason } => {
                 write!(f, "unsupported failure model: {reason}")
+            }
+            KmdsError::ZeroTrials { what } => {
+                write!(f, "{what} needs at least one trial to aggregate")
             }
         }
     }
@@ -110,6 +120,10 @@ mod tests {
         assert!(e.source().is_some());
         let e = KmdsError::from(LpError::Infeasible);
         assert!(e.to_string().contains("lp"));
+        let e = KmdsError::ZeroTrials {
+            what: "survivability",
+        };
+        assert!(e.to_string().contains("at least one trial"));
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub struct SurvivabilityReport {
 ///
 /// Returns [`KmdsError::UnsupportedFailureModel`] for
 /// [`FailureModel::Region`], which needs node positions — use
-/// [`regional_survivability`] instead.
+/// [`regional_survivability`] instead. Returns [`KmdsError::ZeroTrials`]
+/// when `trials == 0`: the aggregates would be empty folds (pre-fix code
+/// reported `min_covered_fraction = +∞`).
 ///
 /// # Panics
 ///
@@ -85,6 +87,11 @@ pub fn survivability(
     if let FailureModel::Region { .. } = model {
         return Err(KmdsError::UnsupportedFailureModel {
             reason: "Region failures need geometry — use regional_survivability",
+        });
+    }
+    if trials == 0 {
+        return Err(KmdsError::ZeroTrials {
+            what: "survivability",
         });
     }
     let g = inst.graph();
@@ -155,7 +162,7 @@ pub fn survivability(
             residual.push(cov_sum as f64 / clients as f64);
         }
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     Ok(SurvivabilityReport {
         model,
         trials,
@@ -182,6 +189,11 @@ pub fn survivability(
 /// could have had, so coverage of nodes near the disaster edge — not
 /// inside it, those are dead — is what improves with `k`.
 ///
+/// # Errors
+///
+/// Returns [`KmdsError::ZeroTrials`] when `trials == 0` — the aggregates
+/// would be empty folds.
+///
 /// # Panics
 ///
 /// Panics if the set universe mismatches the UDG or `disaster_radius` is
@@ -193,7 +205,12 @@ pub fn regional_survivability(
     disaster_radius: f64,
     trials: u32,
     seed: u64,
-) -> SurvivabilityReport {
+) -> Result<SurvivabilityReport, KmdsError> {
+    if trials == 0 {
+        return Err(KmdsError::ZeroTrials {
+            what: "regional_survivability",
+        });
+    }
     let g = inst.graph();
     assert_eq!(set.universe(), udg.node_count(), "set universe mismatch");
     assert!(
@@ -268,8 +285,8 @@ pub fn regional_survivability(
             at_risk_covered as f64 / at_risk as f64
         });
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    SurvivabilityReport {
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Ok(SurvivabilityReport {
         model: FailureModel::Region {
             radius: disaster_radius,
         },
@@ -282,7 +299,7 @@ pub fn regional_survivability(
         mean_fully_covered_fraction: mean(&fully_fraction),
         mean_residual_coverage: mean(&residual),
         mean_at_risk_covered_fraction: Some(mean(&at_risk_fraction)),
-    }
+    })
 }
 
 /// The deterministic guarantee: for a strict k-fold dominating set, after
@@ -439,18 +456,55 @@ mod tests {
         let inst = Instance::uniform_clamped(udg.graph(), 1);
         let run = UdgAlgorithm::new(3).seed(2).run(&udg).unwrap();
         // A zero-radius disaster kills (almost) nobody.
-        let none = regional_survivability(&udg, &inst, &run.set, 0.0, 10, 1);
+        let none = regional_survivability(&udg, &inst, &run.set, 0.0, 10, 1).unwrap();
         assert!(none.mean_covered_fraction > 0.999);
         // A big disaster hurts more than a small one.
-        let small = regional_survivability(&udg, &inst, &run.set, 1.0, 40, 2);
-        let big = regional_survivability(&udg, &inst, &run.set, 4.0, 40, 2);
+        let small = regional_survivability(&udg, &inst, &run.set, 1.0, 40, 2).unwrap();
+        let big = regional_survivability(&udg, &inst, &run.set, 4.0, 40, 2).unwrap();
         assert!(big.mean_covered_fraction <= small.mean_covered_fraction + 1e-9);
         assert_eq!(big.model, FailureModel::Region { radius: 4.0 });
         // More redundancy helps the survivors near the disaster edge.
         let run1 = UdgAlgorithm::new(1).seed(2).run(&udg).unwrap();
-        let k1 = regional_survivability(&udg, &inst, &run1.set, 2.0, 40, 3);
-        let k3 = regional_survivability(&udg, &inst, &run.set, 2.0, 40, 3);
+        let k1 = regional_survivability(&udg, &inst, &run1.set, 2.0, 40, 3).unwrap();
+        let k3 = regional_survivability(&udg, &inst, &run.set, 2.0, 40, 3).unwrap();
         assert!(k3.mean_covered_fraction >= k1.mean_covered_fraction - 0.02);
+    }
+
+    #[test]
+    fn zero_trials_is_rejected_not_infinite() {
+        // Pre-fix, both entry points folded the empty trial list from
+        // +∞ and reported `min_covered_fraction = inf` beside `mean = 0`.
+        let udg = generators::random_udg_in_square(60, 8.0, 1.0, 9);
+        let inst = Instance::uniform_clamped(udg.graph(), 1);
+        let run = UdgAlgorithm::new(2).seed(1).run(&udg).unwrap();
+        let err = survivability(
+            &inst,
+            &run.set,
+            FailureModel::IidNodeFailure { prob: 0.1 },
+            0,
+            5,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                KmdsError::ZeroTrials {
+                    what: "survivability"
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        let err = regional_survivability(&udg, &inst, &run.set, 1.0, 0, 5).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                KmdsError::ZeroTrials {
+                    what: "regional_survivability"
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("at least one trial"));
     }
 
     #[test]

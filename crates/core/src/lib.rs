@@ -25,6 +25,9 @@
 //!   baseline, a one-round local heuristic, and a grid heuristic for UDGs.
 //! * [`connect`] — extension: connected backbones from (k-fold)
 //!   dominating sets, the virtual-backbone use case of Section 1.
+//! * [`repair`] — extension: distributed coverage repair after live
+//!   churn, restoring strict k-domination among the survivors via local
+//!   re-election (reusing the Part II promotion machinery).
 //! * [`validate`] — k-domination checking under both the paper's
 //!   Section 1 semantics and the LP `(PP)` semantics.
 //! * [`fault`] — survivability analysis under node failures (the paper's
@@ -74,6 +77,7 @@ pub mod connect;
 pub mod fault;
 pub mod fractional;
 pub mod general;
+pub mod repair;
 pub mod rounding;
 pub mod udg;
 pub mod validate;
@@ -89,6 +93,7 @@ pub mod prelude {
     pub use crate::connect::connect_dominating_set;
     pub use crate::fractional::{solve_fractional, FractionalParams};
     pub use crate::general::GeneralPipeline;
+    pub use crate::repair::{repair_coverage, surviving_instance, RepairConfig};
     pub use crate::rounding::round_fractional;
     pub use crate::udg::UdgAlgorithm;
     pub use crate::validate::{coverage, is_k_dominating, is_k_dominating_instance, Semantics};

@@ -1,0 +1,555 @@
+//! Distributed coverage repair: restoring strict k-domination among the
+//! survivors after a churn epoch.
+//!
+//! The paper's Section 1 motivation is that a k-fold dominating set keeps
+//! clusters covered *when nodes fail*. This module supplies the missing
+//! maintenance half of that story: after nodes crash (and possibly
+//! recover — see [`ftclust_netsim::ChurnPlan`]), [`repair_coverage`]
+//! re-establishes the invariant that every surviving non-member has at
+//! least `k` surviving members among its neighbors
+//! ([`Semantics::Strict`] on the surviving subgraph).
+//!
+//! # Protocol
+//!
+//! The repair is purely local, structured as one **detection round**
+//! followed by bounded **re-election iterations** of three rounds each,
+//! reusing the promotion machinery of Algorithm 3 Part II
+//! (`select_promotions`, so the healed set inherits the same promotion
+//! rules and randomness discipline):
+//!
+//! 1. *Detection* — every survivor broadcasts a heartbeat; a node whose
+//!    dominator count among responders falls below `k` becomes **needy**
+//!    with deficit `k − c(v)`.
+//! 2. *Deficit broadcast* — needy nodes announce their deficit to their
+//!    surviving neighbors.
+//! 3. *Re-election* — a needy node with fewer than `k` surviving
+//!    neighbors, or with no surviving member neighbor at all, promotes
+//!    **itself** (members are exempt under strict semantics, and no
+//!    neighborhood subset could ever supply its `k` dominators);
+//!    meanwhile every surviving member promotes up to `k` of its needy
+//!    neighbors, exactly as in Part II.
+//! 4. *Announcement* — new members announce themselves; coverage counts
+//!    update and the loop repeats while anyone is still needy.
+//!
+//! # Locality and termination
+//!
+//! Membership only ever grows, so coverage is monotone and the needy set
+//! only shrinks. Every iteration with a non-empty needy set adds at least
+//! one member (a needy node either self-elects or has a member neighbor,
+//! and a member adjacent to needy nodes always promotes at least one), so
+//! the loop terminates within `|needy|` iterations — in practice a small
+//! constant. If the pre-failure set strictly k-dominated the *full*
+//! graph, every needy node lost a dominator and is therefore a graph
+//! neighbor of a failed node, and every added node is needy — so repair
+//! **never touches a node farther than 2 hops from a failure** (the
+//! `strict-invariants` feature audits both this and the re-validation of
+//! the healed set).
+//!
+//! # Example
+//!
+//! ```
+//! use ftclust_core::repair::{repair_coverage, RepairConfig};
+//! use ftclust_core::udg::UdgAlgorithm;
+//! use ftclust_core::validate::{is_k_dominating, Semantics};
+//! use ftclust_graphs::generators;
+//!
+//! let udg = generators::random_udg(300, 10.0, 1.0, 7);
+//! let run = UdgAlgorithm::new(2).seed(1).run(&udg)?;
+//! // Kill three members, then heal.
+//! let mut alive = vec![true; udg.node_count()];
+//! for v in run.set.ids().take(3) {
+//!     alive[v.index()] = false;
+//! }
+//! let out = repair_coverage(udg.graph(), &run.set, &alive, 2, &RepairConfig::new(9))?;
+//! let keep: Vec<_> = udg.graph().nodes().filter(|v| alive[v.index()]).collect();
+//! let (sub, old_ids) = udg.graph().induced_subgraph(&keep);
+//! let survivors = ftclust_core::DominatingSet::from_ids(
+//!     sub.node_count(),
+//!     old_ids.iter().enumerate().filter(|(_, old)| out.set.contains(**old))
+//!         .map(|(new, _)| ftclust_graphs::NodeId::new(new as u32)),
+//! );
+//! assert!(is_k_dominating(&sub, &survivors, 2, Semantics::Strict));
+//! # Ok::<(), ftclust_core::KmdsError>(())
+//! ```
+
+use crate::udg::PromotionRule;
+use crate::{DominatingSet, KmdsError};
+use ftclust_graphs::{Graph, NodeId};
+use ftclust_netsim::{bits_for_ids, node_rng, Payload};
+use ftclust_par as par;
+use rand::rngs::StdRng;
+
+/// Wire messages of the repair protocol. All `O(log k)` bits or smaller —
+/// repair stays inside the paper's small-message model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairMsg {
+    /// Detection-round liveness beacon.
+    Heartbeat,
+    /// "I am needy": the sender's current surviving-dominator count
+    /// (`< k`; needed by the `MostDeficient` promotion rule).
+    Deficit {
+        /// Surviving members currently covering the sender.
+        cov: u32,
+    },
+    /// Promotion order from a member to a needy neighbor.
+    Promote,
+    /// New-member announcement (self-elected or promoted).
+    Join,
+}
+
+impl Payload for RepairMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            RepairMsg::Heartbeat | RepairMsg::Promote | RepairMsg::Join => 1,
+            RepairMsg::Deficit { cov } => 1 + bits_for_ids(*cov as usize + 2),
+        }
+    }
+}
+
+/// Configuration of a repair run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// Master seed for the per-node random streams (only consumed by
+    /// [`PromotionRule::Random`]).
+    pub seed: u64,
+    /// How members pick which needy neighbors to promote.
+    pub rule: PromotionRule,
+    /// Defensive cap on re-election iterations; the progress argument in
+    /// the [module docs](self) bounds the true count by the number of
+    /// initially needy nodes.
+    pub max_iterations: u64,
+}
+
+impl RepairConfig {
+    /// A default-rule configuration with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RepairConfig {
+            seed,
+            rule: PromotionRule::default(),
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Sets the promotion rule.
+    pub fn rule(mut self, rule: PromotionRule) -> Self {
+        self.rule = rule;
+        self
+    }
+}
+
+/// Result of a coverage repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The healed set over the full node universe. Dead members are
+    /// pruned; all additions are surviving nodes.
+    pub set: DominatingSet,
+    /// Nodes added by the repair (self-elected or promoted), ascending.
+    pub added: Vec<NodeId>,
+    /// Re-election iterations executed (0 if nothing was needy).
+    pub iterations: u32,
+    /// Protocol rounds: 1 detection round + 3 per iteration.
+    pub rounds: u64,
+    /// Messages the protocol would send (heartbeats, deficit broadcasts,
+    /// promotions, join announcements).
+    pub messages: u64,
+    /// Total bits across those messages ([`RepairMsg`] sizes).
+    pub message_bits: u64,
+    /// Largest coverage deficit `k − c(v)` observed at detection time.
+    pub peak_deficit: u32,
+    /// Number of nodes below target coverage at detection time.
+    pub deficit_nodes: usize,
+}
+
+/// One worker's contiguous block of a re-election iteration: the RNG
+/// streams it owns plus a local list of promotion targets, OR-merged
+/// afterwards (commutative) — same discipline as Algorithm 3 Part II, so
+/// the outcome is identical at every thread count.
+struct RepairShard<'s> {
+    start: usize,
+    rngs: &'s mut [StdRng],
+    targets: Vec<NodeId>,
+}
+
+/// Surviving-dominator count of every node: members of `member` that are
+/// in the closed neighborhood (for a non-member this is its dominator
+/// count; members are exempt anyway).
+fn survivor_coverage(g: &Graph, member: &[bool]) -> Vec<u32> {
+    par::par_map_range(g.node_count(), |i| {
+        g.closed_neighbors(NodeId::new(i as u32))
+            .filter(|w| member[w.index()])
+            .count() as u32
+    })
+}
+
+/// Repairs `set` after failures so that the survivors again form a strict
+/// k-fold dominating set of the surviving subgraph.
+///
+/// `alive[v]` tells whether node `v` survived the churn epoch; dead
+/// members are pruned from the set and only surviving nodes are added.
+/// See the [module docs](self) for the protocol, its cost model, and the
+/// locality guarantee.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::IterationLimit`] if an iteration makes no
+/// progress or `max_iterations` is exhausted — impossible by the progress
+/// argument in the module docs; checked defensively.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` or the set universe mismatch the graph, or if
+/// `k == 0`.
+pub fn repair_coverage(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    cfg: &RepairConfig,
+) -> Result<RepairOutcome, KmdsError> {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+
+    // Surviving membership: dead members are gone.
+    let mut member: Vec<bool> =
+        par::par_map_range(n, |i| alive[i] && set.contains(NodeId::new(i as u32)));
+    let alive_deg: Vec<u32> = par::par_map_range(n, |i| {
+        g.neighbors(NodeId::new(i as u32))
+            .iter()
+            .filter(|w| alive[w.index()])
+            .count() as u32
+    });
+
+    let mut messages = 0u64;
+    let mut message_bits = 0u64;
+    // Detection round: every survivor beacons to all its graph neighbors
+    // (it cannot yet know which of them are alive).
+    let heartbeat = RepairMsg::Heartbeat.bit_size() as u64;
+    for i in 0..n {
+        if alive[i] {
+            let deg = g.degree(NodeId::new(i as u32)) as u64;
+            messages += deg;
+            message_bits += deg * heartbeat;
+        }
+    }
+    let mut rounds = 1u64;
+
+    let mut rngs: Vec<StdRng> =
+        par::par_map_range(n, |i| node_rng(cfg.seed, NodeId::new(i as u32)));
+    let mut added: Vec<NodeId> = Vec::new();
+    let mut peak_deficit = 0u32;
+    let mut deficit_nodes = 0usize;
+    let mut iterations = 0u32;
+    loop {
+        let cov = survivor_coverage(g, &member);
+        let needy: Vec<bool> = par::par_map_range(n, |i| alive[i] && !member[i] && cov[i] < k);
+        if iterations == 0 {
+            deficit_nodes = needy.iter().filter(|&&b| b).count();
+            peak_deficit = needy
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| k - cov[i])
+                .max()
+                .unwrap_or(0);
+        }
+        if !needy.iter().any(|&b| b) {
+            break;
+        }
+        if u64::from(iterations) >= cfg.max_iterations {
+            return Err(KmdsError::IterationLimit {
+                stage: "coverage repair",
+                limit: cfg.max_iterations,
+            });
+        }
+        iterations += 1;
+        rounds += 3;
+        // Round 1 of the iteration: deficit broadcasts to surviving
+        // neighbors.
+        for i in 0..n {
+            if needy[i] {
+                let deg = u64::from(alive_deg[i]);
+                messages += deg;
+                message_bits += deg * RepairMsg::Deficit { cov: cov[i] }.bit_size() as u64;
+            }
+        }
+        // Round 2: self-elections and member promotions. Each member
+        // draws only from its own stream; targets are OR-merged after the
+        // parallel part (commutative), matching Part II exactly.
+        let self_elect: Vec<bool> = par::par_map_range(n, |i| {
+            needy[i]
+                && (alive_deg[i] < k
+                    || !g
+                        .neighbors(NodeId::new(i as u32))
+                        .iter()
+                        .any(|w| member[w.index()]))
+        });
+        let mut shards: Vec<RepairShard<'_>> = Vec::new();
+        let mut rngs_rest = &mut rngs[..];
+        for r in par::split_ranges(n, par::num_threads()) {
+            let (rngs_here, rngs_next) = rngs_rest.split_at_mut(r.len());
+            rngs_rest = rngs_next;
+            shards.push(RepairShard {
+                start: r.start,
+                rngs: rngs_here,
+                targets: Vec::new(),
+            });
+        }
+        par::par_for_each_mut(&mut shards, |_, s| {
+            for j in 0..s.rngs.len() {
+                let i = s.start + j;
+                if !member[i] {
+                    continue;
+                }
+                let v = NodeId::new(i as u32);
+                let u: Vec<NodeId> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|w| needy[w.index()])
+                    .collect();
+                if u.is_empty() {
+                    continue;
+                }
+                let picks = crate::udg::select_promotions(
+                    &u,
+                    |w| cov[w.index()],
+                    k as usize,
+                    cfg.rule,
+                    &mut s.rngs[j],
+                );
+                s.targets.extend(picks);
+            }
+        });
+        let mut joins = self_elect;
+        let mut promote_msgs = 0u64;
+        for s in &shards {
+            promote_msgs += s.targets.len() as u64;
+            for w in &s.targets {
+                joins[w.index()] = true;
+            }
+        }
+        messages += promote_msgs;
+        message_bits += promote_msgs * RepairMsg::Promote.bit_size() as u64;
+        let progress = joins.iter().enumerate().any(|(i, &p)| p && !member[i]);
+        if !progress {
+            return Err(KmdsError::IterationLimit {
+                stage: "coverage repair",
+                limit: u64::from(iterations),
+            });
+        }
+        // Round 3: join announcements from the new members.
+        for i in 0..n {
+            if joins[i] && !member[i] {
+                member[i] = true;
+                added.push(NodeId::new(i as u32));
+                let deg = u64::from(alive_deg[i]);
+                messages += deg;
+                message_bits += deg * RepairMsg::Join.bit_size() as u64;
+            }
+        }
+    }
+    added.sort_unstable();
+    let outcome = RepairOutcome {
+        set: DominatingSet::from_members(member),
+        added,
+        iterations,
+        rounds,
+        messages,
+        message_bits,
+        peak_deficit,
+        deficit_nodes,
+    };
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::repair_postconditions(g, set, alive, k, &outcome.set, &outcome.added);
+    Ok(outcome)
+}
+
+/// Maps a full-universe set onto the subgraph induced by the `alive`
+/// nodes, for validating repaired sets on the surviving topology.
+///
+/// Returns the surviving subgraph and the corresponding set in its id
+/// space.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` or the set universe mismatch the graph.
+pub fn surviving_instance(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+) -> (Graph, DominatingSet) {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+    let (sub, old_of_new) = g.induced_subgraph(&keep);
+    let members = old_of_new.iter().map(|&old| set.contains(old)).collect();
+    (sub, DominatingSet::from_members(members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udg::UdgAlgorithm;
+    use crate::validate::{is_k_dominating, Semantics};
+    use ftclust_graphs::generators;
+    use ftclust_netsim::node_rng as nrng;
+    use rand::Rng;
+
+    /// Kill `count` members (spread across the id range) plus `count / 2`
+    /// non-members, deterministically per seed.
+    fn churn_mask(g: &Graph, set: &DominatingSet, count: usize, seed: u64) -> Vec<bool> {
+        let mut alive = vec![true; g.node_count()];
+        let mut rng = nrng(seed, NodeId::new(0));
+        let members: Vec<NodeId> = set.ids().collect();
+        for _ in 0..count {
+            if members.is_empty() {
+                break;
+            }
+            let idx = rng.random_range(0..members.len());
+            alive[members[idx].index()] = false;
+        }
+        for _ in 0..count / 2 {
+            let v = rng.random_range(0..g.node_count());
+            alive[v] = false;
+        }
+        alive
+    }
+
+    #[test]
+    fn heals_after_member_failures() {
+        for k in [1u32, 2, 3] {
+            let udg = generators::random_udg(400, 10.0, 1.0, 20 + u64::from(k));
+            let g = udg.graph();
+            let run = UdgAlgorithm::new(k).seed(3).run(&udg).unwrap();
+            let alive = churn_mask(g, &run.set, 8, u64::from(k));
+            let out = repair_coverage(g, &run.set, &alive, k, &RepairConfig::new(5)).unwrap();
+            let (sub, survivors) = surviving_instance(g, &out.set, &alive);
+            assert!(
+                is_k_dominating(&sub, &survivors, k, Semantics::Strict),
+                "not healed for k={k}"
+            );
+            // Dead nodes never stay in (or enter) the repaired set.
+            assert!(out.set.ids().all(|v| alive[v.index()]));
+            assert_eq!(out.rounds, 1 + 3 * u64::from(out.iterations));
+            assert!(out.messages > 0);
+        }
+    }
+
+    #[test]
+    fn intact_set_needs_no_repair() {
+        let udg = generators::random_udg(200, 8.0, 1.0, 4);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(1).run(&udg).unwrap();
+        let alive = vec![true; g.node_count()];
+        let out = repair_coverage(g, &run.set, &alive, 2, &RepairConfig::new(0)).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.added, vec![]);
+        assert_eq!(out.deficit_nodes, 0);
+        assert_eq!(out.peak_deficit, 0);
+        assert_eq!(out.set, run.set);
+    }
+
+    #[test]
+    fn additions_stay_local_to_failures() {
+        // With a valid pre-failure set, every added node must be within 2
+        // hops of some dead node (the module-docs locality argument; the
+        // strict-invariants audit re-checks this on every call).
+        let udg = generators::random_udg(500, 12.0, 1.0, 9);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(2).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 10, 17);
+        let out = repair_coverage(g, &run.set, &alive, 2, &RepairConfig::new(3)).unwrap();
+        for &v in &out.added {
+            let near_failure = g
+                .closed_neighbors(v)
+                .any(|u| !alive[u.index()] || g.neighbors(u).iter().any(|w| !alive[w.index()]));
+            assert!(near_failure, "{v:?} added far from any failure");
+        }
+    }
+
+    #[test]
+    fn island_without_members_self_elects() {
+        // Two far-apart cliques; the set lives entirely in one of them.
+        // Killing it leaves an island with no member neighbors anywhere —
+        // repair must still converge via self-election.
+        let g = generators::gnp(6, 1.0, 0); // complete on 6 nodes
+        let set = DominatingSet::from_ids(6, [NodeId::new(0), NodeId::new(1)]);
+        let mut alive = vec![true; 6];
+        alive[0] = false;
+        alive[1] = false;
+        let out = repair_coverage(&g, &set, &alive, 2, &RepairConfig::new(0)).unwrap();
+        let (sub, survivors) = surviving_instance(&g, &out.set, &alive);
+        assert!(is_k_dominating(&sub, &survivors, 2, Semantics::Strict));
+        assert!(!out.set.is_empty());
+    }
+
+    #[test]
+    fn degree_deficient_survivors_join_the_set() {
+        // A path 0-1-2 where node 1 dies: nodes 0 and 2 each have 0
+        // surviving neighbors, so k=1 strict domination is only possible
+        // if both join the set themselves.
+        let g = generators::path(3);
+        let set = DominatingSet::from_ids(3, [NodeId::new(1)]);
+        let alive = vec![true, false, true];
+        let out = repair_coverage(&g, &set, &alive, 1, &RepairConfig::new(0)).unwrap();
+        assert!(out.set.contains(NodeId::new(0)));
+        assert!(out.set.contains(NodeId::new(2)));
+        assert_eq!(out.peak_deficit, 1);
+        assert_eq!(out.deficit_nodes, 2);
+    }
+
+    #[test]
+    fn all_rules_heal_and_are_deterministic() {
+        let udg = generators::random_udg(300, 10.0, 1.0, 33);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(3).seed(8).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 6, 2);
+        for rule in [
+            PromotionRule::LowestId,
+            PromotionRule::MostDeficient,
+            PromotionRule::Random,
+        ] {
+            let cfg = RepairConfig::new(11).rule(rule);
+            let a = repair_coverage(g, &run.set, &alive, 3, &cfg).unwrap();
+            let b = repair_coverage(g, &run.set, &alive, 3, &cfg).unwrap();
+            assert_eq!(a, b, "{rule:?} not deterministic");
+            let (sub, survivors) = surviving_instance(g, &a.set, &alive);
+            assert!(
+                is_k_dominating(&sub, &survivors, 3, Semantics::Strict),
+                "{rule:?} failed to heal"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_repair() {
+        let udg = generators::random_udg(600, 12.0, 1.0, 44);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(5).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 12, 7);
+        let cfg = RepairConfig::new(21).rule(PromotionRule::Random);
+        let baseline =
+            ftclust_par::with_threads(1, || repair_coverage(g, &run.set, &alive, 2, &cfg).unwrap());
+        for threads in [2usize, 7] {
+            let out = ftclust_par::with_threads(threads, || {
+                repair_coverage(g, &run.set, &alive, 2, &cfg).unwrap()
+            });
+            assert_eq!(out, baseline, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn everyone_dead_is_a_trivial_heal() {
+        let g = generators::cycle(5);
+        let set = DominatingSet::full(5);
+        let alive = vec![false; 5];
+        let out = repair_coverage(&g, &set, &alive, 2, &RepairConfig::new(0)).unwrap();
+        assert!(out.set.is_empty());
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.messages, 0);
+    }
+}

@@ -50,7 +50,7 @@ pub mod protocol;
 
 pub(crate) use part1::run_part1;
 pub use part1::theta_schedule;
-pub(crate) use part2::{run_part2, RngSource};
+pub(crate) use part2::{run_part2, select_promotions, RngSource};
 
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::UnitDiskGraph;

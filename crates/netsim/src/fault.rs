@@ -71,6 +71,16 @@ impl FaultPlan {
     pub fn crash_count(&self) -> usize {
         self.crashes.len()
     }
+
+    /// The scheduled crashes as `(node, round)` pairs, sorted by node id.
+    ///
+    /// The backing map iterates in arbitrary order; this accessor is the
+    /// deterministic view, used when deriving a [`crate::ChurnPlan`].
+    pub fn crashes_sorted(&self) -> Vec<(NodeId, u64)> {
+        let mut crashes: Vec<(NodeId, u64)> = self.crashes.iter().map(|(&v, &r)| (v, r)).collect();
+        crashes.sort_by_key(|&(v, _)| v);
+        crashes
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +121,21 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn invalid_drop_probability_panics() {
         let _ = FaultPlan::none().drop_probability(1.5);
+    }
+
+    #[test]
+    fn crashes_sorted_is_node_ordered() {
+        let p = FaultPlan::none()
+            .crash(NodeId::new(9), 1)
+            .crash(NodeId::new(2), 5)
+            .crash(NodeId::new(4), 3);
+        assert_eq!(
+            p.crashes_sorted(),
+            vec![
+                (NodeId::new(2), 5),
+                (NodeId::new(4), 3),
+                (NodeId::new(9), 1)
+            ]
+        );
     }
 }

@@ -18,7 +18,10 @@
 //! Protocols implement [`NodeLogic`]; a [`Simulator`] executes one logic
 //! instance per node until all halt. Crash-stop failures and random message
 //! loss are injected via [`FaultPlan`] — the paper's *motivation* is that
-//! k-fold dominating sets tolerate exactly such faults.
+//! k-fold dominating sets tolerate exactly such faults. Live churn (crash
+//! **and recovery** events, seeded-random membership churn, link outage
+//! windows) is injected via [`ChurnPlan`], driving the self-healing repair
+//! protocol in `ftclust-core`.
 //!
 //! Determinism: all randomness derives from a master seed via per-node
 //! streams ([`node_rng`]), so every execution is exactly reproducible and
@@ -65,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod error;
 mod fault;
 mod message;
@@ -75,6 +79,7 @@ mod topology;
 
 pub mod synchronizer;
 
+pub use churn::{ChurnEvent, ChurnPlan, RandomChurn};
 pub use error::SimError;
 pub use fault::FaultPlan;
 pub use message::{bits_for_ids, Envelope, Payload};

@@ -19,8 +19,18 @@ pub struct Metrics {
     pub per_round_messages: Vec<u64>,
     /// Bits sent per round (the communication-volume time series).
     pub per_round_bits: Vec<u64>,
-    /// Number of messages lost to fault injection.
+    /// Number of messages lost to fault injection (random loss or a link
+    /// outage window).
     pub dropped_messages: u64,
+    /// Messages handed to a live recipient's inbox. A message is counted
+    /// when its delivery round starts, whether or not the recipient's
+    /// logic still executes (a halted node still receives).
+    pub delivered_messages: u64,
+    /// Messages whose recipient was down when their delivery round
+    /// started. Together with the other counters this closes the
+    /// conservation law `messages == delivered_messages +
+    /// dropped_messages + dead_on_arrival + in-flight`.
+    pub dead_on_arrival: u64,
 }
 
 impl Metrics {
@@ -34,6 +44,12 @@ impl Metrics {
     }
 
     pub(crate) fn record_send(&mut self, bits: usize) {
+        // A send outside any round would vanish from the per-round series
+        // and break `sum(per_round_messages) == messages`.
+        debug_assert!(
+            self.rounds > 0,
+            "record_send before begin_round loses per-round accounting"
+        );
         self.messages += 1;
         self.total_bits += bits as u64;
         self.max_message_bits = self.max_message_bits.max(bits);
@@ -96,5 +112,13 @@ mod tests {
         assert_eq!(m.rounds, 2);
         assert_eq!(m.per_round_messages, vec![1, 0]);
         assert_eq!(m.per_round_bits, vec![1, 0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "record_send before begin_round")]
+    fn send_before_any_round_is_rejected() {
+        let mut m = Metrics::default();
+        m.record_send(8);
     }
 }

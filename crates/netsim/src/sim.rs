@@ -1,5 +1,7 @@
 use crate::node::Context;
-use crate::{Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology};
+use crate::{
+    ChurnEvent, ChurnPlan, Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology,
+};
 use ftclust_graphs::NodeId;
 use ftclust_par as par;
 use rand::rngs::StdRng;
@@ -57,6 +59,18 @@ struct StepShard<'t, L: NodeLogic> {
 /// final protocol states are **bit-for-bit identical** for every thread
 /// count. See `DESIGN.md` §7.
 ///
+/// # Fault injection and churn
+///
+/// A [`ChurnPlan`] drives live failures: scheduled crash/recovery events
+/// and seeded-random churn are applied **at the start of each round** on
+/// the sequential path (before node logic runs), and per-link outage
+/// windows plus random message loss are applied on the sequential merge
+/// path — so churn never perturbs cross-thread determinism. A down node
+/// neither executes nor receives; messages that arrive while it is down
+/// are counted in [`Metrics::dead_on_arrival`]. A node that recovers
+/// resumes with its protocol state intact (fail-recover with persistent
+/// memory); a node that *halted* stays halted even if later "recovered".
+///
 /// # Allocation
 ///
 /// The per-recipient inbox buckets and per-worker outboxes are recycled
@@ -72,7 +86,14 @@ pub struct Simulator<'a, L: NodeLogic> {
     /// Recycled per-worker outbox buffers.
     outboxes: Vec<Vec<Envelope<L::Payload>>>,
     metrics: Metrics,
-    faults: FaultPlan,
+    churn: ChurnPlan,
+    /// `churn`'s scheduled events, sorted by round; `next_event` is the
+    /// cursor of the first not-yet-applied event.
+    events: Vec<(u64, NodeId, ChurnEvent)>,
+    next_event: usize,
+    /// Current liveness of every node: `down[i]` once a crash (scheduled
+    /// or random) has taken effect, cleared again on recovery.
+    down: Vec<bool>,
     fault_rng: StdRng,
     round: u64,
     /// Cached quiescence, recomputed once per step (state only changes in
@@ -98,12 +119,25 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         Self::with_faults(topo, make_logic, master_seed, FaultPlan::none())
     }
 
-    /// Creates a simulator with fault injection.
+    /// Creates a simulator with crash-stop fault injection (the plan is
+    /// converted to a recovery-free [`ChurnPlan`]).
     pub fn with_faults(
+        topo: Topology<'a>,
+        make_logic: impl FnMut(NodeId) -> L,
+        master_seed: u64,
+        faults: FaultPlan,
+    ) -> Self {
+        Self::with_churn(topo, make_logic, master_seed, faults.into())
+    }
+
+    /// Creates a simulator with live churn injection: scheduled and
+    /// seeded-random crash/**recovery** events, link outage windows, and
+    /// random message loss.
+    pub fn with_churn(
         topo: Topology<'a>,
         mut make_logic: impl FnMut(NodeId) -> L,
         master_seed: u64,
-        faults: FaultPlan,
+        churn: ChurnPlan,
     ) -> Self {
         let n = topo.graph().node_count();
         let nodes = (0..n)
@@ -116,6 +150,7 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                 }
             })
             .collect();
+        let events = churn.scheduled_events();
         let mut sim = Simulator {
             topo,
             nodes,
@@ -123,11 +158,17 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             spare: (0..n).map(|_| Vec::new()).collect(),
             outboxes: Vec::new(),
             metrics: Metrics::default(),
-            faults,
+            churn,
+            events,
+            next_event: 0,
+            down: vec![false; n],
             fault_rng: StdRng::seed_from_u64(splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17)),
             round: 0,
             quiescent: false,
         };
+        // Round-0 events take effect before anything runs, so the initial
+        // quiescence/liveness views already reflect them.
+        sim.apply_scheduled_churn();
         sim.quiescent = sim.compute_quiescent();
         sim
     }
@@ -137,10 +178,14 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         self.round
     }
 
-    /// Returns `true` once every node has halted or crashed.
+    /// Returns `true` once every node has halted or gone down for good.
+    ///
+    /// A down node only counts as quiescent if it can never wake again
+    /// ([`ChurnPlan::can_wake`]): a node with a recovery still scheduled
+    /// keeps the simulation alive even while everything else is silent.
     ///
     /// O(1): the answer is cached and refreshed at the end of every
-    /// [`Simulator::step`] (node and fault state only change there).
+    /// [`Simulator::step`] (node and churn state only change there).
     pub fn is_quiescent(&self) -> bool {
         self.quiescent
     }
@@ -148,27 +193,84 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// The full quiescence scan backing the [`Simulator::is_quiescent`]
     /// cache.
     fn compute_quiescent(&self) -> bool {
-        self.nodes
-            .iter()
-            .enumerate()
-            .all(|(i, s)| !s.running || self.faults.is_crashed(NodeId::new(i as u32), self.round))
+        self.nodes.iter().enumerate().all(|(i, s)| {
+            !s.running || (self.down[i] && !self.churn.can_wake(NodeId::new(i as u32), self.round))
+        })
     }
 
-    /// Number of nodes still running (not halted, not crashed).
+    /// Number of nodes still running (not halted, not down).
     pub fn running_count(&self) -> usize {
         self.nodes
             .iter()
-            .enumerate()
-            .filter(|(i, s)| {
-                s.running && !self.faults.is_crashed(NodeId::new(*i as u32), self.round)
-            })
+            .zip(&self.down)
+            .filter(|(s, &down)| s.running && !down)
             .count()
+    }
+
+    /// Returns `true` if `v` is currently down (crashed and not yet
+    /// recovered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_down(&self, v: NodeId) -> bool {
+        self.down[v.index()]
+    }
+
+    /// Current liveness of every node, indexed by node id: `true` means
+    /// down. This is the ground truth distributed failure detectors are
+    /// validated against in experiment E14.
+    pub fn down_mask(&self) -> &[bool] {
+        &self.down
+    }
+
+    /// Messages sent but not yet delivered, dropped, or dead on arrival.
+    /// Closes the conservation law `messages == delivered_messages +
+    /// dropped_messages + dead_on_arrival + in_flight_messages`.
+    pub fn in_flight_messages(&self) -> u64 {
+        self.pending.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Applies every scheduled churn event due at the current round.
+    /// Same-round events apply in plan order (later entries win). Events
+    /// naming out-of-range nodes are ignored.
+    fn apply_scheduled_churn(&mut self) {
+        while let Some(&(r, v, ev)) = self.events.get(self.next_event) {
+            if r > self.round {
+                break;
+            }
+            self.next_event += 1;
+            if v.index() < self.down.len() {
+                self.down[v.index()] = ev == ChurnEvent::Crash;
+            }
+        }
+    }
+
+    /// One seeded-random churn pass: every node draws exactly one uniform
+    /// from the shared fault stream (in node order), so the stream — and
+    /// with it cross-thread determinism — is independent of which nodes
+    /// happen to be up. No-op unless random churn is configured.
+    fn apply_random_churn(&mut self) {
+        let Some(rc) = self.churn.random() else {
+            return;
+        };
+        for down in &mut self.down {
+            let draw = self.fault_rng.random::<f64>();
+            if *down {
+                *down = !(rc.recover_prob > 0.0 && draw < rc.recover_prob);
+            } else {
+                *down = rc.crash_prob > 0.0 && draw < rc.crash_prob;
+            }
+        }
     }
 
     /// Executes one synchronous round. Returns `false` if the network was
     /// already quiescent (in which case nothing happens).
     ///
-    /// The round runs in three phases: (1) node logic executes on worker
+    /// The round runs in four phases: (0) churn for this round is applied
+    /// sequentially — scheduled events, then one random-churn draw per
+    /// node — and pending deliveries to nodes that are now down are
+    /// written off as dead on arrival; (1) node logic executes on worker
     /// threads over contiguous node shards, each appending envelopes to
     /// its own recycled outbox in node order; (2) a sequential merge walks
     /// the shard outboxes in node order, metering each envelope, drawing
@@ -180,9 +282,25 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         if self.quiescent {
             return false;
         }
-        self.metrics.begin_round();
         let round = self.round;
         let n = self.nodes.len();
+        // Phase 0: churn. Strictly sequential and ahead of node logic, so
+        // every thread sees the same frozen liveness for this round.
+        self.apply_scheduled_churn();
+        self.apply_random_churn();
+        for (i, bucket) in self.pending.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if self.down[i] {
+                // Receiver went down between send and delivery.
+                self.metrics.dead_on_arrival += bucket.len() as u64;
+                bucket.clear();
+            } else {
+                self.metrics.delivered_messages += bucket.len() as u64;
+            }
+        }
+        self.metrics.begin_round();
         // Rotate buffers: `pending` (this round's deliveries) becomes the
         // read-only inbox set; the drained `spare` buckets from last round
         // become the next `pending`, keeping their capacity.
@@ -194,11 +312,11 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         let shard_count = shard_ranges.len();
         {
             // Phase 1: execute node logic, sharded. Shared state is
-            // read-only (topology, faults, frozen inboxes); each shard
+            // read-only (topology, liveness, frozen inboxes); each shard
             // owns its node slots and outbox exclusively.
             let inboxes: &[Vec<Envelope<L::Payload>>] = &self.spare;
             let topo = self.topo;
-            let faults = &self.faults;
+            let down: &[bool] = &self.down;
             let mut shards: Vec<StepShard<'_, L>> = Vec::with_capacity(shard_count);
             let mut nodes_rest: &mut [NodeSlot<L>] = &mut self.nodes;
             for (r, outbox) in shard_ranges.iter().zip(self.outboxes.iter_mut()) {
@@ -215,7 +333,7 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                 for (j, slot) in shard.nodes.iter_mut().enumerate() {
                     let i = shard.start + j;
                     let me = NodeId::new(i as u32);
-                    if faults.is_crashed(me, round) || !slot.running {
+                    if down[i] || !slot.running {
                         continue;
                     }
                     let mut ctx = Context {
@@ -234,16 +352,18 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         }
         // Phase 2: sequential merge in sender order — metrics and the
         // shared fault stream consume envelopes exactly as the serial
-        // engine did.
+        // engine did. Dead-on-arrival is decided at *delivery* time (phase
+        // 0 of the next round), so every sent message is accounted for.
         for outbox in &mut self.outboxes[..shard_count] {
             for env in outbox.drain(..) {
                 self.metrics
                     .record_send(crate::Payload::bit_size(&env.payload));
-                if self.faults.is_crashed(env.to, round + 1) {
-                    continue; // receiver will be dead on arrival
+                if self.churn.link_down(env.from, env.to, round) {
+                    self.metrics.dropped_messages += 1;
+                    continue;
                 }
-                if self.faults.drop_prob() > 0.0
-                    && self.fault_rng.random::<f64>() < self.faults.drop_prob()
+                if self.churn.drop_prob() > 0.0
+                    && self.fault_rng.random::<f64>() < self.churn.drop_prob()
                 {
                     self.metrics.dropped_messages += 1;
                     continue;
@@ -309,6 +429,7 @@ mod tests {
     use super::*;
     use crate::{bits_for_ids, Payload};
     use ftclust_graphs::generators;
+    use proptest::prelude::*;
 
     #[derive(Clone, Debug)]
     struct Num(u64);
@@ -605,5 +726,185 @@ mod tests {
         assert!(sim.is_quiescent());
         assert!(sim.run(10).is_ok());
         assert_eq!(sim.metrics().rounds, 0);
+    }
+
+    /// Counts every delivered message and broadcasts until the halt round.
+    struct Counter {
+        seen: u64,
+        rounds: u64,
+    }
+    impl NodeLogic for Counter {
+        type Payload = Num;
+        fn on_round(&mut self, inbox: &[Envelope<Num>], ctx: &mut Context<'_, Num>) -> Control {
+            self.seen += inbox.len() as u64;
+            if ctx.round() >= self.rounds {
+                return Control::Halt;
+            }
+            ctx.broadcast(Num(ctx.me().raw() as u64));
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn dead_on_arrival_is_accounted() {
+        // Regression (PR 3): every message node 0 sends to node 1 (rounds
+        // 0..=4, arriving 1..=5) lands while node 1 is crashed. They used
+        // to vanish with no metrics trace; now each is counted dead on
+        // arrival and the conservation law closes.
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let faults = FaultPlan::none().crash(NodeId::new(1), 1);
+        let mut sim = Simulator::with_faults(topo, |_| Counter { seen: 0, rounds: 5 }, 0, faults);
+        sim.run(100).unwrap();
+        let m = sim.metrics().clone();
+        assert_eq!(m.messages, 6);
+        assert_eq!(m.dead_on_arrival, 5);
+        assert_eq!(m.delivered_messages, 1);
+        assert_eq!(m.dropped_messages, 0);
+        assert_eq!(
+            m.messages,
+            m.delivered_messages
+                + m.dropped_messages
+                + m.dead_on_arrival
+                + sim.in_flight_messages()
+        );
+    }
+
+    #[test]
+    fn recovery_resumes_participation() {
+        // Node 1 is down for rounds 1 and 2 and returns at round 3 with
+        // its state intact. Messages that arrived while it was down are
+        // dead on arrival; traffic after recovery flows normally.
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let churn = ChurnPlan::none()
+            .crash(NodeId::new(1), 1)
+            .recover(NodeId::new(1), 3);
+        let mut sim = Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 6 }, 0, churn);
+        sim.run(100).unwrap();
+        // Node 0 broadcasts rounds 0..=5 (6 sends); node 1 only rounds
+        // 0, 3, 4, 5 (4 sends).
+        let m = sim.metrics().clone();
+        assert_eq!(m.messages, 10);
+        // Node 0's sends of rounds 0 and 1 arrive in rounds 1 and 2 — DOA.
+        assert_eq!(m.dead_on_arrival, 2);
+        assert_eq!(m.delivered_messages, 8);
+        assert_eq!(sim.in_flight_messages(), 0);
+        assert_eq!(sim.logic(NodeId::new(0)).seen, 4);
+        assert_eq!(sim.logic(NodeId::new(1)).seen, 4);
+        assert!(!sim.is_down(NodeId::new(1)));
+    }
+
+    #[test]
+    fn down_then_recovering_node_keeps_network_alive() {
+        // With everything else halted, a pending recovery must block
+        // quiescence (otherwise the revival could never happen), and a
+        // crash with no recovery must not.
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let churn = ChurnPlan::none()
+            .crash(NodeId::new(1), 1)
+            .recover(NodeId::new(1), 6);
+        let mut sim = Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 2 }, 0, churn);
+        sim.run(100).unwrap();
+        // Node 0 halts at round 2, node 1 is down — but rounds keep
+        // ticking until the recovery at round 6, after which node 1 runs
+        // its own halt round.
+        assert!(sim.metrics().rounds >= 7);
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn link_outage_drops_messages_both_ways() {
+        let g = generators::path(3);
+        let topo = Topology::from_graph(&g);
+        // Link 0-1 is out for sends of rounds 0 and 1; link 1-2 is fine.
+        let churn = ChurnPlan::none().link_outage(NodeId::new(0), NodeId::new(1), 0..2);
+        let mut sim = Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 3 }, 0, churn);
+        sim.run(100).unwrap();
+        let m = sim.metrics().clone();
+        // Rounds 0..=2 broadcast: 4 messages cross each link per... node 1
+        // has two neighbors. Sends per round: 0→1, 1→0, 1→2, 2→1 = 4; over
+        // 3 rounds = 12. Outage kills 0→1 and 1→0 in rounds 0 and 1.
+        assert_eq!(m.messages, 12);
+        assert_eq!(m.dropped_messages, 4);
+        assert_eq!(
+            m.messages,
+            m.delivered_messages
+                + m.dropped_messages
+                + m.dead_on_arrival
+                + sim.in_flight_messages()
+        );
+        // Node 0 only hears node 1's round-2 send.
+        assert_eq!(sim.logic(NodeId::new(0)).seen, 1);
+        // Node 2 hears all three of node 1's sends.
+        assert_eq!(sim.logic(NodeId::new(2)).seen, 3);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_thread_invariant() {
+        let g = generators::gnp(30, 0.25, 5);
+        let run = |threads: usize| {
+            ftclust_par::with_threads(threads, || {
+                let topo = Topology::from_graph(&g);
+                let churn = ChurnPlan::none()
+                    .random_churn(0.05, 0.5)
+                    .drop_probability(0.1);
+                let mut sim =
+                    Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 8 }, 13, churn);
+                sim.run(200).unwrap();
+                let seen: Vec<u64> = sim.logics().map(|l| l.seen).collect();
+                (seen, sim.down_mask().to_vec(), sim.metrics().clone())
+            })
+        };
+        let baseline = run(1);
+        // Some churn actually happened (seed-dependent but fixed).
+        assert!(baseline.2.dead_on_arrival > 0 || baseline.2.dropped_messages > 0);
+        for threads in [2usize, 3, 7] {
+            assert_eq!(run(threads), baseline, "diverged at {threads} threads");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Metrics conservation under arbitrary churn: the per-round
+        /// series always sums to the totals, and every sent message is
+        /// delivered, dropped, dead on arrival, or still in flight.
+        #[test]
+        fn metrics_conserved_under_churn(
+            seed in 0u64..1_000,
+            n in 2u32..24,
+            drop in 0.0f64..0.5,
+            crash_prob in 0.0f64..0.2,
+            recover_prob in 0.0f64..0.9,
+        ) {
+            let g = generators::gnp(n, 0.3, seed);
+            let topo = Topology::from_graph(&g);
+            let churn = ChurnPlan::none()
+                .random_churn(crash_prob, recover_prob)
+                .drop_probability(drop)
+                .crash(NodeId::new(0), 2)
+                .recover(NodeId::new(0), 4);
+            let mut sim = Simulator::with_churn(
+                topo,
+                |_| Counter { seen: 0, rounds: 6 },
+                seed,
+                churn,
+            );
+            // Random recovery keeps quiescence away; a round-limit error
+            // is fine — metrics must still be conserved.
+            let _ = sim.run(40);
+            let m = sim.metrics().clone();
+            prop_assert_eq!(m.per_round_messages.iter().sum::<u64>(), m.messages);
+            prop_assert_eq!(m.per_round_bits.iter().sum::<u64>(), m.total_bits);
+            prop_assert_eq!(m.per_round_messages.len() as u64, m.rounds);
+            prop_assert_eq!(
+                m.messages,
+                m.delivered_messages + m.dropped_messages + m.dead_on_arrival
+                    + sim.in_flight_messages()
+            );
+            let total_seen: u64 = sim.logics().map(|l| l.seen).sum();
+            prop_assert!(total_seen <= m.delivered_messages);
+        }
     }
 }

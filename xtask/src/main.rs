@@ -102,6 +102,7 @@ const CONGEST_SCOPES: &[(&str, bool)] = &[
     ("crates/core/src/fractional/protocol.rs", true),
     ("crates/core/src/rounding/protocol.rs", true),
     ("crates/core/src/udg/protocol.rs", true),
+    ("crates/core/src/repair.rs", true),
 ];
 
 fn main() -> ExitCode {
