@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e12_geometry",
     "exp_e13_ablations",
     "exp_e14_churn",
+    "exp_e15_lossy",
 ];
 
 struct Outcome {

@@ -174,6 +174,22 @@ pub(crate) fn part1_invariants(
     }
 }
 
+/// Audits the transport-transparency guarantee: executing a protocol
+/// over lossy links (`ftclust_netsim::transport`) must produce the exact
+/// output of the lossless execution — loss may stretch physical time and
+/// add retransmissions, never change a result. Called by the `*_lossy`
+/// runners with the lossless reference result.
+pub(crate) fn loss_transparent<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    lossy: &T,
+    lossless: &T,
+) {
+    debug_assert!(
+        lossy == lossless,
+        "strict-invariants: {what} diverged under message loss\n lossy:    {lossy:?}\n lossless: {lossless:?}"
+    );
+}
+
 /// Audits [`crate::repair::repair_coverage`]'s postconditions: the healed
 /// set re-validates as strictly k-dominating on the surviving subgraph,
 /// no dead node is a member, and — when the pre-failure set was valid on

@@ -115,7 +115,9 @@ mod tests {
         assert!(e.source().is_none());
         let e = KmdsError::from(SimError::RoundLimitExceeded {
             limit: 1,
+            round: 1,
             still_running: 1,
+            in_flight: 0,
         });
         assert!(e.source().is_some());
         let e = KmdsError::from(LpError::Infeasible);

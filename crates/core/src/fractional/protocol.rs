@@ -21,12 +21,14 @@
 //! order as [`super::solve_fractional`]; their outputs are bit-identical
 //! (asserted in the tests and in experiment E13).
 
-use super::engine::{account, AlgoState};
+use super::engine::account;
 use super::{FractionalParams, FractionalSolution};
 use crate::{Instance, KmdsError};
 use ftclust_graphs::NodeId;
+use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    bits_for_ids, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+    bits_for_ids, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator,
+    Topology,
 };
 
 /// Bits charged per transmitted numeric value (see the module docs).
@@ -250,6 +252,43 @@ pub struct FractionalProtocolRun {
     pub metrics: Metrics,
 }
 
+/// Assembles the [`FractionalSolution`] from the final per-node states —
+/// shared by the synchronous, asynchronous and lossy runners, which must
+/// all produce the identical solution.
+fn assemble_solution<'n>(
+    inst: &Instance<'_>,
+    t: u32,
+    delta: usize,
+    nodes: impl Iterator<Item = &'n LpNode>,
+) -> FractionalSolution {
+    let n = inst.graph().node_count();
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut lemma41_violations = 0;
+    for (i, node) in nodes.enumerate() {
+        x[i] = node.x;
+        y[i] = node.y;
+        z[i] = node.z;
+        lemma41_violations += node.lemma41_violations;
+    }
+    let d1 = (delta + 1) as f64;
+    let kappa = t as f64 * d1.powf(1.0 / t as f64);
+    let dual_raw: f64 = (0..n).map(|i| inst.demands()[i] as f64 * y[i] - z[i]).sum();
+    let value: f64 = x.iter().sum();
+    FractionalSolution {
+        x,
+        y,
+        z,
+        kappa,
+        lower_bound: (dual_raw / kappa).max(0.0),
+        value,
+        t,
+        delta,
+        lemma41_violations,
+    }
+}
+
 /// Runs Algorithm 1 as a message-passing protocol and collects metrics.
 ///
 /// # Errors
@@ -288,37 +327,58 @@ pub fn run_fractional_protocol(
     let budget = 2 * (t as u64) * (t as u64) + 8;
     sim.run(budget)?;
 
-    let n = g.node_count();
-    let mut st = AlgoState::new(inst); // reuse the layout for assembly
-    let mut z = vec![0.0f64; n];
-    let mut lemma41_violations = 0;
-    for v in g.nodes() {
-        let node = sim.logic(v);
-        let i = v.index();
-        st.x[i] = node.x;
-        st.y[i] = node.y;
-        z[i] = node.z;
-        lemma41_violations += node.lemma41_violations;
-    }
-    let d1 = (delta + 1) as f64;
-    let kappa = t as f64 * d1.powf(1.0 / t as f64);
-    let dual_raw: f64 = (0..n)
-        .map(|i| inst.demands()[i] as f64 * st.y[i] - z[i])
-        .sum();
-    let value: f64 = st.x.iter().sum();
     Ok(FractionalProtocolRun {
-        solution: FractionalSolution {
-            x: st.x,
-            y: st.y,
-            z,
-            kappa,
-            lower_bound: (dual_raw / kappa).max(0.0),
-            value,
-            t,
-            delta,
-            lemma41_violations,
-        },
+        solution: assemble_solution(inst, t, delta, sim.logics()),
         metrics: sim.metrics().clone(),
+    })
+}
+
+/// Runs **Algorithm 1** over **lossy links**: every node is wrapped in the
+/// reliable transport of [`ftclust_netsim::transport`], so message drops
+/// and transient link outages injected by `churn` stretch physical time
+/// and add metered retransmissions but leave the computed solution
+/// bit-for-bit identical to [`run_fractional_protocol`]'s (asserted by
+/// the `strict-invariants` feature).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] wrapping
+/// [`ftclust_netsim::SimError::DeliveryFailed`] if loss exceeds a
+/// retransmit budget, or `RoundLimitExceeded` past the physical-round
+/// budget [`TransportConfig::round_budget`].
+pub fn run_fractional_protocol_lossy(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+    churn: ChurnPlan,
+    transport: TransportConfig,
+) -> Result<FractionalProtocolRun, KmdsError> {
+    assert_eq!(
+        params.knowledge,
+        super::DeltaKnowledge::Global,
+        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
+    );
+    let g = inst.graph();
+    let t = params.t;
+    let delta = params.resolve_delta(inst);
+    let logical = 2 * (t as u64) * (t as u64) + 3;
+    let run = run_reliably(
+        Topology::from_graph(g),
+        |v: NodeId| LpNode::new(inst.demand(v), t, delta),
+        0,
+        churn,
+        transport,
+        transport.round_budget(logical),
+    )?;
+    let solution = assemble_solution(inst, t, delta, run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::loss_transparent(
+        "Algorithm 1",
+        &solution,
+        &super::solve_fractional(inst, params)?,
+    );
+    Ok(FractionalProtocolRun {
+        solution,
+        metrics: run.metrics,
     })
 }
 
@@ -357,32 +417,7 @@ pub fn run_fractional_protocol_async(
         max_delay,
         budget,
     )?;
-    let n = g.node_count();
-    let mut x = vec![0.0f64; n];
-    let mut y = vec![0.0f64; n];
-    let mut z = vec![0.0f64; n];
-    let mut lemma41_violations = 0;
-    for (i, node) in run.logics.iter().enumerate() {
-        x[i] = node.x;
-        y[i] = node.y;
-        z[i] = node.z;
-        lemma41_violations += node.lemma41_violations;
-    }
-    let d1 = (delta + 1) as f64;
-    let kappa = t as f64 * d1.powf(1.0 / t as f64);
-    let dual_raw: f64 = (0..n).map(|i| inst.demands()[i] as f64 * y[i] - z[i]).sum();
-    let value: f64 = x.iter().sum();
-    Ok(FractionalSolution {
-        x,
-        y,
-        z,
-        kappa,
-        lower_bound: (dual_raw / kappa).max(0.0),
-        value,
-        t,
-        delta,
-        lemma41_violations,
-    })
+    Ok(assemble_solution(inst, t, delta, run.logics.iter()))
 }
 
 #[cfg(test)]
@@ -438,6 +473,29 @@ mod tests {
         // 2 values + a degree: comfortably O(log n).
         assert!(run.metrics.max_message_bits <= 3 * VALUE_BITS);
         assert!(run.metrics.messages > 0);
+    }
+
+    #[test]
+    fn lossy_execution_matches_engine() {
+        let g = generators::gnp(30, 0.2, 6);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let params = FractionalParams::new(2);
+        let engine = solve_fractional(&inst, &params).unwrap();
+        for p in [0.0, 0.05, 0.2] {
+            let run = run_fractional_protocol_lossy(
+                &inst,
+                &params,
+                ChurnPlan::none().drop_probability(p),
+                TransportConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(engine, run.solution, "diverged at p = {p}");
+            if p == 0.0 {
+                assert_eq!(run.metrics.retransmits, 0, "spurious retransmits at p = 0");
+            } else {
+                assert!(run.metrics.retransmits > 0, "no retransmits at p = {p}");
+            }
+        }
     }
 
     #[test]

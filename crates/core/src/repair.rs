@@ -31,6 +31,16 @@
 //! 4. *Announcement* — new members announce themselves; coverage counts
 //!    update and the loop repeats while anyone is still needy.
 //!
+//! # Engine and protocol
+//!
+//! [`repair_coverage`] is the analytic engine: it evaluates the rounds
+//! directly on shared state (the fast path for sweeps).
+//! [`run_repair_protocol`] executes the same rounds as real message
+//! passing on [`ftclust_netsim`], and [`run_repair_protocol_lossy`] does
+//! so over **lossy links** through the reliable transport of
+//! [`ftclust_netsim::transport`] — all three produce the identical healed
+//! set, additions and iteration count for the same [`RepairConfig`].
+//!
 //! # Locality and termination
 //!
 //! Membership only ever grows, so coverage is monotone and the needy set
@@ -75,7 +85,11 @@
 use crate::udg::PromotionRule;
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
-use ftclust_netsim::{bits_for_ids, node_rng, Payload};
+use ftclust_netsim::transport::{run_reliably, TransportConfig};
+use ftclust_netsim::{
+    bits_for_ids, node_rng, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload,
+    Simulator, Topology,
+};
 use ftclust_par as par;
 use rand::rngs::StdRng;
 
@@ -389,6 +403,362 @@ pub fn surviving_instance(
     (sub, DominatingSet::from_members(members))
 }
 
+/// Per-node state of the repair protocol on the **surviving subgraph** —
+/// the message-passing twin of [`repair_coverage`], seed-for-seed
+/// identical in its healed set, additions and iteration count (message
+/// counts differ: the engine also accounts heartbeats addressed to dead
+/// neighbors, which the induced subgraph has no edges for).
+///
+/// Nodes know, from before the churn epoch, which of their neighbors were
+/// members (`neighbor_member`) — set membership is established knowledge
+/// by the time repair runs — and observe survival through the detection
+/// round. Each node draws promotions from its own stream keyed by its
+/// **original** (pre-churn) identifier, exactly like the engine.
+#[derive(Debug)]
+pub struct RepairNode {
+    k: u32,
+    rule: PromotionRule,
+    /// This node's private stream, `node_rng(seed, original_id)`.
+    rng: StdRng,
+    member: bool,
+    /// Membership of each surviving neighbor, aligned with the sorted
+    /// subgraph neighbor list; updated by `Join` announcements.
+    neighbor_member: Vec<bool>,
+    /// Members in the closed neighborhood (the engine's `cov`).
+    cov: u32,
+    my_needy: bool,
+    pending_join: bool,
+    /// Whether this node was added by the repair.
+    pub joined: bool,
+    /// Coverage at detection time (for the deficit statistics).
+    pub initial_cov: u32,
+    /// Whether this node was needy at detection time.
+    pub initial_needy: bool,
+}
+
+impl NodeLogic for RepairNode {
+    type Payload = RepairMsg;
+
+    fn on_round(
+        &mut self,
+        inbox: &[Envelope<RepairMsg>],
+        ctx: &mut Context<'_, RepairMsg>,
+    ) -> Control {
+        let r = ctx.round();
+        if r == 0 {
+            // Detection round: every survivor beacons. On the induced
+            // surviving subgraph every neighbor responds, so the beacon's
+            // role is to confirm survival (and meter the detection cost).
+            self.cov =
+                u32::from(self.member) + self.neighbor_member.iter().filter(|&&m| m).count() as u32;
+            ctx.broadcast(RepairMsg::Heartbeat);
+            return Control::Continue;
+        }
+        match (r - 1) % 3 {
+            0 => {
+                // Deficit round: absorb the joins announced last
+                // iteration, then announce the (updated) deficit.
+                for e in inbox {
+                    if let RepairMsg::Join = e.payload {
+                        let Ok(pos) = ctx.neighbors().binary_search(&e.from) else {
+                            unreachable!("inbox messages arrive only from neighbors");
+                        };
+                        self.neighbor_member[pos] = true;
+                        self.cov += 1;
+                    }
+                }
+                self.my_needy = !self.member && self.cov < self.k;
+                if r == 1 {
+                    self.initial_cov = self.cov;
+                    self.initial_needy = self.my_needy;
+                }
+                if self.my_needy {
+                    ctx.broadcast(RepairMsg::Deficit { cov: self.cov });
+                }
+                Control::Continue
+            }
+            1 => {
+                // Re-election round: members promote needy neighbors;
+                // structurally under-covered needy nodes promote
+                // themselves; a node with nothing needy in sight is done.
+                let needy: Vec<(NodeId, u32)> = inbox
+                    .iter()
+                    .filter_map(|e| match e.payload {
+                        RepairMsg::Deficit { cov } => Some((e.from, cov)),
+                        _ => None,
+                    })
+                    .collect();
+                if self.member && !needy.is_empty() {
+                    let ids: Vec<NodeId> = needy.iter().map(|&(v, _)| v).collect();
+                    let cov_of = |v: NodeId| match needy.iter().find(|&&(w, _)| w == v) {
+                        Some(&(_, c)) => c,
+                        None => unreachable!("promotion candidates come from `needy`"),
+                    };
+                    let chosen = crate::udg::select_promotions(
+                        &ids,
+                        cov_of,
+                        self.k as usize,
+                        self.rule,
+                        &mut self.rng,
+                    );
+                    for w in chosen {
+                        ctx.send(w, RepairMsg::Promote);
+                    }
+                }
+                if self.my_needy
+                    && (ctx.degree() < self.k as usize || !self.neighbor_member.iter().any(|&m| m))
+                {
+                    self.pending_join = true;
+                }
+                if !self.my_needy && needy.is_empty() {
+                    // Neediness only shrinks, so nothing around this node
+                    // can ever change again.
+                    Control::Halt
+                } else {
+                    Control::Continue
+                }
+            }
+            _ => {
+                // Join round: promoted and self-elected nodes enter the
+                // set and announce it.
+                if inbox
+                    .iter()
+                    .any(|e| matches!(e.payload, RepairMsg::Promote))
+                {
+                    self.pending_join = true;
+                }
+                if self.pending_join && !self.member {
+                    self.member = true;
+                    self.joined = true;
+                    self.cov += 1;
+                    ctx.broadcast(RepairMsg::Join);
+                }
+                self.pending_join = false;
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// Result of a metered repair-protocol execution
+/// ([`run_repair_protocol`] / [`run_repair_protocol_lossy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairProtocolRun {
+    /// The healed set over the **full** node universe — identical to
+    /// [`repair_coverage`]'s.
+    pub set: DominatingSet,
+    /// Nodes added by the repair, in original ids, ascending — identical
+    /// to the engine's.
+    pub added: Vec<NodeId>,
+    /// Re-election iterations executed — identical to the engine's.
+    pub iterations: u32,
+    /// Largest deficit `k − c(v)` observed at detection time.
+    pub peak_deficit: u32,
+    /// Nodes below target coverage at detection time.
+    pub deficit_nodes: usize,
+    /// Measured communication metrics of the execution (unlike the
+    /// engine's analytic counts, these include nothing for dead
+    /// neighbors; under loss they include the transport overhead).
+    pub metrics: Metrics,
+}
+
+/// Builds one node's protocol state for the surviving subgraph.
+fn repair_node(
+    sub: &Graph,
+    old_of_new: &[NodeId],
+    set: &DominatingSet,
+    k: u32,
+    cfg: &RepairConfig,
+    v: NodeId,
+) -> RepairNode {
+    let old = old_of_new[v.index()];
+    RepairNode {
+        k,
+        rule: cfg.rule,
+        rng: node_rng(cfg.seed, old),
+        member: set.contains(old),
+        neighbor_member: sub
+            .neighbors(v)
+            .iter()
+            .map(|&w| set.contains(old_of_new[w.index()]))
+            .collect(),
+        cov: 0,
+        my_needy: false,
+        pending_join: false,
+        joined: false,
+        initial_cov: 0,
+        initial_needy: false,
+    }
+}
+
+/// Maps the final per-node states back to the full universe.
+fn assemble_repair(
+    n_full: usize,
+    old_of_new: &[NodeId],
+    nodes: &[RepairNode],
+    k: u32,
+    logical_rounds: u64,
+    metrics: Metrics,
+) -> RepairProtocolRun {
+    let mut members = vec![false; n_full];
+    let mut added = Vec::new();
+    let mut peak_deficit = 0u32;
+    let mut deficit_nodes = 0usize;
+    for (node, &old) in nodes.iter().zip(old_of_new) {
+        members[old.index()] = node.member;
+        if node.joined {
+            added.push(old);
+        }
+        if node.initial_needy {
+            deficit_nodes += 1;
+            peak_deficit = peak_deficit.max(k - node.initial_cov);
+        }
+    }
+    added.sort_unstable();
+    // Rounds: 1 detection + 3 per iteration + a trailing no-op iteration
+    // (deficit silence, then everyone halts) = 3·(iterations + 1).
+    let iterations = (logical_rounds / 3).saturating_sub(1) as u32;
+    RepairProtocolRun {
+        set: DominatingSet::from_members(members),
+        added,
+        iterations,
+        peak_deficit,
+        deficit_nodes,
+        metrics,
+    }
+}
+
+/// Runs the coverage repair as a **message-passing protocol** on the
+/// surviving subgraph, metering real rounds, messages and bits. The
+/// healed set, additions and iteration count are seed-for-seed identical
+/// to [`repair_coverage`] with the same configuration (asserted in the
+/// tests; the engine remains the fast path for sweeps).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget is exceeded —
+/// impossible by the progress argument in the [module docs](self).
+///
+/// # Panics
+///
+/// Panics if `alive.len()` or the set universe mismatch the graph, or if
+/// `k == 0`.
+pub fn run_repair_protocol(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    cfg: &RepairConfig,
+) -> Result<RepairProtocolRun, KmdsError> {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+    let (sub, old_of_new) = g.induced_subgraph(&keep);
+    if sub.node_count() == 0 {
+        return Ok(assemble_repair(n, &[], &[], k, 0, Metrics::default()));
+    }
+    let mut sim = Simulator::new(
+        Topology::from_graph(&sub),
+        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
+        cfg.seed,
+    );
+    sim.run(repair_round_budget(sub.node_count()))?;
+    let metrics = sim.metrics().clone();
+    let logical_rounds = metrics.rounds;
+    let finals: Vec<RepairNode> = sim.into_logics();
+    Ok(assemble_repair(
+        n,
+        &old_of_new,
+        &finals,
+        k,
+        logical_rounds,
+        metrics,
+    ))
+}
+
+/// Logical-round budget of a repair run: detection + one three-round
+/// iteration per survivor (the progress bound), a trailing no-op
+/// iteration, and slack.
+fn repair_round_budget(n_sub: usize) -> u64 {
+    1 + 3 * (n_sub as u64 + 2) + 8
+}
+
+/// Runs the coverage repair over **lossy links** via the reliable
+/// transport of [`ftclust_netsim::transport`]: drops and outage windows
+/// injected by `churn` add metered retransmissions but leave the healed
+/// set, additions and iteration count seed-for-seed identical to
+/// [`repair_coverage`]'s (asserted by the `strict-invariants` feature).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if loss exhausts a retransmit budget or the
+/// physical-round budget is exceeded.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` or the set universe mismatch the graph, or if
+/// `k == 0`.
+pub fn run_repair_protocol_lossy(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    cfg: &RepairConfig,
+    churn: ChurnPlan,
+    transport: TransportConfig,
+) -> Result<RepairProtocolRun, KmdsError> {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+    let (sub, old_of_new) = g.induced_subgraph(&keep);
+    if sub.node_count() == 0 {
+        return Ok(assemble_repair(n, &[], &[], k, 0, Metrics::default()));
+    }
+    let logical_budget = repair_round_budget(sub.node_count());
+    let run = run_reliably(
+        Topology::from_graph(&sub),
+        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
+        cfg.seed,
+        churn,
+        transport,
+        transport.round_budget(logical_budget),
+    )?;
+    let out = assemble_repair(
+        n,
+        &old_of_new,
+        &run.logics,
+        k,
+        run.logical_rounds,
+        run.metrics,
+    );
+    #[cfg(feature = "strict-invariants")]
+    {
+        let engine = repair_coverage(g, set, alive, k, cfg)?;
+        crate::audit::loss_transparent(
+            "coverage repair",
+            &(
+                out.set.clone(),
+                out.added.clone(),
+                out.iterations,
+                out.peak_deficit,
+                out.deficit_nodes,
+            ),
+            &(
+                engine.set,
+                engine.added,
+                engine.iterations,
+                engine.peak_deficit,
+                engine.deficit_nodes,
+            ),
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,5 +921,111 @@ mod tests {
         assert!(out.set.is_empty());
         assert_eq!(out.iterations, 0);
         assert_eq!(out.messages, 0);
+    }
+
+    /// Asserts the engine-visible fields of a protocol run against the
+    /// engine outcome for the same inputs.
+    fn assert_protocol_matches(proto: &RepairProtocolRun, engine: &RepairOutcome, what: &str) {
+        assert_eq!(proto.set, engine.set, "{what}: set diverged");
+        assert_eq!(proto.added, engine.added, "{what}: additions diverged");
+        assert_eq!(
+            proto.iterations, engine.iterations,
+            "{what}: iteration count diverged"
+        );
+        assert_eq!(
+            proto.peak_deficit, engine.peak_deficit,
+            "{what}: peak deficit diverged"
+        );
+        assert_eq!(
+            proto.deficit_nodes, engine.deficit_nodes,
+            "{what}: deficit node count diverged"
+        );
+    }
+
+    #[test]
+    fn protocol_matches_engine_across_rules() {
+        let udg = generators::random_udg(300, 10.0, 1.0, 33);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(3).seed(8).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 6, 2);
+        for rule in [
+            PromotionRule::LowestId,
+            PromotionRule::MostDeficient,
+            PromotionRule::Random,
+        ] {
+            for seed in [0u64, 11] {
+                let cfg = RepairConfig::new(seed).rule(rule);
+                let engine = repair_coverage(g, &run.set, &alive, 3, &cfg).unwrap();
+                let proto = run_repair_protocol(g, &run.set, &alive, 3, &cfg).unwrap();
+                assert_protocol_matches(&proto, &engine, &format!("{rule:?} seed {seed}"));
+                // Detection + 3 rounds per iteration + the trailing no-op
+                // iteration in which everyone observes silence and halts.
+                assert_eq!(
+                    proto.metrics.rounds,
+                    3 * (u64::from(engine.iterations) + 1),
+                    "{rule:?} seed {seed}: round count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_handles_trivial_and_islanded_cases() {
+        // Nobody alive: nothing to simulate.
+        let g = generators::cycle(5);
+        let out = run_repair_protocol(
+            &g,
+            &DominatingSet::full(5),
+            &[false; 5],
+            2,
+            &RepairConfig::new(0),
+        )
+        .unwrap();
+        assert!(out.set.is_empty());
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.metrics.messages, 0);
+
+        // Memberless island: self-election path, including isolated nodes.
+        let g = generators::path(3);
+        let set = DominatingSet::from_ids(3, [NodeId::new(1)]);
+        let alive = vec![true, false, true];
+        let engine = repair_coverage(&g, &set, &alive, 1, &RepairConfig::new(0)).unwrap();
+        let proto = run_repair_protocol(&g, &set, &alive, 1, &RepairConfig::new(0)).unwrap();
+        assert_protocol_matches(&proto, &engine, "severed path");
+        assert!(proto.set.contains(NodeId::new(0)));
+        assert!(proto.set.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn lossy_protocol_matches_engine() {
+        use ftclust_netsim::transport::TransportConfig;
+        use ftclust_netsim::ChurnPlan;
+        let udg = generators::random_udg(200, 9.0, 1.0, 51);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(6).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 6, 9);
+        let cfg = RepairConfig::new(13).rule(PromotionRule::Random);
+        let engine = repair_coverage(g, &run.set, &alive, 2, &cfg).unwrap();
+        for p in [0.0, 0.05, 0.2] {
+            let proto = run_repair_protocol_lossy(
+                g,
+                &run.set,
+                &alive,
+                2,
+                &cfg,
+                ChurnPlan::none().drop_probability(p),
+                TransportConfig::default(),
+            )
+            .unwrap();
+            assert_protocol_matches(&proto, &engine, &format!("p = {p}"));
+            if p == 0.0 {
+                assert_eq!(proto.metrics.retransmits, 0, "lossless run retransmitted");
+            } else {
+                assert!(
+                    proto.metrics.retransmits > 0,
+                    "p = {p} run saw no retransmissions"
+                );
+            }
+        }
     }
 }

@@ -14,8 +14,9 @@
 use super::{select_repair_targets, RepairSelection, RoundingOutcome, RoundingParams};
 use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::NodeId;
+use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+    ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
 };
 use rand::Rng;
 
@@ -156,22 +157,87 @@ pub fn run_rounding_protocol(
         seed,
     );
     sim.run(8)?;
-    let mut members = vec![false; g.node_count()];
+    let outcome = assemble_outcome(sim.logics());
+    Ok(RoundingProtocolRun {
+        outcome,
+        metrics: sim.metrics().clone(),
+    })
+}
+
+/// Assembles the [`RoundingOutcome`] from the final per-node states —
+/// shared by the lossless and lossy runners.
+fn assemble_outcome<'n>(nodes: impl Iterator<Item = &'n RoundingNode>) -> RoundingOutcome {
+    let mut members = Vec::new();
     let mut initial_picks = 0;
-    for v in g.nodes() {
-        let node = sim.logic(v);
-        members[v.index()] = node.selected;
+    for node in nodes {
+        members.push(node.selected);
         initial_picks += usize::from(node.initial);
     }
     let set = DominatingSet::from_members(members);
     let repair_picks = set.len() - initial_picks;
-    Ok(RoundingProtocolRun {
-        outcome: RoundingOutcome {
-            set,
-            initial_picks,
-            repair_picks,
+    RoundingOutcome {
+        set,
+        initial_picks,
+        repair_picks,
+    }
+}
+
+/// Runs **Algorithm 2** over **lossy links** via the reliable transport of
+/// [`ftclust_netsim::transport`]: drops and outage windows injected by
+/// `churn` add metered retransmissions but leave the rounded set
+/// seed-for-seed identical to [`run_rounding_protocol`]'s (asserted by
+/// the `strict-invariants` feature).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if loss exhausts a retransmit budget or the
+/// physical-round budget is exceeded.
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the node count.
+pub fn run_rounding_protocol_lossy(
+    inst: &Instance<'_>,
+    x: &[f64],
+    delta: usize,
+    seed: u64,
+    params: &RoundingParams,
+    churn: ChurnPlan,
+    transport: TransportConfig,
+) -> Result<RoundingProtocolRun, KmdsError> {
+    let g = inst.graph();
+    assert_eq!(
+        x.len(),
+        g.node_count(),
+        "fractional solution length mismatch"
+    );
+    let ln_d1 = ((delta + 1) as f64).ln();
+    let run = run_reliably(
+        Topology::from_graph(g),
+        |v: NodeId| RoundingNode {
+            k: inst.demand(v),
+            x: x[v.index()],
+            ln_d1,
+            selection: params.selection,
+            repair: params.repair,
+            selected: false,
+            initial: false,
         },
-        metrics: sim.metrics().clone(),
+        seed,
+        churn,
+        transport,
+        transport.round_budget(3),
+    )?;
+    let outcome = assemble_outcome(run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::loss_transparent(
+        "Algorithm 2",
+        &outcome,
+        &super::round_fractional(inst, x, delta, seed, params),
+    );
+    Ok(RoundingProtocolRun {
+        outcome,
+        metrics: run.metrics,
     })
 }
 
@@ -216,6 +282,33 @@ mod tests {
             &run.outcome.set,
             Semantics::CoverSelf
         ));
+    }
+
+    #[test]
+    fn lossy_execution_matches_engine() {
+        let g = generators::gnp(40, 0.15, 8);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let frac = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
+        let params = RoundingParams::default();
+        for seed in [0u64, 9] {
+            let engine = round_fractional(&inst, &frac.x, frac.delta, seed, &params);
+            for p in [0.0, 0.05, 0.2] {
+                let run = run_rounding_protocol_lossy(
+                    &inst,
+                    &frac.x,
+                    frac.delta,
+                    seed,
+                    &params,
+                    ChurnPlan::none().drop_probability(p),
+                    TransportConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(engine, run.outcome, "diverged at seed {seed}, p = {p}");
+                if p == 0.0 {
+                    assert_eq!(run.metrics.retransmits, 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,8 +27,10 @@ use super::part2::select_promotions;
 use super::{IdMode, PromotionRule, UdgAlgorithm, UdgRun};
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{NodeId, UnitDiskGraph};
+use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    bits_for_ids, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+    bits_for_ids, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator,
+    Topology,
 };
 use rand::Rng;
 
@@ -292,33 +294,111 @@ pub fn run_udg_protocol(
     let budget = 2 * part1_rounds as u64 + 3 * (n as u64 + 2) + 8;
     sim.run(budget)?;
 
-    let mut leaders = vec![false; n];
-    let mut members = vec![false; n];
-    let mut passive_after = vec![u32::MAX; n];
-    for v in udg.graph().nodes() {
-        let node = sim.logic(v);
-        members[v.index()] = node.leader;
-        leaders[v.index()] = node.passive_after.is_none();
-        if let Some(p) = node.passive_after {
-            passive_after[v.index()] = p;
-        }
+    let run = assemble_run(part1_rounds, sim.metrics().rounds, sim.logics());
+    Ok(UdgProtocolRun {
+        run,
+        metrics: sim.metrics().clone(),
+    })
+}
+
+/// Assembles the [`UdgRun`] from the final per-node states — shared by
+/// the lossless and lossy runners. `logical_rounds` is the number of
+/// protocol rounds *executed by the nodes* (equal to the simulator rounds
+/// in a lossless run, and to the transport's logical-round count in a
+/// lossy one), from which the Part II iteration count is derived.
+fn assemble_run<'n>(
+    part1_rounds: u32,
+    logical_rounds: u64,
+    nodes: impl Iterator<Item = &'n UdgNode>,
+) -> UdgRun {
+    let mut leaders = Vec::new();
+    let mut members = Vec::new();
+    let mut passive_after = Vec::new();
+    for node in nodes {
+        members.push(node.leader);
+        leaders.push(node.passive_after.is_none());
+        passive_after.push(node.passive_after.unwrap_or(u32::MAX));
     }
     // Reconstruct the per-round active counts: a node is active after
     // paper round i (1-based) iff passive_after > i.
     let active_history: Vec<usize> = (1..=part1_rounds)
         .map(|i| passive_after.iter().filter(|&&p| p > i).count())
         .collect();
-    let rounds = sim.metrics().rounds;
-    let part2_iterations = ((rounds - 2 * part1_rounds as u64) / 3).saturating_sub(1) as u32;
-    Ok(UdgProtocolRun {
-        run: UdgRun {
-            set: DominatingSet::from_members(members),
-            leaders: DominatingSet::from_members(leaders),
-            part1_rounds,
-            part2_iterations,
-            active_history,
+    let part2_iterations =
+        ((logical_rounds - 2 * u64::from(part1_rounds)) / 3).saturating_sub(1) as u32;
+    UdgRun {
+        set: DominatingSet::from_members(members),
+        leaders: DominatingSet::from_members(leaders),
+        part1_rounds,
+        part2_iterations,
+        active_history,
+    }
+}
+
+/// Runs **Algorithm 3** over **lossy links** via the reliable transport
+/// of [`ftclust_netsim::transport`]: drops and outage windows injected by
+/// `churn` add metered retransmissions but leave the computed set,
+/// leaders and iteration counts seed-for-seed identical to
+/// [`run_udg_protocol`]'s (asserted by the `strict-invariants` feature).
+/// The Part II iteration count is derived from the transport's
+/// **logical** round count, which loss cannot inflate.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if loss exhausts a retransmit budget or the
+/// physical-round budget is exceeded.
+pub fn run_udg_protocol_lossy(
+    udg: &UnitDiskGraph,
+    config: &UdgAlgorithm,
+    churn: ChurnPlan,
+    transport: TransportConfig,
+) -> Result<UdgProtocolRun, KmdsError> {
+    let n = udg.node_count();
+    if n == 0 {
+        return Ok(UdgProtocolRun {
+            run: UdgRun {
+                set: DominatingSet::empty(0),
+                leaders: DominatingSet::empty(0),
+                part1_rounds: 0,
+                part2_iterations: 0,
+                active_history: vec![],
+            },
+            metrics: Metrics::default(),
+        });
+    }
+    let schedule = theta_schedule(n, udg.radius());
+    let part1_rounds = schedule.len() as u32;
+    let cap = id_cap(n);
+    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
+    let logical_budget = 2 * u64::from(part1_rounds) + 3 * (n as u64 + 2) + 8;
+    let run = run_reliably(
+        Topology::from_udg(udg),
+        |_: NodeId| UdgNode {
+            k: config.k,
+            id_mode: config.id_mode,
+            promotion: config.promotion,
+            schedule: schedule.clone(),
+            id_cap: cap,
+            id_bits,
+            active: true,
+            my_id: 0,
+            fixed_drawn: false,
+            passive_after: None,
+            leader: false,
+            neighbor_leader: Vec::new(),
+            my_needy: false,
         },
-        metrics: sim.metrics().clone(),
+        config.seed,
+        churn,
+        transport,
+        transport.round_budget(logical_budget),
+    )?;
+    let assembled = assemble_run(part1_rounds, run.logical_rounds, run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    crate::audit::loss_transparent("Algorithm 3", &assembled, &config.run(udg)?);
+    Ok(UdgProtocolRun {
+        run: assembled,
+        metrics: run.metrics,
     })
 }
 
@@ -342,6 +422,28 @@ mod tests {
                 let engine = config.run(&udg).unwrap();
                 let proto = run_udg_protocol(&udg, &config).unwrap().run;
                 assert_eq!(engine, proto, "divergence for k={k}, {rule:?}, {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_execution_matches_engine() {
+        let udg = generators::random_udg(120, 8.0, 1.0, 21);
+        let config = UdgAlgorithm::new(2).seed(4);
+        let engine = config.run(&udg).unwrap();
+        for p in [0.0, 0.05, 0.2] {
+            let run = run_udg_protocol_lossy(
+                &udg,
+                &config,
+                ChurnPlan::none().drop_probability(p),
+                TransportConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(engine, run.run, "diverged at p = {p}");
+            if p == 0.0 {
+                assert_eq!(run.metrics.retransmits, 0);
+            } else {
+                assert!(run.metrics.retransmits > 0);
             }
         }
     }

@@ -78,6 +78,7 @@ mod sim;
 mod topology;
 
 pub mod synchronizer;
+pub mod transport;
 
 pub use churn::{ChurnEvent, ChurnPlan, RandomChurn};
 pub use error::SimError;

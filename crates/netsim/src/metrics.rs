@@ -31,6 +31,20 @@ pub struct Metrics {
     /// conservation law `messages == delivered_messages +
     /// dropped_messages + dead_on_arrival + in-flight`.
     pub dead_on_arrival: u64,
+    /// Frames re-sent by a reliable transport ([`crate::transport`])
+    /// after a timeout. Every retransmission is also an ordinary send, so
+    /// it is *included* in [`Metrics::messages`]; this counter isolates
+    /// the overhead.
+    pub retransmits: u64,
+    /// Pure acknowledgment frames sent by a reliable transport (carrying
+    /// no protocol payload). Also included in [`Metrics::messages`].
+    pub acks: u64,
+    /// Delivered frames a reliable transport discarded as duplicates of
+    /// data it had already received (the flip side of a retransmission
+    /// whose original also survived). Included in
+    /// [`Metrics::delivered_messages`]; subtracting them yields
+    /// [`Metrics::unique_delivered`].
+    pub duplicates_suppressed: u64,
 }
 
 impl Metrics {
@@ -41,6 +55,26 @@ impl Metrics {
         } else {
             self.total_bits as f64 / self.messages as f64
         }
+    }
+
+    /// Delivered messages that were *new* to their recipient: delivered
+    /// minus transport duplicates. With a reliable transport in play the
+    /// conservation law refines to `messages == unique_delivered() +
+    /// duplicates_suppressed + dropped_messages + dead_on_arrival +
+    /// in-flight`, with `duplicates_suppressed <= retransmits` (only a
+    /// retransmission can produce a duplicate) and `retransmits + acks <=
+    /// messages` (both kinds of overhead frame are ordinary sends).
+    pub fn unique_delivered(&self) -> u64 {
+        self.delivered_messages - self.duplicates_suppressed
+    }
+
+    /// Folds one shard's transport counters into the totals. Sums are
+    /// commutative, so accumulation order cannot perturb determinism —
+    /// the simulator still merges shards in index order.
+    pub(crate) fn absorb_transport(&mut self, c: &TransportCounters) {
+        self.retransmits += c.retransmits;
+        self.acks += c.acks;
+        self.duplicates_suppressed += c.duplicates_suppressed;
     }
 
     pub(crate) fn record_send(&mut self, bits: usize) {
@@ -65,6 +99,22 @@ impl Metrics {
         self.rounds += 1;
         self.per_round_messages.push(0);
         self.per_round_bits.push(0);
+    }
+}
+
+/// Per-shard transport event counters, reported by a reliability layer
+/// through [`crate::Context`]'s `note_*` methods during the parallel
+/// node-logic phase and folded into [`Metrics`] on the sequential path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TransportCounters {
+    pub(crate) retransmits: u64,
+    pub(crate) acks: u64,
+    pub(crate) duplicates_suppressed: u64,
+}
+
+impl TransportCounters {
+    pub(crate) fn clear(&mut self) {
+        *self = TransportCounters::default();
     }
 }
 
@@ -112,6 +162,34 @@ mod tests {
         assert_eq!(m.rounds, 2);
         assert_eq!(m.per_round_messages, vec![1, 0]);
         assert_eq!(m.per_round_bits, vec![1, 0]);
+    }
+
+    #[test]
+    fn transport_counters_fold_into_totals() {
+        let mut m = Metrics::default();
+        m.begin_round();
+        m.record_send(4);
+        m.record_send(4);
+        m.delivered_messages = 2;
+        let shard_a = TransportCounters {
+            retransmits: 1,
+            acks: 2,
+            duplicates_suppressed: 1,
+        };
+        let shard_b = TransportCounters {
+            retransmits: 3,
+            acks: 0,
+            duplicates_suppressed: 0,
+        };
+        m.absorb_transport(&shard_a);
+        m.absorb_transport(&shard_b);
+        assert_eq!(m.retransmits, 4);
+        assert_eq!(m.acks, 2);
+        assert_eq!(m.duplicates_suppressed, 1);
+        assert_eq!(m.unique_delivered(), 1);
+        let mut c = shard_a;
+        c.clear();
+        assert_eq!(c, TransportCounters::default());
     }
 
     #[cfg(debug_assertions)]

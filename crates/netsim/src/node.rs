@@ -1,3 +1,4 @@
+use crate::metrics::TransportCounters;
 use crate::{Envelope, Payload, Topology};
 use ftclust_graphs::NodeId;
 use rand::rngs::StdRng;
@@ -52,6 +53,9 @@ pub struct Context<'a, P> {
     pub(crate) topo: Topology<'a>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) outbox: &'a mut Vec<Envelope<P>>,
+    /// Transport-layer event counters for this worker shard, folded into
+    /// [`crate::Metrics`] on the sequential merge path.
+    pub(crate) transport: &'a mut TransportCounters,
 }
 
 impl<'a, P: Payload> Context<'a, P> {
@@ -97,6 +101,29 @@ impl<'a, P: Payload> Context<'a, P> {
     #[inline]
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// Records one transport-layer retransmission, metered into
+    /// [`crate::Metrics::retransmits`]. Intended for reliability layers
+    /// such as [`crate::transport`]; ordinary protocol logic has no
+    /// reason to call it.
+    #[inline]
+    pub fn note_retransmit(&mut self) {
+        self.transport.retransmits += 1;
+    }
+
+    /// Records one pure acknowledgment frame, metered into
+    /// [`crate::Metrics::acks`].
+    #[inline]
+    pub fn note_ack(&mut self) {
+        self.transport.acks += 1;
+    }
+
+    /// Records one received duplicate discarded by a reliability layer,
+    /// metered into [`crate::Metrics::duplicates_suppressed`].
+    #[inline]
+    pub fn note_duplicate_suppressed(&mut self) {
+        self.transport.duplicates_suppressed += 1;
     }
 
     /// Sends `payload` to neighbor `to` (or to `self.me()`: self-delivery
@@ -151,6 +178,7 @@ mod tests {
         topo: Topology<'a>,
         rng: &'a mut StdRng,
         outbox: &'a mut Vec<Envelope<Ping>>,
+        transport: &'a mut TransportCounters,
     ) -> Context<'a, Ping> {
         Context {
             me: NodeId::new(0),
@@ -158,6 +186,7 @@ mod tests {
             topo,
             rng,
             outbox,
+            transport,
         }
     }
 
@@ -166,7 +195,8 @@ mod tests {
         let g = generators::star(4);
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
-        let ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        let mut tc = TransportCounters::default();
+        let ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
         assert_eq!(ctx.me(), NodeId::new(0));
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.node_count(), 4);
@@ -179,7 +209,8 @@ mod tests {
         let g = generators::star(4);
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        let mut tc = TransportCounters::default();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
         ctx.broadcast(Ping);
         assert_eq!(outbox.len(), 3);
         let mut tos: Vec<u32> = outbox.iter().map(|e| e.to.raw()).collect();
@@ -192,9 +223,31 @@ mod tests {
         let g = generators::star(2);
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        let mut tc = TransportCounters::default();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
         ctx.send(NodeId::new(0), Ping);
         assert_eq!(outbox[0].to, NodeId::new(0));
+    }
+
+    #[test]
+    fn note_methods_tally_transport_counters() {
+        let g = generators::star(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let mut tc = TransportCounters::default();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        ctx.note_retransmit();
+        ctx.note_retransmit();
+        ctx.note_ack();
+        ctx.note_duplicate_suppressed();
+        assert_eq!(
+            tc,
+            TransportCounters {
+                retransmits: 2,
+                acks: 1,
+                duplicates_suppressed: 1,
+            }
+        );
     }
 
     #[test]
@@ -203,7 +256,8 @@ mod tests {
         let g = generators::path(3); // 0-1-2: 0 and 2 not adjacent
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox);
+        let mut tc = TransportCounters::default();
+        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
         ctx.send(NodeId::new(2), Ping);
     }
 }

@@ -1,3 +1,4 @@
+use crate::metrics::TransportCounters;
 use crate::node::Context;
 use crate::{
     ChurnEvent, ChurnPlan, Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology,
@@ -38,6 +39,10 @@ struct StepShard<'t, L: NodeLogic> {
     start: usize,
     nodes: &'t mut [NodeSlot<L>],
     outbox: &'t mut Vec<Envelope<L::Payload>>,
+    /// Transport events noted by this shard's nodes; folded into
+    /// [`Metrics`] sequentially after the parallel phase (sums are
+    /// commutative, so the fold order cannot perturb determinism).
+    counters: &'t mut TransportCounters,
 }
 
 /// Executes a [`NodeLogic`] instance per node over a [`Topology`] in
@@ -85,6 +90,8 @@ pub struct Simulator<'a, L: NodeLogic> {
     spare: Vec<Vec<Envelope<L::Payload>>>,
     /// Recycled per-worker outbox buffers.
     outboxes: Vec<Vec<Envelope<L::Payload>>>,
+    /// Recycled per-worker transport counters (cleared each round).
+    tcounters: Vec<TransportCounters>,
     metrics: Metrics,
     churn: ChurnPlan,
     /// `churn`'s scheduled events, sorted by round; `next_event` is the
@@ -157,6 +164,7 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             pending: (0..n).map(|_| Vec::new()).collect(),
             spare: (0..n).map(|_| Vec::new()).collect(),
             outboxes: Vec::new(),
+            tcounters: Vec::new(),
             metrics: Metrics::default(),
             churn,
             events,
@@ -309,6 +317,10 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         if self.outboxes.len() < shard_ranges.len() {
             self.outboxes.resize_with(shard_ranges.len(), Vec::new);
         }
+        if self.tcounters.len() < shard_ranges.len() {
+            self.tcounters
+                .resize_with(shard_ranges.len(), TransportCounters::default);
+        }
         let shard_count = shard_ranges.len();
         {
             // Phase 1: execute node logic, sharded. Shared state is
@@ -319,17 +331,23 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             let down: &[bool] = &self.down;
             let mut shards: Vec<StepShard<'_, L>> = Vec::with_capacity(shard_count);
             let mut nodes_rest: &mut [NodeSlot<L>] = &mut self.nodes;
-            for (r, outbox) in shard_ranges.iter().zip(self.outboxes.iter_mut()) {
+            for ((r, outbox), counters) in shard_ranges
+                .iter()
+                .zip(self.outboxes.iter_mut())
+                .zip(self.tcounters.iter_mut())
+            {
                 let (head, tail) = nodes_rest.split_at_mut(r.end - r.start);
                 nodes_rest = tail;
                 shards.push(StepShard {
                     start: r.start,
                     nodes: head,
                     outbox,
+                    counters,
                 });
             }
             par::par_for_each_mut(&mut shards, |_, shard| {
                 shard.outbox.clear();
+                shard.counters.clear();
                 for (j, slot) in shard.nodes.iter_mut().enumerate() {
                     let i = shard.start + j;
                     let me = NodeId::new(i as u32);
@@ -342,6 +360,7 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                         topo,
                         rng: &mut slot.rng,
                         outbox: shard.outbox,
+                        transport: shard.counters,
                     };
                     let control = slot.logic.on_round(&inboxes[i], &mut ctx);
                     if control == Control::Halt {
@@ -354,6 +373,9 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         // shared fault stream consume envelopes exactly as the serial
         // engine did. Dead-on-arrival is decided at *delivery* time (phase
         // 0 of the next round), so every sent message is accounted for.
+        for counters in &self.tcounters[..shard_count] {
+            self.metrics.absorb_transport(counters);
+        }
         for outbox in &mut self.outboxes[..shard_count] {
             for env in outbox.drain(..) {
                 self.metrics
@@ -391,7 +413,9 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             if self.round >= max_rounds && !self.is_quiescent() {
                 return Err(SimError::RoundLimitExceeded {
                     limit: max_rounds,
+                    round: self.round,
                     still_running: self.running_count(),
+                    in_flight: self.in_flight_messages(),
                 });
             }
         }
@@ -411,6 +435,12 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// Iterator over all node states in id order.
     pub fn logics(&self) -> impl Iterator<Item = &L> {
         self.nodes.iter().map(|s| &s.logic)
+    }
+
+    /// Consumes the simulator and returns the node states in id order
+    /// (e.g. to unwrap [`crate::transport::Reliable`] layers after a run).
+    pub fn into_logics(self) -> Vec<L> {
+        self.nodes.into_iter().map(|s| s.logic).collect()
     }
 
     /// Communication metrics collected so far.
@@ -525,7 +555,38 @@ mod tests {
             err,
             SimError::RoundLimitExceeded {
                 limit: 5,
-                still_running: 3
+                round: 5,
+                still_running: 3,
+                in_flight: 0
+            }
+        );
+    }
+
+    #[test]
+    fn round_limit_error_reports_in_flight_backlog() {
+        // Regression (PR 4): the error payload must carry the round and
+        // the in-flight count, so a livelocked-but-chatty protocol is
+        // distinguishable from a silently spinning one. `Gossip` with a
+        // huge halt round keeps broadcasting: on a path of 3 nodes, 4
+        // messages are in flight when the limit hits.
+        let g = generators::path(3);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 1_000,
+            },
+            0,
+        );
+        let err = sim.run(5).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 5,
+                round: 5,
+                still_running: 3,
+                in_flight: 4
             }
         );
     }

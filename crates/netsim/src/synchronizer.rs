@@ -32,7 +32,28 @@
 //! contract the tests pin down. The per-node protocol work it schedules is
 //! the same work the parallel simulator covers, so the synchronizer keeps
 //! the simple sequential event loop.
+//!
+//! # Message loss
+//!
+//! The α-synchronizer **assumes reliable links**: a node blocks until the
+//! round-`r` bundle from every live neighbor has arrived, so a lost bundle
+//! starves its recipient forever. It also cannot host the retransmitting
+//! transport layer of [`crate::transport`]: that layer is driven by round
+//! timeouts, but in an event-driven executor time only advances when an
+//! event is processed — once the queue is empty no timer can ever fire, so
+//! a retransmission that is needed precisely *because* the last in-flight
+//! bundle was lost could never be scheduled. Loss tolerance therefore
+//! lives under the round-driven [`crate::Simulator`] (which ticks whether
+//! or not messages arrive), and the asynchronous executor **fails fast**
+//! instead of livelocking: [`run_asynchronously_lossy`] detects the drained
+//! queue and returns [`SimError::AsyncStalled`] naming the starved nodes
+//! and the number of lost bundles. Because bundles are all-or-nothing, a
+//! lossy run that *does* complete saw every inbox it needed and its result
+//! is identical to the synchronous execution — loss can stall the
+//! synchronizer, but it can never corrupt it. The tests pin both outcomes
+//! down.
 
+use crate::metrics::TransportCounters;
 use crate::node::Context;
 use crate::sim::node_rng;
 use crate::{Control, Envelope, NodeLogic, SimError, Topology};
@@ -48,6 +69,9 @@ pub struct AsyncStats {
     pub ticks: u64,
     /// Bundles sent (each bundle is one wire message of the synchronizer).
     pub bundles: u64,
+    /// Bundles lost to injected message loss (always 0 for
+    /// [`run_asynchronously`]; see [`run_asynchronously_lossy`]).
+    pub dropped_bundles: u64,
     /// The largest local round any node executed.
     pub max_local_round: u64,
 }
@@ -114,6 +138,10 @@ struct AsyncExec<'a, L: NodeLogic> {
     nodes: Vec<AsyncNode<L>>,
     heap: BinaryHeap<Arrival<L::Payload>>,
     delay_rng: StdRng,
+    /// Loss draws come from their own stream, so enabling loss perturbs
+    /// neither the delay sequence nor the protocol's per-node streams.
+    loss_rng: StdRng,
+    drop_probability: f64,
     seq: u64,
     now: u64,
     max_delay: u64,
@@ -133,7 +161,9 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
             if r >= self.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.max_rounds,
-                    still_running: 1,
+                    round: r,
+                    still_running: self.nodes.iter().filter(|n| !n.halted).count(),
+                    in_flight: self.heap.len() as u64,
                 });
             }
             // Gather round-(r-1) inputs; bail out if any are missing.
@@ -185,8 +215,11 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
                     }
                 }
             }
-            // Execute the local round.
+            // Execute the local round. The synchronizer assumes reliable
+            // links, so no transport layer runs on top of it and the
+            // counters stay at zero (see the module docs on loss).
             let mut outbox: Vec<Envelope<L::Payload>> = Vec::new();
+            let mut transport = TransportCounters::default();
             let node = &mut self.nodes[v.index()];
             let mut ctx = Context {
                 me: v,
@@ -194,6 +227,7 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
                 topo: self.topo,
                 rng: &mut node.rng,
                 outbox: &mut outbox,
+                transport: &mut transport,
             };
             let control = node.logic.on_round(&inbox, &mut ctx);
             let halting = control == Control::Halt;
@@ -220,6 +254,16 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
             for (pos, &w) in g.neighbors(v).iter().enumerate() {
                 let delay = self.delay_rng.random_range(1..=self.max_delay);
                 self.stats.bundles += 1;
+                // Loss is decided at send time on a dedicated stream; a
+                // p == 0 run draws nothing and matches the lossless
+                // executor bit for bit.
+                if self.drop_probability > 0.0
+                    && self.loss_rng.random::<f64>() < self.drop_probability
+                {
+                    self.stats.dropped_bundles += 1;
+                    per_neighbor[pos].clear();
+                    continue;
+                }
                 self.heap.push(Arrival {
                     at: self.now + delay,
                     seq: self.seq,
@@ -258,10 +302,63 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
 /// Panics if `max_delay == 0`.
 pub fn run_asynchronously<L: NodeLogic>(
     topo: Topology<'_>,
+    make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    max_delay: u64,
+    max_rounds: u64,
+) -> Result<AsyncRun<L>, SimError> {
+    run_async_impl(topo, make_logic, master_seed, max_delay, max_rounds, 0.0)
+}
+
+/// [`run_asynchronously`] with i.i.d. bundle loss: each bundle is
+/// discarded in flight with probability `drop_probability` (drawn from a
+/// dedicated stream, so `drop_probability == 0.0` reproduces
+/// [`run_asynchronously`] bit for bit).
+///
+/// The synchronizer itself does not retransmit — see the [module
+/// docs](self#message-loss) for why it *cannot* host the timer-driven
+/// [`crate::transport`] layer. A run that completes is exactly the
+/// synchronous execution; a run starved by loss **fails fast** with
+/// [`SimError::AsyncStalled`] instead of livelocking.
+///
+/// # Errors
+///
+/// [`SimError::AsyncStalled`] if the event queue drains while nodes are
+/// still waiting for lost bundles; [`SimError::RoundLimitExceeded`] as in
+/// [`run_asynchronously`].
+///
+/// # Panics
+///
+/// Panics if `max_delay == 0` or `drop_probability` is not in `[0, 1]`.
+pub fn run_asynchronously_lossy<L: NodeLogic>(
+    topo: Topology<'_>,
+    make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    max_delay: u64,
+    max_rounds: u64,
+    drop_probability: f64,
+) -> Result<AsyncRun<L>, SimError> {
+    assert!(
+        (0.0..=1.0).contains(&drop_probability),
+        "drop probability must be in [0, 1], got {drop_probability}"
+    );
+    run_async_impl(
+        topo,
+        make_logic,
+        master_seed,
+        max_delay,
+        max_rounds,
+        drop_probability,
+    )
+}
+
+fn run_async_impl<L: NodeLogic>(
+    topo: Topology<'_>,
     mut make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,
     max_delay: u64,
     max_rounds: u64,
+    drop_probability: f64,
 ) -> Result<AsyncRun<L>, SimError> {
     assert!(max_delay > 0, "max_delay must be at least 1 tick");
     let g = topo.graph();
@@ -285,6 +382,8 @@ pub fn run_asynchronously<L: NodeLogic>(
         nodes,
         heap: BinaryHeap::new(),
         delay_rng: StdRng::seed_from_u64(master_seed ^ 0xA5A5_5A5A_0F0F_F0F0),
+        loss_rng: StdRng::seed_from_u64(master_seed ^ 0x1057_B0D1_E51D_0F0F),
+        drop_probability,
         seq: 0,
         now: 0,
         max_delay,
@@ -313,6 +412,17 @@ pub fn run_asynchronously<L: NodeLogic>(
         }
         exec.nodes[to.index()].received[pos].push(arrival.bundle);
         exec.try_advance(to)?;
+    }
+    // The queue drained. Under reliable delivery that implies quiescence;
+    // with loss it can also mean starvation — nodes blocked forever on
+    // bundles that no event can ever deliver. Fail fast and say so.
+    let stalled = exec.nodes.iter().filter(|s| !s.halted).count();
+    if stalled > 0 {
+        return Err(SimError::AsyncStalled {
+            stalled,
+            dropped_bundles: exec.stats.dropped_bundles,
+            ticks: exec.now,
+        });
     }
     let AsyncExec { nodes, stats, .. } = exec;
     Ok(AsyncRun {
@@ -452,6 +562,117 @@ mod tests {
         let topo = Topology::from_graph(&g);
         let err = run_asynchronously(topo, |_| Forever, 0, 2, 5).unwrap_err();
         assert!(matches!(err, SimError::RoundLimitExceeded { limit: 5, .. }));
+    }
+
+    #[test]
+    fn lossy_with_zero_probability_matches_lossless() {
+        let g = generators::gnp(18, 0.3, 4);
+        let topo = Topology::from_graph(&g);
+        let make = |v: NodeId| Flood {
+            best: v.raw() as u64,
+            draws: vec![],
+            rounds: 5,
+        };
+        let a = run_asynchronously(topo, make, 11, 4, 1_000).unwrap();
+        let b = run_asynchronously_lossy(topo, make, 11, 4, 1_000, 0.0).unwrap();
+        assert_eq!(a.logics, b.logics);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(b.stats.dropped_bundles, 0);
+    }
+
+    #[test]
+    fn loss_either_stalls_descriptively_or_leaves_the_result_intact() {
+        // The documented contract: a lossy asynchronous run either
+        // completes with exactly the synchronous result (every lost
+        // bundle was one nobody was waiting for) or fails fast with
+        // `AsyncStalled` — never a silent livelock, never a corrupted
+        // result.
+        let mut stalls = 0;
+        let mut completions = 0;
+        for seed in 0..12u64 {
+            let g = generators::gnp(14, 0.3, seed);
+            let sync = sync_run(&g, seed, 5);
+            let topo = Topology::from_graph(&g);
+            let out = run_asynchronously_lossy(
+                topo,
+                |v| Flood {
+                    best: v.raw() as u64,
+                    draws: vec![],
+                    rounds: 5,
+                },
+                seed,
+                4,
+                10_000,
+                0.25,
+            );
+            match out {
+                Ok(run) => {
+                    completions += 1;
+                    assert_eq!(
+                        run.logics, sync,
+                        "completed lossy run diverged (seed {seed})"
+                    );
+                }
+                Err(SimError::AsyncStalled {
+                    stalled,
+                    dropped_bundles,
+                    ..
+                }) => {
+                    stalls += 1;
+                    assert!(stalled > 0);
+                    assert!(dropped_bundles > 0, "stall without any loss (seed {seed})");
+                }
+                Err(other) => panic!("unexpected error under loss: {other}"),
+            }
+        }
+        // At 25% loss over dozens of bundles, starvation dominates; the
+        // seeds are fixed so this is a deterministic expectation, not a
+        // flaky one.
+        assert!(
+            stalls > 0,
+            "no stall observed across {} runs",
+            stalls + completions
+        );
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let g = generators::gnp(16, 0.25, 2);
+        let topo = Topology::from_graph(&g);
+        let make = |v: NodeId| Flood {
+            best: v.raw() as u64,
+            draws: vec![],
+            rounds: 4,
+        };
+        let a = run_asynchronously_lossy(topo, make, 3, 5, 10_000, 0.2);
+        let b = run_asynchronously_lossy(topo, make, 3, 5, 10_000, 0.2);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.logics, y.logics);
+                assert_eq!(x.stats, y.stats);
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            _ => panic!("lossy runs disagreed on success vs failure"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_probability_panics() {
+        let g = generators::path(2);
+        let topo = Topology::from_graph(&g);
+        let _ = run_asynchronously_lossy(
+            topo,
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds: 1,
+            },
+            0,
+            1,
+            10,
+            1.5,
+        );
     }
 
     #[test]

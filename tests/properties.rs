@@ -9,7 +9,57 @@ use ftclust::core::udg::UdgAlgorithm;
 use ftclust::geometry::Point;
 use ftclust::graphs::{generators, Graph, UnitDiskGraph};
 use ftclust::lp::solve as lp_solve;
+use ftclust::netsim::transport::{run_reliably, TransportConfig};
+use ftclust::netsim::{
+    ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+};
 use proptest::prelude::*;
+
+/// One-bit chatter payload for the conservation-law tests.
+#[derive(Clone, Debug)]
+struct Ping;
+
+impl Payload for Ping {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Broadcasts every round for `ttl` rounds, then halts.
+struct Chatter {
+    ttl: u64,
+}
+
+impl NodeLogic for Chatter {
+    type Payload = Ping;
+
+    fn on_round(&mut self, _inbox: &[Envelope<Ping>], ctx: &mut Context<'_, Ping>) -> Control {
+        ctx.broadcast(Ping);
+        if ctx.round() + 1 >= self.ttl {
+            Control::Halt
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+/// The transport-extended conservation law: every sent message is
+/// delivered exactly once, suppressed as a duplicate, dropped by the
+/// link, dead on arrival, or still in flight — and duplicates can only
+/// come from retransmissions.
+fn assert_conservation(m: &Metrics, in_flight: u64) {
+    assert_eq!(
+        m.messages,
+        m.unique_delivered()
+            + m.duplicates_suppressed
+            + m.dropped_messages
+            + m.dead_on_arrival
+            + in_flight,
+        "conservation law violated"
+    );
+    assert!(m.duplicates_suppressed <= m.retransmits);
+    assert!(m.retransmits + m.acks <= m.messages);
+}
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
     (
@@ -129,5 +179,83 @@ proptest! {
             set.insert(v);
         }
         let _ = seed;
+    }
+
+    /// The conservation law holds after every round under random node
+    /// churn plus random message loss (raw simulator, no transport):
+    /// transport counters stay zero and every message is delivered,
+    /// dropped, dead on arrival, or in flight.
+    #[test]
+    fn message_conservation_under_churn_and_loss(
+        g in arbitrary_graph(),
+        p in 0.0f64..0.6,
+        seed in 0u64..1000,
+        events in proptest::collection::vec((0u32..40, 0u64..10, 1u64..6), 0..8),
+    ) {
+        let n = g.node_count() as u32;
+        let mut plan = ChurnPlan::none().drop_probability(p);
+        let mut scheduled = Vec::new();
+        for (v, at, dur) in events {
+            if v < n && !scheduled.contains(&v) {
+                scheduled.push(v);
+                plan = plan
+                    .crash(ftclust::graphs::NodeId::new(v), at)
+                    .recover(ftclust::graphs::NodeId::new(v), at + dur);
+            }
+        }
+        let mut sim = Simulator::with_churn(
+            Topology::from_graph(&g),
+            |_| Chatter { ttl: 8 },
+            seed,
+            plan,
+        );
+        for _ in 0..40 {
+            let running = sim.step();
+            assert_conservation(sim.metrics(), sim.in_flight_messages());
+            prop_assert_eq!(sim.metrics().retransmits, 0);
+            prop_assert_eq!(sim.metrics().duplicates_suppressed, 0);
+            if !running {
+                break;
+            }
+        }
+    }
+
+    /// The conservation law extends to the reliable transport's counters
+    /// under random loss and a link outage: retransmissions and pure acks
+    /// are metered messages, duplicates only arise from retransmissions,
+    /// and the logical execution always completes its fixed round count.
+    #[test]
+    fn transport_conservation_under_loss(
+        g in arbitrary_graph(),
+        p in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let mut plan = ChurnPlan::none().drop_probability(p);
+        if let Some((u, v)) = g.edges().next() {
+            plan = plan.link_outage(u, v, 2..8);
+        }
+        let cfg = TransportConfig::default();
+        let run = run_reliably(
+            Topology::from_graph(&g),
+            |_| Chatter { ttl: 4 },
+            seed,
+            plan,
+            cfg,
+            cfg.round_budget(4),
+        )
+        .unwrap();
+        prop_assert_eq!(run.logical_rounds, 4);
+        // The run stops on the all-done observation, so the only frames
+        // possibly still in flight are ARQ traffic: retransmitted copies
+        // of already-delivered data, or pure acks.
+        let m = &run.metrics;
+        let accounted = m.unique_delivered()
+            + m.duplicates_suppressed
+            + m.dropped_messages
+            + m.dead_on_arrival;
+        prop_assert!(accounted <= m.messages, "more messages accounted than sent");
+        prop_assert!(m.messages - accounted <= m.retransmits + m.acks);
+        prop_assert!(m.duplicates_suppressed <= m.retransmits);
+        prop_assert!(m.retransmits + m.acks <= m.messages);
     }
 }

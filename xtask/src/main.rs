@@ -99,6 +99,7 @@ const FLOAT_EQ_TREES: &[&str] = &["crates/lp/src", "crates/geometry/src"];
 /// `*Msg` type must have a `Payload` impl.
 const CONGEST_SCOPES: &[(&str, bool)] = &[
     ("crates/netsim/src", false),
+    ("crates/netsim/src/transport.rs", true),
     ("crates/core/src/fractional/protocol.rs", true),
     ("crates/core/src/rounding/protocol.rs", true),
     ("crates/core/src/udg/protocol.rs", true),
