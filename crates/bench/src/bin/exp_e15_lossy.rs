@@ -24,16 +24,18 @@
 
 use ftclust_bench::families::udg_workload;
 use ftclust_bench::table::Table;
-use ftclust_core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_lossy};
+use ftclust_core::fractional::protocol::{
+    run_fractional_protocol_lossy, run_fractional_protocol_traced,
+};
 use ftclust_core::fractional::FractionalParams;
-use ftclust_core::repair::{run_repair_protocol, run_repair_protocol_lossy, RepairConfig};
-use ftclust_core::rounding::protocol::{run_rounding_protocol, run_rounding_protocol_lossy};
+use ftclust_core::repair::{run_repair_protocol_lossy, run_repair_protocol_traced, RepairConfig};
+use ftclust_core::rounding::protocol::{run_rounding_protocol_lossy, run_rounding_protocol_traced};
 use ftclust_core::rounding::RoundingParams;
-use ftclust_core::udg::protocol::{run_udg_protocol, run_udg_protocol_lossy};
+use ftclust_core::udg::protocol::{run_udg_protocol_lossy, run_udg_protocol_traced};
 use ftclust_core::udg::UdgAlgorithm;
 use ftclust_core::Instance;
 use ftclust_netsim::transport::TransportConfig;
-use ftclust_netsim::{ChurnPlan, Metrics};
+use ftclust_netsim::{ChurnPlan, EventLog, Metrics};
 
 const DROPS: [f64; 4] = [0.0, 0.01, 0.05, 0.2];
 
@@ -119,8 +121,28 @@ const HEADERS: [&str; 10] = [
     "identical",
 ];
 
+/// Appends one stack's per-phase rollups to the breakdown table.
+fn rollup_rows(table: &mut Table, stack: &str, log: &EventLog) {
+    for r in log.rollups() {
+        table.push_row(vec![
+            stack.to_string(),
+            r.name.to_string(),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            r.bits.to_string(),
+            r.max_message_bits.to_string(),
+        ]);
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (n, kills): (u32, usize) = if smoke { (150, 18) } else { (500, 40) };
     println!("E15: protocols over lossy links, n={n}, drop p in {DROPS:?}");
     println!("each stack: direct (no transport) baseline, then the reliable transport");
@@ -138,9 +160,11 @@ fn main() {
     let inst = Instance::uniform_clamped(g, 2);
     let fparams = FractionalParams::new(2);
     let rparams = RoundingParams::default();
-    let frac = run_fractional_protocol(&inst, &fparams).expect("fractional protocol");
-    let rounded = run_rounding_protocol(&inst, &frac.solution.x, frac.solution.delta, 5, &rparams)
-        .expect("rounding protocol");
+    let (frac, frac_log) =
+        run_fractional_protocol_traced(&inst, &fparams).expect("fractional protocol");
+    let (rounded, round_log) =
+        run_rounding_protocol_traced(&inst, &frac.solution.x, frac.solution.delta, 5, &rparams)
+            .expect("rounding protocol");
     let base12 = Cost::default().add(&frac.metrics).add(&rounded.metrics);
     println!(
         "Algorithms 1+2 (t=2, k=2): |S| = {}, kappa = {:.3}",
@@ -183,7 +207,7 @@ fn main() {
 
     // --- Algorithm 3: UDG clustering. -----------------------------------
     let config = UdgAlgorithm::new(2).seed(4);
-    let direct3 = run_udg_protocol(&udg, &config).expect("udg protocol");
+    let (direct3, udg_log) = run_udg_protocol_traced(&udg, &config).expect("udg protocol");
     let base3 = Cost::default().add(&direct3.metrics);
     println!(
         "Algorithm 3 (k=2): |S| = {}, {} leaders, {} part-II iterations",
@@ -219,8 +243,8 @@ fn main() {
         alive[v.index()] = false;
     }
     let rcfg = RepairConfig::new(9);
-    let directr =
-        run_repair_protocol(g, &direct3.run.set, &alive, 2, &rcfg).expect("repair protocol");
+    let (directr, repair_log) =
+        run_repair_protocol_traced(g, &direct3.run.set, &alive, 2, &rcfg).expect("repair protocol");
     let baser = Cost::default().add(&directr.metrics);
     println!(
         "repair (k=2, {kills} members killed): {} added, {} iterations, peak deficit {}",
@@ -252,6 +276,40 @@ fn main() {
     }
     tr.print();
     println!();
+
+    // --- Per-phase breakdown from the structured traces. -----------------
+    println!("per-phase breakdown (direct runs, from the structured trace; rollups");
+    println!("reconcile exactly with the Metrics conservation law):");
+    let mut tp = Table::new(&["stack", "phase", "rounds", "msgs", "bits", "max bits"]);
+    for (stack, log, metrics) in [
+        ("Alg 1", &frac_log, &frac.metrics),
+        ("Alg 2", &round_log, &rounded.metrics),
+        ("Alg 3", &udg_log, &direct3.metrics),
+        ("repair", &repair_log, &directr.metrics),
+    ] {
+        if let Err(e) = log.reconcile(metrics) {
+            panic!("{stack}: trace rollups diverged from Metrics: {e}");
+        }
+        rollup_rows(&mut tp, stack, log);
+    }
+    tp.print();
+    println!();
+
+    if let Some(path) = &trace_path {
+        let jsonl = std::path::Path::new(path);
+        let chrome = jsonl.with_extension("chrome.json");
+        match frac_log
+            .write_jsonl(jsonl)
+            .and_then(|()| frac_log.write_chrome_trace(&chrome))
+        {
+            Ok(()) => eprintln!(
+                "wrote Alg-1 trace: {path} ({} events) + {}",
+                frac_log.records.len(),
+                chrome.display()
+            ),
+            Err(e) => eprintln!("could not write trace {path}: {e}"),
+        }
+    }
 
     let worst_rounds = inflation.iter().map(|&(_, r, _)| r).fold(0.0, f64::max);
     let worst_bits = inflation.iter().map(|&(_, _, b)| b).fold(0.0, f64::max);

@@ -20,7 +20,9 @@
 //! both entries measure the serial engine.
 
 use ftclust_bench::families::Family;
-use ftclust_netsim::{Context, Control, Envelope, NodeLogic, Payload, Simulator, Topology};
+use ftclust_netsim::{
+    Context, Control, Envelope, EventLog, NodeLogic, Payload, Simulator, Topology,
+};
 use ftclust_par as par;
 use rand::Rng;
 use std::time::Instant;
@@ -116,8 +118,38 @@ fn json_escape_free(m: &Measurement) -> String {
     )
 }
 
+/// Re-runs the smallest workload with an [`EventLog`] tracer attached
+/// and writes the JSONL export to `path`. The traced run is *separate*
+/// from the timed sweep so tracing overhead never pollutes
+/// `BENCH.json`; CI diffs this file across thread counts to pin the
+/// trace-determinism contract on the hot gossip path.
+fn write_trace(path: &str, n: u32, rounds: u32) {
+    let g = Family::Rgg.build(n, u64::from(n));
+    let mut sim = Simulator::new(
+        Topology::from_graph(&g),
+        |_| Gossip {
+            best: u64::MAX,
+            remaining: rounds,
+        },
+        42,
+    );
+    sim.set_tracer(EventLog::new());
+    sim.run(u64::from(rounds) + 2).expect("gossip quiesces");
+    let log = sim.take_event_log().unwrap_or_default();
+    match log.write_jsonl(std::path::Path::new(path)) {
+        Ok(()) => eprintln!("wrote {} trace events to {path}", log.records.len()),
+        Err(e) => eprintln!("could not write trace {path}: {e}"),
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (sizes, rounds): (&[u32], u32) = if smoke {
         (&[1_000, 5_000], 6)
     } else {
@@ -176,5 +208,10 @@ fn main() {
     match std::fs::write("BENCH.json", &json) {
         Ok(()) => eprintln!("wrote BENCH.json"),
         Err(e) => eprintln!("could not write BENCH.json: {e}"),
+    }
+
+    if let Some(path) = trace_path {
+        let n = sizes.first().copied().unwrap_or(1_000);
+        write_trace(&path, n, rounds);
     }
 }

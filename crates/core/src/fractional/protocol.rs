@@ -27,8 +27,8 @@ use crate::{Instance, KmdsError};
 use ftclust_graphs::NodeId;
 use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    bits_for_ids, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator,
-    Topology,
+    bits_for_ids, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload,
+    Simulator, Topology,
 };
 
 /// Bits charged per transmitted numeric value (see the module docs).
@@ -333,6 +333,71 @@ pub fn run_fractional_protocol(
     })
 }
 
+/// [`run_fractional_protocol`] with a recorded [`EventLog`]: Algorithm
+/// 1's phase schedule is bracketed with named spans — round 0 is
+/// `dyndeg` (the initial color/dynamic-degree exchange), the `m`-th
+/// inner iteration contributes `raise(m)` (phase A) and `threshold(m)`
+/// (phase B, the threshold/dual accounting round), and the closing dual
+/// exchange plus assembly rounds run under `dual_exchange` — so
+/// [`EventLog::rollups`] attributes every round, message and bit of
+/// Theorem 4.5's `O(t²)` schedule to its phase.
+///
+/// The traced run uses the same seed and schedule as
+/// [`run_fractional_protocol`], so the returned run (solution *and*
+/// metrics) is identical to the untraced one. Under `strict-invariants`
+/// the log is reconciled against the metrics (the conservation law,
+/// per phase).
+///
+/// # Errors
+///
+/// As [`run_fractional_protocol`].
+///
+/// # Panics
+///
+/// As [`run_fractional_protocol`].
+pub fn run_fractional_protocol_traced(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+) -> Result<(FractionalProtocolRun, EventLog), KmdsError> {
+    assert_eq!(
+        params.knowledge,
+        super::DeltaKnowledge::Global,
+        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
+    );
+    let g = inst.graph();
+    let t = params.t;
+    let delta = params.resolve_delta(inst);
+    let topo = Topology::from_graph(g);
+    let mut sim = Simulator::new(topo, |v: NodeId| LpNode::new(inst.demand(v), t, delta), 0);
+    sim.set_tracer(EventLog::new());
+    let t2 = (t as u64) * (t as u64);
+    let budget = 2 * t2 + 8;
+    sim.span_enter("dyndeg", None);
+    sim.step();
+    sim.span_exit("dyndeg", None);
+    for m in 0..t2 {
+        sim.span_enter("raise", Some(m));
+        sim.step();
+        sim.span_exit("raise", Some(m));
+        sim.span_enter("threshold", Some(m));
+        sim.step();
+        sim.span_exit("threshold", Some(m));
+    }
+    sim.span_enter("dual_exchange", None);
+    sim.run(budget)?;
+    sim.span_exit("dual_exchange", None);
+    let run = FractionalProtocolRun {
+        solution: assemble_solution(inst, t, delta, sim.logics()),
+        metrics: sim.metrics().clone(),
+    };
+    let log = sim.take_event_log().unwrap_or_default();
+    #[cfg(feature = "strict-invariants")]
+    if let Err(e) = log.reconcile(&run.metrics) {
+        unreachable!("trace rollups diverged from Metrics: {e}");
+    }
+    Ok((run, log))
+}
+
 /// Runs **Algorithm 1** over **lossy links**: every node is wrapped in the
 /// reliable transport of [`ftclust_netsim::transport`], so message drops
 /// and transient link outages injected by `churn` stretch physical time
@@ -471,7 +536,7 @@ mod tests {
         let inst = Instance::uniform_clamped(&g, 2);
         let run = run_fractional_protocol(&inst, &FractionalParams::new(3)).unwrap();
         // 2 values + a degree: comfortably O(log n).
-        assert!(run.metrics.max_message_bits <= 3 * VALUE_BITS);
+        assert!(run.metrics.max_message_bits <= (3 * VALUE_BITS) as u64);
         assert!(run.metrics.messages > 0);
     }
 
@@ -505,5 +570,32 @@ mod tests {
         let run = run_fractional_protocol(&inst, &FractionalParams::new(2)).unwrap();
         assert_eq!(run.solution.x, vec![1.0, 1.0, 1.0]);
         assert_eq!(run.metrics.messages, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        use ftclust_netsim::trace::{REGISTERED_SPANS, UNSPANNED};
+        let g = generators::gnp(40, 0.2, 2);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let params = FractionalParams::new(2);
+        let base = run_fractional_protocol(&inst, &params).unwrap();
+        let (traced, log) = run_fractional_protocol_traced(&inst, &params).unwrap();
+        assert_eq!(base.solution, traced.solution);
+        assert_eq!(base.metrics, traced.metrics);
+        log.reconcile(&traced.metrics).unwrap();
+        let rollups = log.rollups();
+        for r in &rollups {
+            assert!(
+                r.name == UNSPANNED || REGISTERED_SPANS.contains(&r.name),
+                "unregistered span {:?}",
+                r.name
+            );
+        }
+        for expected in ["dyndeg", "raise", "threshold", "dual_exchange"] {
+            assert!(
+                rollups.iter().any(|r| r.name == expected),
+                "missing phase {expected}"
+            );
+        }
     }
 }

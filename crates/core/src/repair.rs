@@ -87,8 +87,8 @@ use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
 use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    bits_for_ids, node_rng, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload,
-    Simulator, Topology,
+    bits_for_ids, node_rng, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic,
+    Payload, SimError, Simulator, Topology,
 };
 use ftclust_par as par;
 use rand::rngs::StdRng;
@@ -678,6 +678,85 @@ pub fn run_repair_protocol(
     ))
 }
 
+/// [`run_repair_protocol`] with a recorded [`EventLog`]: the round-0
+/// heartbeat exchange runs under a `repair_heartbeat` span and every
+/// 3-round repair iteration (deficit announcement, re-election, join)
+/// under `repair_iter(j)`, so [`EventLog::rollups`] shows how the
+/// repair cost is spread over iterations versus detection.
+///
+/// The traced run uses the same seed as [`run_repair_protocol`], so the
+/// returned run is identical to the untraced one. Under
+/// `strict-invariants` the log is reconciled against the metrics.
+///
+/// # Errors
+///
+/// As [`run_repair_protocol`].
+///
+/// # Panics
+///
+/// As [`run_repair_protocol`].
+pub fn run_repair_protocol_traced(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    cfg: &RepairConfig,
+) -> Result<(RepairProtocolRun, EventLog), KmdsError> {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+    let (sub, old_of_new) = g.induced_subgraph(&keep);
+    if sub.node_count() == 0 {
+        return Ok((
+            assemble_repair(n, &[], &[], k, 0, Metrics::default()),
+            EventLog::new(),
+        ));
+    }
+    let mut sim = Simulator::new(
+        Topology::from_graph(&sub),
+        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
+        cfg.seed,
+    );
+    sim.set_tracer(EventLog::new());
+    let budget = repair_round_budget(sub.node_count());
+    sim.span_enter("repair_heartbeat", None);
+    sim.step();
+    sim.span_exit("repair_heartbeat", None);
+    // Nodes halt in the re-election round (the second round of an
+    // iteration), so the final iteration's span may cover fewer than
+    // three executed rounds — step() on a quiescent network is a no-op
+    // and records nothing.
+    let mut iter = 0u64;
+    while !sim.is_quiescent() {
+        if sim.round() >= budget {
+            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
+                limit: budget,
+                round: sim.round(),
+                still_running: sim.running_count(),
+                in_flight: sim.in_flight_messages(),
+            }));
+        }
+        sim.span_enter("repair_iter", Some(iter));
+        sim.step();
+        sim.step();
+        sim.step();
+        sim.span_exit("repair_iter", Some(iter));
+        iter += 1;
+    }
+    let metrics = sim.metrics().clone();
+    let logical_rounds = metrics.rounds;
+    let log = sim.take_event_log().unwrap_or_default();
+    #[cfg(feature = "strict-invariants")]
+    if let Err(e) = log.reconcile(&metrics) {
+        unreachable!("trace rollups diverged from Metrics: {e}");
+    }
+    let finals: Vec<RepairNode> = sim.into_logics();
+    let run = assemble_repair(n, &old_of_new, &finals, k, logical_rounds, metrics);
+    Ok((run, log))
+}
+
 /// Logical-round budget of a repair run: detection + one three-round
 /// iteration per survivor (the progress bound), a trailing no-op
 /// iteration, and slack.
@@ -1026,6 +1105,34 @@ mod tests {
                     "p = {p} run saw no retransmissions"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        use ftclust_netsim::trace::{REGISTERED_SPANS, UNSPANNED};
+        let udg = generators::random_udg(300, 10.0, 1.0, 21);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(3).run(&udg).unwrap();
+        let alive = churn_mask(g, &run.set, 6, 2);
+        let cfg = RepairConfig::new(5);
+        let base = run_repair_protocol(g, &run.set, &alive, 2, &cfg).unwrap();
+        let (traced, log) = run_repair_protocol_traced(g, &run.set, &alive, 2, &cfg).unwrap();
+        assert_eq!(base, traced);
+        log.reconcile(&traced.metrics).unwrap();
+        let rollups = log.rollups();
+        for r in &rollups {
+            assert!(
+                r.name == UNSPANNED || REGISTERED_SPANS.contains(&r.name),
+                "unregistered span {:?}",
+                r.name
+            );
+        }
+        for expected in ["repair_heartbeat", "repair_iter"] {
+            assert!(
+                rollups.iter().any(|r| r.name == expected),
+                "missing phase {expected}"
+            );
         }
     }
 }

@@ -16,7 +16,8 @@ use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::NodeId;
 use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator, Topology,
+    ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload, SimError,
+    Simulator, Topology,
 };
 use rand::Rng;
 
@@ -162,6 +163,78 @@ pub fn run_rounding_protocol(
         outcome,
         metrics: sim.metrics().clone(),
     })
+}
+
+/// [`run_rounding_protocol`] with a recorded [`EventLog`]: each of
+/// Algorithm 2's (at most three) rounds runs under a
+/// `rounding_round(r)` span — flag draw, deficit/request, repair — so
+/// a composed Algorithm 1+2 trace attributes the rounding tail
+/// separately from the LP phases.
+///
+/// The traced run uses the same seed as [`run_rounding_protocol`], so
+/// the returned run is identical to the untraced one. Under
+/// `strict-invariants` the log is reconciled against the metrics.
+///
+/// # Errors
+///
+/// As [`run_rounding_protocol`].
+///
+/// # Panics
+///
+/// As [`run_rounding_protocol`].
+pub fn run_rounding_protocol_traced(
+    inst: &Instance<'_>,
+    x: &[f64],
+    delta: usize,
+    seed: u64,
+    params: &RoundingParams,
+) -> Result<(RoundingProtocolRun, EventLog), KmdsError> {
+    let g = inst.graph();
+    assert_eq!(
+        x.len(),
+        g.node_count(),
+        "fractional solution length mismatch"
+    );
+    let ln_d1 = ((delta + 1) as f64).ln();
+    let topo = Topology::from_graph(g);
+    let mut sim = Simulator::new(
+        topo,
+        |v: NodeId| RoundingNode {
+            k: inst.demand(v),
+            x: x[v.index()],
+            ln_d1,
+            selection: params.selection,
+            repair: params.repair,
+            selected: false,
+            initial: false,
+        },
+        seed,
+    );
+    sim.set_tracer(EventLog::new());
+    let budget = 8u64;
+    let mut r = 0u64;
+    while !sim.is_quiescent() {
+        if sim.round() >= budget {
+            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
+                limit: budget,
+                round: sim.round(),
+                still_running: sim.running_count(),
+                in_flight: sim.in_flight_messages(),
+            }));
+        }
+        sim.span_enter("rounding_round", Some(r));
+        sim.step();
+        sim.span_exit("rounding_round", Some(r));
+        r += 1;
+    }
+    let outcome = assemble_outcome(sim.logics());
+    let metrics = sim.metrics().clone();
+    let log = sim.take_event_log().unwrap_or_default();
+    #[cfg(feature = "strict-invariants")]
+    if let Err(e) = log.reconcile(&metrics) {
+        unreachable!("trace rollups diverged from Metrics: {e}");
+    }
+    Ok((RoundingProtocolRun { outcome, metrics }, log))
 }
 
 /// Assembles the [`RoundingOutcome`] from the final per-node states —
@@ -328,5 +401,29 @@ mod tests {
         .unwrap();
         assert!(run.metrics.rounds <= 2);
         assert_eq!(run.outcome.set.len(), 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        use ftclust_netsim::trace::{REGISTERED_SPANS, UNSPANNED};
+        let g = generators::gnp(50, 0.12, 4);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let frac = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
+        let params = RoundingParams::default();
+        let base = run_rounding_protocol(&inst, &frac.x, frac.delta, 3, &params).unwrap();
+        let (traced, log) =
+            run_rounding_protocol_traced(&inst, &frac.x, frac.delta, 3, &params).unwrap();
+        assert_eq!(base.outcome, traced.outcome);
+        assert_eq!(base.metrics, traced.metrics);
+        log.reconcile(&traced.metrics).unwrap();
+        let rollups = log.rollups();
+        for r in &rollups {
+            assert!(
+                r.name == UNSPANNED || REGISTERED_SPANS.contains(&r.name),
+                "unregistered span {:?}",
+                r.name
+            );
+        }
+        assert!(rollups.iter().any(|r| r.name == "rounding_round"));
     }
 }

@@ -29,8 +29,8 @@ use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{NodeId, UnitDiskGraph};
 use ftclust_netsim::transport::{run_reliably, TransportConfig};
 use ftclust_netsim::{
-    bits_for_ids, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, Simulator,
-    Topology,
+    bits_for_ids, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload,
+    SimError, Simulator, Topology,
 };
 use rand::Rng;
 
@@ -301,6 +301,104 @@ pub fn run_udg_protocol(
     })
 }
 
+/// [`run_udg_protocol`] with a recorded [`EventLog`]: Algorithm 3's
+/// schedule is bracketed with named spans — each Part I doubling-radius
+/// iteration runs under `part1_round(i)` (`i` indexes the θ schedule;
+/// every iteration spans the two simulator rounds of its
+/// broadcast/decide pair, Theorem 5.7's `O(log log n)` loop) and each
+/// Part II greedy step under `part2_promotion(j)` (the 3-round
+/// status/needy/promote cycle) — so [`EventLog::rollups`] splits the
+/// run's cost between sparsification and promotion.
+///
+/// The traced run uses the same seed and schedule as
+/// [`run_udg_protocol`], so the returned run is identical to the
+/// untraced one. Under `strict-invariants` the log is reconciled
+/// against the metrics.
+///
+/// # Errors
+///
+/// As [`run_udg_protocol`].
+pub fn run_udg_protocol_traced(
+    udg: &UnitDiskGraph,
+    config: &UdgAlgorithm,
+) -> Result<(UdgProtocolRun, EventLog), KmdsError> {
+    let n = udg.node_count();
+    if n == 0 {
+        return Ok((
+            UdgProtocolRun {
+                run: UdgRun {
+                    set: DominatingSet::empty(0),
+                    leaders: DominatingSet::empty(0),
+                    part1_rounds: 0,
+                    part2_iterations: 0,
+                    active_history: vec![],
+                },
+                metrics: Metrics::default(),
+            },
+            EventLog::new(),
+        ));
+    }
+    let schedule = theta_schedule(n, udg.radius());
+    let part1_rounds = schedule.len() as u32;
+    let cap = id_cap(n);
+    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
+    let topo = Topology::from_udg(udg);
+    let mut sim = Simulator::new(
+        topo,
+        |_: NodeId| UdgNode {
+            k: config.k,
+            id_mode: config.id_mode,
+            promotion: config.promotion,
+            schedule: schedule.clone(),
+            id_cap: cap,
+            id_bits,
+            active: true,
+            my_id: 0,
+            fixed_drawn: false,
+            passive_after: None,
+            leader: false,
+            neighbor_leader: Vec::new(),
+            my_needy: false,
+        },
+        config.seed,
+    );
+    sim.set_tracer(EventLog::new());
+    let budget = 2 * part1_rounds as u64 + 3 * (n as u64 + 2) + 8;
+    for i in 0..u64::from(part1_rounds) {
+        sim.span_enter("part1_round", Some(i));
+        sim.step();
+        sim.step();
+        sim.span_exit("part1_round", Some(i));
+    }
+    // Part II: nodes only halt at the end of a 3-round promotion cycle,
+    // so quiescence is always observed on a cycle boundary.
+    let mut iter = 0u64;
+    while !sim.is_quiescent() {
+        if sim.round() >= budget {
+            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
+                limit: budget,
+                round: sim.round(),
+                still_running: sim.running_count(),
+                in_flight: sim.in_flight_messages(),
+            }));
+        }
+        sim.span_enter("part2_promotion", Some(iter));
+        sim.step();
+        sim.step();
+        sim.step();
+        sim.span_exit("part2_promotion", Some(iter));
+        iter += 1;
+    }
+    let run = assemble_run(part1_rounds, sim.metrics().rounds, sim.logics());
+    let metrics = sim.metrics().clone();
+    let log = sim.take_event_log().unwrap_or_default();
+    #[cfg(feature = "strict-invariants")]
+    if let Err(e) = log.reconcile(&metrics) {
+        unreachable!("trace rollups diverged from Metrics: {e}");
+    }
+    Ok((UdgProtocolRun { run, metrics }, log))
+}
+
 /// Assembles the [`UdgRun`] from the final per-node states — shared by
 /// the lossless and lossy runners. `logical_rounds` is the number of
 /// protocol rounds *executed by the nodes* (equal to the simulator rounds
@@ -473,7 +571,7 @@ mod tests {
         let udg = generators::random_udg(500, 8.0, 1.0, 2);
         let run = run_udg_protocol(&udg, &UdgAlgorithm::new(1)).unwrap();
         let expected = 1 + 4 * bits_for_ids(500);
-        assert_eq!(run.metrics.max_message_bits, expected);
+        assert_eq!(run.metrics.max_message_bits, expected as u64);
     }
 
     #[test]
@@ -486,5 +584,31 @@ mod tests {
                 .unwrap();
         let run = run_udg_protocol(&single, &UdgAlgorithm::new(3)).unwrap();
         assert_eq!(run.run.set.len(), 1);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        use ftclust_netsim::trace::{REGISTERED_SPANS, UNSPANNED};
+        let udg = generators::random_udg(120, 8.0, 1.0, 11);
+        let config = UdgAlgorithm::new(2).seed(4);
+        let base = run_udg_protocol(&udg, &config).unwrap();
+        let (traced, log) = run_udg_protocol_traced(&udg, &config).unwrap();
+        assert_eq!(base.run, traced.run);
+        assert_eq!(base.metrics, traced.metrics);
+        log.reconcile(&traced.metrics).unwrap();
+        let rollups = log.rollups();
+        for r in &rollups {
+            assert!(
+                r.name == UNSPANNED || REGISTERED_SPANS.contains(&r.name),
+                "unregistered span {:?}",
+                r.name
+            );
+        }
+        for expected in ["part1_round", "part2_promotion"] {
+            assert!(
+                rollups.iter().any(|r| r.name == expected),
+                "missing phase {expected}"
+            );
+        }
     }
 }

@@ -78,6 +78,7 @@ mod sim;
 mod topology;
 
 pub mod synchronizer;
+pub mod trace;
 pub mod transport;
 
 pub use churn::{ChurnEvent, ChurnPlan, RandomChurn};
@@ -88,3 +89,4 @@ pub use metrics::Metrics;
 pub use node::{Context, Control, NodeLogic};
 pub use sim::{node_rng, Simulator};
 pub use topology::Topology;
+pub use trace::{EventLog, NoopTracer, PhaseRollup, TraceEvent, TraceRecord, Tracer};

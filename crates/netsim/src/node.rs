@@ -1,4 +1,5 @@
 use crate::metrics::TransportCounters;
+use crate::trace::TraceEvent;
 use crate::{Envelope, Payload, Topology};
 use ftclust_graphs::NodeId;
 use rand::rngs::StdRng;
@@ -56,6 +57,13 @@ pub struct Context<'a, P> {
     /// Transport-layer event counters for this worker shard, folded into
     /// [`crate::Metrics`] on the sequential merge path.
     pub(crate) transport: &'a mut TransportCounters,
+    /// Whether a recording tracer is attached (hoisted so the `note_*`
+    /// hot paths pay one branch, not a virtual call).
+    pub(crate) tracing: bool,
+    /// Per-worker-shard trace event buffer; the simulator drains the
+    /// buffers in shard index order on the sequential merge path, so
+    /// recorded traces are independent of the worker count.
+    pub(crate) trace: &'a mut Vec<TraceEvent>,
 }
 
 impl<'a, P: Payload> Context<'a, P> {
@@ -110,6 +118,9 @@ impl<'a, P: Payload> Context<'a, P> {
     #[inline]
     pub fn note_retransmit(&mut self) {
         self.transport.retransmits += 1;
+        if self.tracing {
+            self.trace.push(TraceEvent::Retransmit { node: self.me });
+        }
     }
 
     /// Records one pure acknowledgment frame, metered into
@@ -117,6 +128,9 @@ impl<'a, P: Payload> Context<'a, P> {
     #[inline]
     pub fn note_ack(&mut self) {
         self.transport.acks += 1;
+        if self.tracing {
+            self.trace.push(TraceEvent::Ack { node: self.me });
+        }
     }
 
     /// Records one received duplicate discarded by a reliability layer,
@@ -124,6 +138,10 @@ impl<'a, P: Payload> Context<'a, P> {
     #[inline]
     pub fn note_duplicate_suppressed(&mut self) {
         self.transport.duplicates_suppressed += 1;
+        if self.tracing {
+            self.trace
+                .push(TraceEvent::DuplicateSuppressed { node: self.me });
+        }
     }
 
     /// Sends `payload` to neighbor `to` (or to `self.me()`: self-delivery
@@ -179,6 +197,7 @@ mod tests {
         rng: &'a mut StdRng,
         outbox: &'a mut Vec<Envelope<Ping>>,
         transport: &'a mut TransportCounters,
+        trace: &'a mut Vec<TraceEvent>,
     ) -> Context<'a, Ping> {
         Context {
             me: NodeId::new(0),
@@ -187,6 +206,8 @@ mod tests {
             rng,
             outbox,
             transport,
+            tracing: false,
+            trace,
         }
     }
 
@@ -196,7 +217,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
         let mut tc = TransportCounters::default();
-        let ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        let mut tr = Vec::new();
+        let ctx = ctx_fixture(
+            Topology::from_graph(&g),
+            &mut rng,
+            &mut outbox,
+            &mut tc,
+            &mut tr,
+        );
         assert_eq!(ctx.me(), NodeId::new(0));
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.node_count(), 4);
@@ -210,7 +238,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
         let mut tc = TransportCounters::default();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        let mut tr = Vec::new();
+        let mut ctx = ctx_fixture(
+            Topology::from_graph(&g),
+            &mut rng,
+            &mut outbox,
+            &mut tc,
+            &mut tr,
+        );
         ctx.broadcast(Ping);
         assert_eq!(outbox.len(), 3);
         let mut tos: Vec<u32> = outbox.iter().map(|e| e.to.raw()).collect();
@@ -224,7 +259,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
         let mut tc = TransportCounters::default();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        let mut tr = Vec::new();
+        let mut ctx = ctx_fixture(
+            Topology::from_graph(&g),
+            &mut rng,
+            &mut outbox,
+            &mut tc,
+            &mut tr,
+        );
         ctx.send(NodeId::new(0), Ping);
         assert_eq!(outbox[0].to, NodeId::new(0));
     }
@@ -235,7 +277,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
         let mut tc = TransportCounters::default();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        let mut tr = Vec::new();
+        let mut ctx = ctx_fixture(
+            Topology::from_graph(&g),
+            &mut rng,
+            &mut outbox,
+            &mut tc,
+            &mut tr,
+        );
         ctx.note_retransmit();
         ctx.note_retransmit();
         ctx.note_ack();
@@ -251,13 +300,53 @@ mod tests {
     }
 
     #[test]
+    fn note_methods_emit_trace_events_only_when_tracing() {
+        let g = generators::star(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut outbox = Vec::new();
+        let mut tc = TransportCounters::default();
+        let mut tr = Vec::new();
+        {
+            let mut ctx = ctx_fixture(
+                Topology::from_graph(&g),
+                &mut rng,
+                &mut outbox,
+                &mut tc,
+                &mut tr,
+            );
+            ctx.note_retransmit(); // tracing = false: counted, not traced
+            ctx.tracing = true;
+            ctx.note_retransmit();
+            ctx.note_ack();
+            ctx.note_duplicate_suppressed();
+        }
+        let me = NodeId::new(0);
+        assert_eq!(tc.retransmits, 2);
+        assert_eq!(
+            tr,
+            vec![
+                TraceEvent::Retransmit { node: me },
+                TraceEvent::Ack { node: me },
+                TraceEvent::DuplicateSuppressed { node: me },
+            ]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "non-neighbor")]
     fn send_to_non_neighbor_panics() {
         let g = generators::path(3); // 0-1-2: 0 and 2 not adjacent
         let mut rng = StdRng::seed_from_u64(0);
         let mut outbox = Vec::new();
         let mut tc = TransportCounters::default();
-        let mut ctx = ctx_fixture(Topology::from_graph(&g), &mut rng, &mut outbox, &mut tc);
+        let mut tr = Vec::new();
+        let mut ctx = ctx_fixture(
+            Topology::from_graph(&g),
+            &mut rng,
+            &mut outbox,
+            &mut tc,
+            &mut tr,
+        );
         ctx.send(NodeId::new(2), Ping);
     }
 }

@@ -1,5 +1,6 @@
 use crate::metrics::TransportCounters;
 use crate::node::Context;
+use crate::trace::{EventLog, NoopTracer, TraceEvent, Tracer};
 use crate::{
     ChurnEvent, ChurnPlan, Control, Envelope, FaultPlan, Metrics, NodeLogic, SimError, Topology,
 };
@@ -43,6 +44,11 @@ struct StepShard<'t, L: NodeLogic> {
     /// [`Metrics`] sequentially after the parallel phase (sums are
     /// commutative, so the fold order cannot perturb determinism).
     counters: &'t mut TransportCounters,
+    /// Trace events noted by this shard's nodes; drained into the tracer
+    /// sequentially after the parallel phase, in shard index order —
+    /// shards are contiguous ascending node ranges, so the merged stream
+    /// is in node order regardless of the worker count.
+    trace: &'t mut Vec<TraceEvent>,
 }
 
 /// Executes a [`NodeLogic`] instance per node over a [`Topology`] in
@@ -92,6 +98,11 @@ pub struct Simulator<'a, L: NodeLogic> {
     outboxes: Vec<Vec<Envelope<L::Payload>>>,
     /// Recycled per-worker transport counters (cleared each round).
     tcounters: Vec<TransportCounters>,
+    /// Recycled per-worker trace event buffers (drained each round).
+    tbufs: Vec<Vec<TraceEvent>>,
+    /// Structured-trace sink; [`NoopTracer`] (reporting disabled) unless
+    /// [`Simulator::set_tracer`] attached a recorder.
+    tracer: Box<dyn Tracer>,
     metrics: Metrics,
     churn: ChurnPlan,
     /// `churn`'s scheduled events, sorted by round; `next_event` is the
@@ -165,6 +176,8 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             spare: (0..n).map(|_| Vec::new()).collect(),
             outboxes: Vec::new(),
             tcounters: Vec::new(),
+            tbufs: Vec::new(),
+            tracer: Box::new(NoopTracer),
             metrics: Metrics::default(),
             churn,
             events,
@@ -243,13 +256,25 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// Same-round events apply in plan order (later entries win). Events
     /// naming out-of-range nodes are ignored.
     fn apply_scheduled_churn(&mut self) {
+        let tracing = self.tracer.enabled();
         while let Some(&(r, v, ev)) = self.events.get(self.next_event) {
             if r > self.round {
                 break;
             }
             self.next_event += 1;
             if v.index() < self.down.len() {
-                self.down[v.index()] = ev == ChurnEvent::Crash;
+                let now_down = ev == ChurnEvent::Crash;
+                if tracing && self.down[v.index()] != now_down {
+                    self.tracer.record(
+                        self.round,
+                        if now_down {
+                            TraceEvent::Crash { node: v }
+                        } else {
+                            TraceEvent::Recover { node: v }
+                        },
+                    );
+                }
+                self.down[v.index()] = now_down;
             }
         }
     }
@@ -262,12 +287,25 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         let Some(rc) = self.churn.random() else {
             return;
         };
-        for down in &mut self.down {
+        let tracing = self.tracer.enabled();
+        for (i, down) in self.down.iter_mut().enumerate() {
             let draw = self.fault_rng.random::<f64>();
+            let was = *down;
             if *down {
                 *down = !(rc.recover_prob > 0.0 && draw < rc.recover_prob);
             } else {
                 *down = rc.crash_prob > 0.0 && draw < rc.crash_prob;
+            }
+            if tracing && was != *down {
+                let node = NodeId::new(i as u32);
+                self.tracer.record(
+                    self.round,
+                    if *down {
+                        TraceEvent::Crash { node }
+                    } else {
+                        TraceEvent::Recover { node }
+                    },
+                );
             }
         }
     }
@@ -292,6 +330,14 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         }
         let round = self.round;
         let n = self.nodes.len();
+        // Hoisted once per round: every trace emission below is behind
+        // this single boolean, so the no-op tracer costs one branch per
+        // event site and constructs no events.
+        let tracing = self.tracer.enabled();
+        let (msgs_before, bits_before) = (self.metrics.messages, self.metrics.total_bits);
+        if tracing {
+            self.tracer.record(round, TraceEvent::RoundBegin);
+        }
         // Phase 0: churn. Strictly sequential and ahead of node logic, so
         // every thread sees the same frozen liveness for this round.
         self.apply_scheduled_churn();
@@ -303,9 +349,27 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             if self.down[i] {
                 // Receiver went down between send and delivery.
                 self.metrics.dead_on_arrival += bucket.len() as u64;
+                if tracing {
+                    self.tracer.record(
+                        round,
+                        TraceEvent::DeadOnArrival {
+                            node: NodeId::new(i as u32),
+                            count: bucket.len() as u64,
+                        },
+                    );
+                }
                 bucket.clear();
             } else {
                 self.metrics.delivered_messages += bucket.len() as u64;
+                if tracing {
+                    self.tracer.record(
+                        round,
+                        TraceEvent::Deliver {
+                            node: NodeId::new(i as u32),
+                            count: bucket.len() as u64,
+                        },
+                    );
+                }
             }
         }
         self.metrics.begin_round();
@@ -321,6 +385,9 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             self.tcounters
                 .resize_with(shard_ranges.len(), TransportCounters::default);
         }
+        if self.tbufs.len() < shard_ranges.len() {
+            self.tbufs.resize_with(shard_ranges.len(), Vec::new);
+        }
         let shard_count = shard_ranges.len();
         {
             // Phase 1: execute node logic, sharded. Shared state is
@@ -331,10 +398,11 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             let down: &[bool] = &self.down;
             let mut shards: Vec<StepShard<'_, L>> = Vec::with_capacity(shard_count);
             let mut nodes_rest: &mut [NodeSlot<L>] = &mut self.nodes;
-            for ((r, outbox), counters) in shard_ranges
+            for (((r, outbox), counters), tbuf) in shard_ranges
                 .iter()
                 .zip(self.outboxes.iter_mut())
                 .zip(self.tcounters.iter_mut())
+                .zip(self.tbufs.iter_mut())
             {
                 let (head, tail) = nodes_rest.split_at_mut(r.end - r.start);
                 nodes_rest = tail;
@@ -343,11 +411,13 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                     nodes: head,
                     outbox,
                     counters,
+                    trace: tbuf,
                 });
             }
             par::par_for_each_mut(&mut shards, |_, shard| {
                 shard.outbox.clear();
                 shard.counters.clear();
+                shard.trace.clear();
                 for (j, slot) in shard.nodes.iter_mut().enumerate() {
                     let i = shard.start + j;
                     let me = NodeId::new(i as u32);
@@ -361,6 +431,8 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                         rng: &mut slot.rng,
                         outbox: shard.outbox,
                         transport: shard.counters,
+                        tracing,
+                        trace: shard.trace,
                     };
                     let control = slot.logic.on_round(&inboxes[i], &mut ctx);
                     if control == Control::Halt {
@@ -376,18 +448,57 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         for counters in &self.tcounters[..shard_count] {
             self.metrics.absorb_transport(counters);
         }
+        // Drain the per-shard trace buffers in shard index order: shards
+        // are contiguous ascending node ranges, so the merged event
+        // stream is in node order for every worker count.
+        if tracing {
+            let tracer = &mut self.tracer;
+            for buf in &mut self.tbufs[..shard_count] {
+                for ev in buf.drain(..) {
+                    tracer.record(round, ev);
+                }
+            }
+        }
         for outbox in &mut self.outboxes[..shard_count] {
             for env in outbox.drain(..) {
-                self.metrics
-                    .record_send(crate::Payload::bit_size(&env.payload));
+                let bits = crate::Payload::bit_size(&env.payload);
+                self.metrics.record_send(bits);
+                if tracing {
+                    self.tracer.record(
+                        round,
+                        TraceEvent::Send {
+                            from: env.from,
+                            to: env.to,
+                            bits: bits as u64,
+                        },
+                    );
+                }
                 if self.churn.link_down(env.from, env.to, round) {
                     self.metrics.dropped_messages += 1;
+                    if tracing {
+                        self.tracer.record(
+                            round,
+                            TraceEvent::Drop {
+                                from: env.from,
+                                to: env.to,
+                            },
+                        );
+                    }
                     continue;
                 }
                 if self.churn.drop_prob() > 0.0
                     && self.fault_rng.random::<f64>() < self.churn.drop_prob()
                 {
                     self.metrics.dropped_messages += 1;
+                    if tracing {
+                        self.tracer.record(
+                            round,
+                            TraceEvent::Drop {
+                                from: env.from,
+                                to: env.to,
+                            },
+                        );
+                    }
                     continue;
                 }
                 self.pending[env.to.index()].push(env);
@@ -396,6 +507,15 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         // Phase 3: recycle the consumed inbox buckets and refresh caches.
         for bucket in &mut self.spare {
             bucket.clear();
+        }
+        if tracing {
+            self.tracer.record(
+                round,
+                TraceEvent::RoundEnd {
+                    messages: self.metrics.messages - msgs_before,
+                    bits: self.metrics.total_bits - bits_before,
+                },
+            );
         }
         self.round += 1;
         self.quiescent = self.compute_quiescent();
@@ -446,6 +566,65 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// Communication metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attaches a tracer (normally a recording
+    /// [`EventLog`](crate::trace::EventLog)), replacing the default
+    /// no-op tracer.
+    ///
+    /// Round-0 scheduled churn is applied at construction, before any
+    /// tracer can observe it, so if the attached tracer is enabled a
+    /// baseline [`TraceEvent::Crash`] is emitted for every node that is
+    /// already down — the recorded trace is self-contained.
+    pub fn set_tracer<T: Tracer + 'static>(&mut self, tracer: T) {
+        self.tracer = Box::new(tracer);
+        if self.tracer.enabled() {
+            for (i, &down) in self.down.iter().enumerate() {
+                if down {
+                    self.tracer.record(
+                        self.round,
+                        TraceEvent::Crash {
+                            node: NodeId::new(i as u32),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Takes the recorded event log out of the attached tracer, if it
+    /// keeps one (`None` for the default no-op tracer).
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        self.tracer.take_log()
+    }
+
+    /// Opens a named protocol phase span at the current round. Protocol
+    /// drivers bracket groups of [`Simulator::step`] calls with
+    /// `span_enter`/`span_exit` so per-phase rollups can attribute
+    /// rounds, messages and bits; span names must come from
+    /// [`crate::trace::REGISTERED_SPANS`] (enforced by `cargo xtask
+    /// lint`). No-op when no recording tracer is attached.
+    pub fn span_enter(&mut self, name: &'static str, arg: Option<u64>) {
+        if self.tracer.enabled() {
+            self.tracer
+                .record(self.round, TraceEvent::SpanEnter { name, arg });
+        }
+    }
+
+    /// Closes the innermost open phase span (see
+    /// [`Simulator::span_enter`]); `name`/`arg` must mirror the matching
+    /// enter.
+    pub fn span_exit(&mut self, name: &'static str, arg: Option<u64>) {
+        if self.tracer.enabled() {
+            self.tracer
+                .record(self.round, TraceEvent::SpanExit { name, arg });
+        }
+    }
+
+    /// Caps the length of the per-round metric series for long-horizon
+    /// runs; see [`Metrics::set_per_round_cap`].
+    pub fn set_per_round_cap(&mut self, cap: usize) {
+        self.metrics.set_per_round_cap(cap);
     }
 
     /// The topology the simulation runs on.
@@ -924,6 +1103,146 @@ mod tests {
         for threads in [2usize, 3, 7] {
             assert_eq!(run(threads), baseline, "diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn trace_reconciles_and_is_thread_invariant() {
+        // Recorded traces must be a pure function of (topology, logic,
+        // seed, churn): byte-identical JSONL at every worker count, and
+        // every Metrics counter re-derivable from the event stream.
+        let g = generators::gnp(25, 0.3, 7);
+        let run = |threads: usize| {
+            ftclust_par::with_threads(threads, || {
+                let topo = Topology::from_graph(&g);
+                let churn = ChurnPlan::none()
+                    .random_churn(0.05, 0.5)
+                    .drop_probability(0.1);
+                let mut sim =
+                    Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 8 }, 13, churn);
+                sim.set_tracer(EventLog::new());
+                let _ = sim.run(200);
+                let m = sim.metrics().clone();
+                let log = sim.take_event_log().unwrap();
+                (log, m)
+            })
+        };
+        let (log, m) = run(1);
+        log.reconcile(&m).unwrap();
+        assert!(log
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Drop { .. } | TraceEvent::Crash { .. })));
+        for threads in [2usize, 7] {
+            let (l, m2) = run(threads);
+            assert_eq!(l, log, "trace diverged at {threads} threads");
+            assert_eq!(l.to_jsonl(), log.to_jsonl());
+            assert_eq!(m2, m);
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_execution() {
+        let g = generators::gnp(20, 0.3, 3);
+        let run = |traced: bool| {
+            let topo = Topology::from_graph(&g);
+            let faults = FaultPlan::none()
+                .crash(NodeId::new(2), 1)
+                .drop_probability(0.2);
+            let mut sim =
+                Simulator::with_faults(topo, |_| Counter { seen: 0, rounds: 5 }, 4, faults);
+            if traced {
+                sim.set_tracer(EventLog::new());
+            }
+            sim.run(100).unwrap();
+            let seen: Vec<u64> = sim.logics().map(|l| l.seen).collect();
+            (seen, sim.metrics().clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_records_churn_transitions_and_baseline() {
+        // Node 0 is down from construction (round-0 crash): the tracer
+        // attaches afterwards, so it must see a synthesized baseline
+        // crash. Node 1 crashes at round 1 and recovers at round 3: both
+        // transitions must be recorded, each exactly once.
+        let g = generators::path(3);
+        let topo = Topology::from_graph(&g);
+        let churn = ChurnPlan::none()
+            .crash(NodeId::new(0), 0)
+            .crash(NodeId::new(1), 1)
+            .recover(NodeId::new(1), 3);
+        let mut sim = Simulator::with_churn(topo, |_| Counter { seen: 0, rounds: 5 }, 0, churn);
+        sim.set_tracer(EventLog::new());
+        sim.run(100).unwrap();
+        let log = sim.take_event_log().unwrap();
+        log.reconcile(sim.metrics()).unwrap();
+        let crashes: Vec<(u64, u32)> = log
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Crash { node } => Some((r.round, node.raw())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, vec![(0, 0), (1, 1)]);
+        let recovers: Vec<(u64, u32)> = log
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Recover { node } => Some((r.round, node.raw())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recovers, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn spans_bracket_rounds_in_the_record_stream() {
+        let g = generators::complete(3);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 2,
+            },
+            0,
+        );
+        sim.set_tracer(EventLog::new());
+        sim.span_enter("raise", Some(0));
+        sim.step();
+        sim.span_exit("raise", Some(0));
+        sim.run(10).unwrap();
+        let log = sim.take_event_log().unwrap();
+        log.reconcile(sim.metrics()).unwrap();
+        let rollups = log.rollups();
+        assert_eq!(rollups[0].name, "raise");
+        assert_eq!(rollups[0].rounds, 1);
+        assert_eq!(rollups[0].messages, 6); // complete(3): 3 nodes * 2 neighbors
+        let total_rounds: u64 = rollups.iter().map(|r| r.rounds).sum();
+        assert_eq!(total_rounds, sim.metrics().rounds);
+    }
+
+    #[test]
+    fn per_round_cap_preserves_sums_in_simulation() {
+        let g = generators::complete(4);
+        let topo = Topology::from_graph(&g);
+        let mut sim = Simulator::new(
+            topo,
+            |_| Gossip {
+                heard: vec![],
+                rounds: 20,
+            },
+            0,
+        );
+        sim.set_per_round_cap(4);
+        sim.run(100).unwrap();
+        let m = sim.metrics().clone();
+        assert!(m.per_round_messages.len() <= 4);
+        assert!(m.per_round_resolution() > 1);
+        assert_eq!(m.per_round_messages.iter().sum::<u64>(), m.messages);
+        assert_eq!(m.per_round_bits.iter().sum::<u64>(), m.total_bits);
     }
 
     proptest! {

@@ -56,6 +56,7 @@
 use crate::metrics::TransportCounters;
 use crate::node::Context;
 use crate::sim::node_rng;
+use crate::trace::{EventLog, TraceEvent, Tracer};
 use crate::{Control, Envelope, NodeLogic, SimError, Topology};
 use ftclust_graphs::NodeId;
 use rand::rngs::StdRng;
@@ -147,6 +148,11 @@ struct AsyncExec<'a, L: NodeLogic> {
     max_delay: u64,
     max_rounds: u64,
     stats: AsyncStats,
+    /// Recording sink for [`TraceEvent::SynchronizerPulse`] events
+    /// (`None` when the run is untraced). Pulses are stamped with the
+    /// global tick `now`, the only logical clock an asynchronous
+    /// execution has.
+    trace: Option<EventLog>,
 }
 
 impl<'a, L: NodeLogic> AsyncExec<'a, L> {
@@ -220,6 +226,7 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
             // counters stay at zero (see the module docs on loss).
             let mut outbox: Vec<Envelope<L::Payload>> = Vec::new();
             let mut transport = TransportCounters::default();
+            let mut trace_buf = Vec::new();
             let node = &mut self.nodes[v.index()];
             let mut ctx = Context {
                 me: v,
@@ -228,12 +235,23 @@ impl<'a, L: NodeLogic> AsyncExec<'a, L> {
                 rng: &mut node.rng,
                 outbox: &mut outbox,
                 transport: &mut transport,
+                tracing: false,
+                trace: &mut trace_buf,
             };
             let control = node.logic.on_round(&inbox, &mut ctx);
             let halting = control == Control::Halt;
             node.halted = halting;
             node.local_round = r + 1;
             self.stats.max_local_round = self.stats.max_local_round.max(r);
+            if let Some(log) = &mut self.trace {
+                log.record(
+                    self.now,
+                    TraceEvent::SynchronizerPulse {
+                        node: v,
+                        local_round: r,
+                    },
+                );
+            }
             // Split sends into self-deliveries and per-neighbor bundles.
             let mut self_msgs: Vec<L::Payload> = Vec::new();
             let degree = g.degree(v);
@@ -307,7 +325,48 @@ pub fn run_asynchronously<L: NodeLogic>(
     max_delay: u64,
     max_rounds: u64,
 ) -> Result<AsyncRun<L>, SimError> {
-    run_async_impl(topo, make_logic, master_seed, max_delay, max_rounds, 0.0)
+    run_async_impl(
+        topo,
+        make_logic,
+        master_seed,
+        max_delay,
+        max_rounds,
+        0.0,
+        false,
+    )
+    .map(|(run, _)| run)
+}
+
+/// [`run_asynchronously`] with a recorded [`EventLog`]: every local round
+/// executed at a node becomes a
+/// [`TraceEvent::SynchronizerPulse`] stamped with the global delivery
+/// tick. The pulse stream is deterministic for a given seed (the
+/// executor is sequential), so traced asynchronous runs diff cleanly.
+///
+/// # Errors
+///
+/// As [`run_asynchronously`].
+///
+/// # Panics
+///
+/// Panics if `max_delay == 0`.
+pub fn run_asynchronously_traced<L: NodeLogic>(
+    topo: Topology<'_>,
+    make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    max_delay: u64,
+    max_rounds: u64,
+) -> Result<(AsyncRun<L>, EventLog), SimError> {
+    run_async_impl(
+        topo,
+        make_logic,
+        master_seed,
+        max_delay,
+        max_rounds,
+        0.0,
+        true,
+    )
+    .map(|(run, log)| (run, log.unwrap_or_default()))
 }
 
 /// [`run_asynchronously`] with i.i.d. bundle loss: each bundle is
@@ -349,9 +408,12 @@ pub fn run_asynchronously_lossy<L: NodeLogic>(
         max_delay,
         max_rounds,
         drop_probability,
+        false,
     )
+    .map(|(run, _)| run)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_async_impl<L: NodeLogic>(
     topo: Topology<'_>,
     mut make_logic: impl FnMut(NodeId) -> L,
@@ -359,7 +421,8 @@ fn run_async_impl<L: NodeLogic>(
     max_delay: u64,
     max_rounds: u64,
     drop_probability: f64,
-) -> Result<AsyncRun<L>, SimError> {
+    traced: bool,
+) -> Result<(AsyncRun<L>, Option<EventLog>), SimError> {
     assert!(max_delay > 0, "max_delay must be at least 1 tick");
     let g = topo.graph();
     let n = g.node_count();
@@ -389,6 +452,7 @@ fn run_async_impl<L: NodeLogic>(
         max_delay,
         max_rounds,
         stats: AsyncStats::default(),
+        trace: traced.then(EventLog::new),
     };
     // Round 0 needs no inputs.
     for i in 0..n {
@@ -424,11 +488,19 @@ fn run_async_impl<L: NodeLogic>(
             ticks: exec.now,
         });
     }
-    let AsyncExec { nodes, stats, .. } = exec;
-    Ok(AsyncRun {
-        logics: nodes.into_iter().map(|s| s.logic).collect(),
+    let AsyncExec {
+        nodes,
         stats,
-    })
+        trace,
+        ..
+    } = exec;
+    Ok((
+        AsyncRun {
+            logics: nodes.into_iter().map(|s| s.logic).collect(),
+            stats,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -513,6 +585,55 @@ mod tests {
             assert!(run.stats.bundles > 0);
             assert_eq!(run.stats.max_local_round, 6);
         }
+    }
+
+    #[test]
+    fn traced_async_run_records_deterministic_pulses() {
+        let g = generators::cycle(7);
+        let run_traced = || {
+            let topo = Topology::from_graph(&g);
+            run_asynchronously_traced(
+                topo,
+                |v| Flood {
+                    best: v.raw() as u64,
+                    draws: vec![],
+                    rounds: 4,
+                },
+                5,
+                3,
+                10_000,
+            )
+            .unwrap()
+        };
+        let (run, log) = run_traced();
+        // Tracing must not perturb execution.
+        let topo = Topology::from_graph(&g);
+        let untraced = run_asynchronously(
+            topo,
+            |v| Flood {
+                best: v.raw() as u64,
+                draws: vec![],
+                rounds: 4,
+            },
+            5,
+            3,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(run.logics, untraced.logics);
+        // Every local round of every node pulses exactly once: 7 nodes
+        // x rounds 0..=4.
+        assert_eq!(log.len(), 7 * 5);
+        assert!(log
+            .records
+            .iter()
+            .all(|r| matches!(r.event, TraceEvent::SynchronizerPulse { .. })));
+        // Pulse ticks never exceed the recorded tick count, and the
+        // stream is reproducible.
+        assert!(log.records.iter().all(|r| r.round <= run.stats.ticks));
+        let (_, log2) = run_traced();
+        assert_eq!(log2, log);
+        assert_eq!(log2.to_jsonl(), log.to_jsonl());
     }
 
     #[test]

@@ -512,6 +512,8 @@ impl<L: NodeLogic> NodeLogic for Reliable<L> {
                 rng: &mut *ctx.rng,
                 outbox: &mut outbox,
                 transport: &mut *ctx.transport,
+                tracing: ctx.tracing,
+                trace: &mut *ctx.trace,
             };
             let control = self.inner.on_round(&inner_inbox, &mut inner_ctx);
             self.inner_halted = control == Control::Halt;

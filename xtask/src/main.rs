@@ -2,7 +2,7 @@
 //!
 //! The only task so far is `lint`: the static-analysis gate described in
 //! `DESIGN.md`. It is self-contained (no external dependencies, no
-//! network) and runs four passes over the workspace sources:
+//! network) and runs five passes over the workspace sources:
 //!
 //! 1. manifest audit ([`headers::check_manifests`]) — shared
 //!    `[workspace.lints]` policy and per-crate inheritance,
@@ -11,7 +11,9 @@
 //! 3. source hygiene ([`hygiene`]) — no panic paths in library code, no
 //!    float `==` in the numeric crates,
 //! 4. CONGEST conformance ([`congest`]) — every protocol message charges
-//!    an `O(log n)`-bounded `bit_size`.
+//!    an `O(log n)`-bounded `bit_size`,
+//! 5. span-name registration ([`spans`]) — every trace span used by an
+//!    instrumented driver is a literal from `REGISTERED_SPANS`.
 //!
 //! Exit status: 0 when clean, 1 when any violation is found, 2 on usage
 //! errors. `cargo xtask lint --self-test` additionally runs the checkers
@@ -24,6 +26,7 @@ mod headers;
 mod hygiene;
 mod selftest;
 mod source;
+mod spans;
 
 use source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -99,6 +102,7 @@ const FLOAT_EQ_TREES: &[&str] = &["crates/lp/src", "crates/geometry/src"];
 /// `*Msg` type must have a `Payload` impl.
 const CONGEST_SCOPES: &[(&str, bool)] = &[
     ("crates/netsim/src", false),
+    ("crates/netsim/src/trace.rs", true),
     ("crates/netsim/src/transport.rs", true),
     ("crates/core/src/fractional/protocol.rs", true),
     ("crates/core/src/rounding/protocol.rs", true),
@@ -167,6 +171,26 @@ fn run_lint(root: &Path) -> ExitCode {
         for file in load_tree(root, scope) {
             congest::check(&file, protocol_module, &mut violations);
         }
+    }
+    match load_tree(root, spans::TRACE_FILE)
+        .first()
+        .and_then(spans::registry)
+    {
+        Some(registered) => {
+            for scope in spans::SPAN_SCOPES {
+                for file in load_tree(root, scope) {
+                    spans::check(&file, &registered, &mut violations);
+                }
+            }
+        }
+        None => violations.push(Violation {
+            rule: "span-registry-missing",
+            path: spans::TRACE_FILE.to_owned(),
+            line: 1,
+            message: "could not parse REGISTERED_SPANS; the span-name \
+                      registration check cannot run"
+                .to_owned(),
+        }),
     }
     report(&violations, files_checked)
 }

@@ -1,0 +1,231 @@
+//! Span-name registration checker for the structured trace layer.
+//!
+//! Phase attribution in `ftclust_netsim::trace` is name-based: the
+//! rollup and reconciliation machinery groups events by the `&'static
+//! str` passed to `Simulator::span_enter` / `span_exit`, and exporters
+//! surface those names verbatim. A misspelled or ad-hoc span name
+//! silently fragments the per-phase tables, so every name used at an
+//! instrumentation site must appear in the `REGISTERED_SPANS` registry
+//! in `crates/netsim/src/trace.rs`:
+//!
+//! * **span-registry-missing** — the registry constant could not be
+//!   parsed out of the trace module (moved or renamed without updating
+//!   this checker).
+//! * **span-name-unregistered** — a `span_enter`/`span_exit` call passes
+//!   a string literal that is not in `REGISTERED_SPANS`.
+//! * **span-name-not-literal** — a call passes a computed name; the
+//!   checker (and readers) must be able to see the name at the call
+//!   site, so span names are literals by policy.
+
+use crate::source::SourceFile;
+use crate::Violation;
+
+/// The module holding the `REGISTERED_SPANS` registry.
+pub(crate) const TRACE_FILE: &str = "crates/netsim/src/trace.rs";
+
+/// Source trees scanned for `span_enter` / `span_exit` call sites: the
+/// simulator crate plus every instrumented protocol driver.
+pub(crate) const SPAN_SCOPES: &[&str] = &[
+    "crates/netsim/src",
+    "crates/core/src/fractional/protocol.rs",
+    "crates/core/src/rounding/protocol.rs",
+    "crates/core/src/udg/protocol.rs",
+    "crates/core/src/repair.rs",
+];
+
+/// Parses the registered span names out of the trace module.
+///
+/// Finds `REGISTERED_SPANS` in the scrubbed text (so mentions in
+/// comments don't match), then reads the string literals between the
+/// following `[` and `]` from the **raw** text — the scrubbed copy has
+/// the literal bodies blanked, but offsets map 1:1.
+pub(crate) fn registry(file: &SourceFile) -> Option<Vec<String>> {
+    let at = file.scrubbed.find("REGISTERED_SPANS")?;
+    // Skip past the `=`: the type annotation `&[&str]` has brackets too.
+    let eq = at + file.scrubbed[at..].find('=')?;
+    let open = eq + file.scrubbed[eq..].find('[')?;
+    let close = open + file.scrubbed[open..].find(']')?;
+    let names: Vec<String> = file.raw[open + 1..close]
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_owned)
+        .collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+/// True when the identifier match at `at` is a call site rather than a
+/// function definition or a longer identifier.
+fn is_call_site(scrubbed: &str, at: usize) -> bool {
+    let before = &scrubbed[..at];
+    if let Some(c) = before.chars().last() {
+        if c.is_alphanumeric() || c == '_' {
+            return false; // suffix of a longer identifier
+        }
+    }
+    // `fn span_enter(` / `fn span_exit(` — the definitions themselves.
+    !before.trim_end().ends_with("fn")
+}
+
+/// Checks every `span_enter`/`span_exit` call in `file` against the
+/// registered names.
+pub(crate) fn check(file: &SourceFile, registered: &[String], out: &mut Vec<Violation>) {
+    for needle in ["span_enter(", "span_exit("] {
+        let mut from = 0;
+        while let Some(pos) = file.scrubbed[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            if !is_call_site(&file.scrubbed, at) {
+                continue;
+            }
+            let arg_start = at + needle.len();
+            let arg = file.raw[arg_start..].trim_start();
+            if let Some(rest) = arg.strip_prefix('"') {
+                let Some(end) = rest.find('"') else { continue };
+                let name = &rest[..end];
+                if !registered.iter().any(|r| r == name) {
+                    out.push(Violation {
+                        rule: "span-name-unregistered",
+                        path: file.rel_path.clone(),
+                        line: file.line_of(at),
+                        message: format!(
+                            "span name {name:?} is not in REGISTERED_SPANS ({TRACE_FILE}); \
+                             register it or fix the typo"
+                        ),
+                    });
+                }
+            } else {
+                out.push(Violation {
+                    rule: "span-name-not-literal",
+                    path: file.rel_path.clone(),
+                    line: file.line_of(at),
+                    message: "span name must be a string literal so the registry \
+                              check can audit it"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scrub;
+
+    fn file(rel_path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel_path.into(),
+            raw: src.into(),
+            scrubbed: scrub(src),
+        }
+    }
+
+    fn run(src: &str, registered: &[&str]) -> Vec<Violation> {
+        let reg: Vec<String> = registered.iter().map(|s| (*s).to_owned()).collect();
+        let mut v = Vec::new();
+        check(&file("test.rs", src), &reg, &mut v);
+        v
+    }
+
+    const REGISTRY_SRC: &str = r#"
+/// Doc mentioning REGISTERED_SPANS should not confuse the parser.
+pub const REGISTERED_SPANS: &[&str] = &["dyndeg", "raise", "repair_iter"];
+"#;
+
+    #[test]
+    fn parses_registry_from_trace_source() {
+        let names = registry(&file("trace.rs", REGISTRY_SRC)).unwrap();
+        assert_eq!(names, ["dyndeg", "raise", "repair_iter"]);
+    }
+
+    #[test]
+    fn parses_the_real_registry() {
+        let root = crate::workspace_root();
+        let f = SourceFile::load(&root.join(TRACE_FILE), TRACE_FILE.to_owned()).unwrap();
+        let names = registry(&f).expect("registry present in trace.rs");
+        assert!(names.contains(&"dyndeg".to_owned()));
+        assert!(names.contains(&"repair_iter".to_owned()));
+    }
+
+    #[test]
+    fn registry_absent_yields_none() {
+        assert!(registry(&file("other.rs", "pub fn nothing() {}")).is_none());
+    }
+
+    #[test]
+    fn registered_names_pass() {
+        let v = run(
+            r#"
+fn drive(sim: &mut Simulator) {
+    sim.span_enter("dyndeg", None);
+    sim.span_exit("dyndeg", None);
+}
+"#,
+            &["dyndeg"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unregistered_name_is_flagged_with_line() {
+        let v = run(
+            r#"
+fn drive(sim: &mut Simulator) {
+    sim.span_enter("dyndegg", None);
+}
+"#,
+            &["dyndeg"],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "span-name-unregistered");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn computed_name_is_flagged() {
+        let v = run(
+            r#"
+fn drive(sim: &mut Simulator, name: &'static str) {
+    sim.span_enter(name, None);
+}
+"#,
+            &["dyndeg"],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "span-name-not-literal");
+    }
+
+    #[test]
+    fn definitions_and_comments_are_ignored() {
+        let v = run(
+            r#"
+impl Simulator {
+    /// Calls span_enter("bogus") conceptually.
+    pub fn span_enter(&mut self, name: &'static str, arg: Option<u64>) {}
+    pub fn span_exit(&mut self, name: &'static str, arg: Option<u64>) {}
+}
+// sim.span_enter("also-bogus", None);
+"#,
+            &["dyndeg"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn longer_identifiers_do_not_match() {
+        let v = run(
+            r#"
+fn drive(x: &mut T) {
+    x.my_span_enter("bogus", None);
+}
+"#,
+            &["dyndeg"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
