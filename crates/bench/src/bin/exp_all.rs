@@ -51,6 +51,7 @@ struct Outcome {
 fn main() -> ExitCode {
     let me = std::env::current_exe().expect("current executable path");
     let dir: PathBuf = me.parent().expect("executable directory").to_path_buf();
+    // lint: env-read — forwarding the thread override to child experiment processes
     let child_threads = std::env::var("FTCLUST_THREADS").unwrap_or_else(|_| "1".to_string());
     let outcomes: Vec<Outcome> = ftclust_par::par_map_indexed(EXPERIMENTS, |_, name| {
         let path = dir.join(name);

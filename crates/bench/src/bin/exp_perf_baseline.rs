@@ -92,7 +92,7 @@ fn run_once(
             },
             42,
         );
-        let start = Instant::now();
+        let start = Instant::now(); // lint: wall-clock — wall time is this benchmark’s measured output
         sim.run(u64::from(rounds) + 2).expect("gossip quiesces");
         let wall = start.elapsed().as_secs_f64();
         let m = sim.metrics();

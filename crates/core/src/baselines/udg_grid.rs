@@ -2,7 +2,7 @@
 
 use crate::DominatingSet;
 use ftclust_graphs::{NodeId, UnitDiskGraph};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A geometric heuristic baseline: partition the plane into square cells
 /// of side `r/√2` (so any two nodes in a cell are within distance `r` of
@@ -33,7 +33,7 @@ use std::collections::HashMap;
 pub fn grid_clustering(udg: &UnitDiskGraph, k: u32) -> DominatingSet {
     let n = udg.node_count();
     let cell = udg.radius() / 2f64.sqrt();
-    let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    let mut cells: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
     for (i, p) in udg.positions().iter().enumerate() {
         let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
         cells.entry(key).or_default().push(i as u32);

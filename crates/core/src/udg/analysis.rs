@@ -137,7 +137,7 @@ pub fn lemma_5_2_census(udg: &UnitDiskGraph, seed: u64) -> Vec<RoundCensus> {
         // (row spacing 1.5·r_half, column spacing √3·r_half).
         let sy = 1.5 * r_half;
         let sx = 3f64.sqrt() * r_half;
-        let mut centers: std::collections::HashSet<(i64, i64)> = Default::default();
+        let mut centers: std::collections::BTreeSet<(i64, i64)> = Default::default();
         for p in &before_pos {
             let row = (p.y / sy).round() as i64;
             let offset = if row.rem_euclid(2) == 1 {

@@ -146,7 +146,9 @@ pub fn watts_strogatz(n: u32, k_ring: u32, beta: f64, seed: u64) -> Graph {
         edges.insert(canon(u, w));
     }
     let mut b = GraphBuilder::new(n);
-    for (u, v) in edges {
+    let mut final_edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    final_edges.sort_unstable();
+    for (u, v) in final_edges {
         super::add_generated_edge(&mut b, u, v);
     }
     b.build()

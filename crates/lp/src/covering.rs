@@ -141,7 +141,7 @@ impl CoveringLp {
             self.check_var(j)?;
             Self::check_value(a, "constraint coefficient")?;
             if a == 0.0 {
-                // float-eq: exact — drop structurally zero coefficients
+                // lint: float-eq — exact: drop structurally zero coefficients
                 continue;
             }
             match row.iter_mut().find(|(jj, _)| *jj == j) {

@@ -54,7 +54,7 @@ impl Tableau {
             }
             let factor = row[pc];
             if factor != 0.0 {
-                // float-eq: exact — skip rows the pivot cannot change
+                // lint: float-eq — exact: skip rows the pivot cannot change
                 for (v, p) in row.iter_mut().zip(&pivot_row) {
                     *v -= factor * p;
                 }
@@ -63,7 +63,7 @@ impl Tableau {
         }
         let factor = self.obj[pc];
         if factor != 0.0 {
-            // float-eq: exact — skip an unchanged objective row
+            // lint: float-eq — exact: skip an unchanged objective row
             for (v, p) in self.obj.iter_mut().zip(&pivot_row) {
                 *v -= factor * p;
             }
@@ -233,7 +233,7 @@ pub fn solve(lp: &CoveringLp) -> Result<LpSolution, LpError> {
     for r in 0..tab.t.len() {
         let b = tab.basis[r];
         if b < n && lp.objective()[b] != 0.0 {
-            // float-eq: exact — basic columns with zero cost need no correction
+            // lint: float-eq — exact: basic columns with zero cost need no correction
             let c = lp.objective()[b];
             let row = tab.t[r].clone();
             for (v, p) in tab.obj.iter_mut().zip(&row) {

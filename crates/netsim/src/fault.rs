@@ -1,5 +1,5 @@
 use ftclust_graphs::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fault-injection plan for a simulation: crash-stop node failures and
 /// independent random message loss.
@@ -22,7 +22,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    crashes: HashMap<NodeId, u64>,
+    crashes: BTreeMap<NodeId, u64>,
     drop_probability: f64,
 }
 
@@ -74,12 +74,10 @@ impl FaultPlan {
 
     /// The scheduled crashes as `(node, round)` pairs, sorted by node id.
     ///
-    /// The backing map iterates in arbitrary order; this accessor is the
-    /// deterministic view, used when deriving a [`crate::ChurnPlan`].
+    /// The backing map is ordered, so this is a plain drain; it feeds the
+    /// deterministic derivation of a [`crate::ChurnPlan`].
     pub fn crashes_sorted(&self) -> Vec<(NodeId, u64)> {
-        let mut crashes: Vec<(NodeId, u64)> = self.crashes.iter().map(|(&v, &r)| (v, r)).collect();
-        crashes.sort_by_key(|&(v, _)| v);
-        crashes
+        self.crashes.iter().map(|(&v, &r)| (v, r)).collect()
     }
 }
 

@@ -286,14 +286,9 @@ fn integer_literals(body: &str) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::scrub;
 
     fn run(src: &str, protocol_module: bool) -> Vec<Violation> {
-        let file = SourceFile {
-            rel_path: "test.rs".into(),
-            raw: src.into(),
-            scrubbed: scrub(src),
-        };
+        let file = SourceFile::new("test.rs".into(), src.into());
         let mut v = Vec::new();
         check(&file, protocol_module, &mut v);
         v

@@ -10,11 +10,13 @@
 //!   `assert!`/`debug_assert!`, and everything else returns a `Result`
 //!   through the crate's error type.
 //! * **no-float-eq** — in `crates/lp` and `crates/geometry`, `==`/`!=`
-//!   with a floating-point literal operand is forbidden unless the line
-//!   or an adjacent line carries a `// float-eq: exact` waiver explaining
-//!   why the exact comparison is intended (e.g. skipping exact zeros in
-//!   simplex elimination). Adjacent lines count because `rustfmt` moves
-//!   trailing comments onto their own line when a statement wraps.
+//!   with a floating-point literal operand is forbidden unless waived
+//!   with the unified grammar (rule token `float-eq`), e.g. for
+//!   skipping exact zeros in simplex elimination.
+//!
+//! Both rules only *emit* candidate violations here; waiver suppression
+//! (same or adjacent line, so rustfmt-wrapped statements keep their
+//! trailing comments effective) is applied centrally by [`crate::waivers`].
 
 use crate::source::SourceFile;
 use crate::Violation;
@@ -73,25 +75,15 @@ pub(crate) fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
         if !(fragment_has_float_literal(left, true) || fragment_has_float_literal(right, false)) {
             continue;
         }
-        // Waiver: the raw line — or an adjacent one, since rustfmt moves
-        // trailing comments onto their own line — documents intent.
-        let raw_line = file.line_text(pos);
-        let line_no = file.line_of(pos);
-        let waived = [line_no.saturating_sub(1), line_no, line_no + 1]
-            .into_iter()
-            .filter(|&l| l >= 1)
-            .any(|l| file.raw_line(l).contains("float-eq: exact"));
-        if waived {
-            continue;
-        }
         out.push(Violation {
             rule: "no-float-eq",
             path: file.rel_path.clone(),
             line: file.line_of(pos),
             message: format!(
                 "exact float equality in a numeric crate; compare against a \
-                 tolerance, or annotate `// float-eq: exact` with a reason \
-                 (line: `{raw_line}`)"
+                 tolerance, or waive with the `float-eq` rule token and a reason \
+                 (line: `{}`)",
+                file.line_text(pos)
             ),
         });
     }
@@ -177,14 +169,9 @@ fn is_float_literal(token: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::scrub;
 
     fn file(src: &str) -> SourceFile {
-        SourceFile {
-            rel_path: "test.rs".into(),
-            raw: src.into(),
-            scrubbed: scrub(src),
-        }
+        SourceFile::new("test.rs".into(), src.into())
     }
 
     #[test]
@@ -205,7 +192,7 @@ mod tests {
     }
 
     #[test]
-    fn flags_float_eq_without_waiver() {
+    fn flags_float_eq() {
         let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
         let mut v = Vec::new();
         check_float_eq(&file(src), &mut v);
@@ -214,21 +201,13 @@ mod tests {
     }
 
     #[test]
-    fn waiver_suppresses_float_eq() {
-        let src = "fn f(x: f64) -> bool { x == 0.0 } // float-eq: exact — skip zeros\n";
+    fn waived_line_still_emits_candidate_for_central_suppression() {
+        // Suppression is the waiver module's job; the checker itself
+        // must keep emitting so stale-waiver detection can see usage.
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // lint: float-eq \u{2014} skip zeros\n";
         let mut v = Vec::new();
         check_float_eq(&file(src), &mut v);
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn waiver_on_adjacent_line_suppresses_float_eq() {
-        // rustfmt moves trailing comments of wrapped statements onto the
-        // following line; the waiver must still count there.
-        let src = "fn f(x: f64) -> bool {\n    x == 0.0\n    // float-eq: exact — skip zeros\n}\n";
-        let mut v = Vec::new();
-        check_float_eq(&file(src), &mut v);
-        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]

@@ -1,34 +1,55 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
 //! The only task so far is `lint`: the static-analysis gate described in
-//! `DESIGN.md`. It is self-contained (no external dependencies, no
-//! network) and runs five passes over the workspace sources:
+//! `DESIGN.md` §6 and §11. It is self-contained (no external
+//! dependencies, no network) and runs these passes over the workspace:
 //!
 //! 1. manifest audit ([`headers::check_manifests`]) — shared
 //!    `[workspace.lints]` policy and per-crate inheritance,
 //! 2. crate-header audit ([`headers::check_crate_header`]) —
-//!    `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]`,
+//!    `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]`, with an
+//!    explicit allowlist for any crate that relaxes the forbid,
 //! 3. source hygiene ([`hygiene`]) — no panic paths in library code, no
 //!    float `==` in the numeric crates,
-//! 4. CONGEST conformance ([`congest`]) — every protocol message charges
+//! 4. determinism audit ([`determinism`]) — no order-sensitive hash
+//!    iteration, wall-clock/environment reads, unseeded RNGs,
+//!    unjustified `unsafe`, or scheduler-order shared-state merges in
+//!    parallel regions,
+//! 5. CONGEST conformance ([`congest`]) — every protocol message charges
 //!    an `O(log n)`-bounded `bit_size`,
-//! 5. span-name registration ([`spans`]) — every trace span used by an
-//!    instrumented driver is a literal from `REGISTERED_SPANS`.
+//! 6. span-name registration ([`spans`]) — every trace span used by an
+//!    instrumented driver is a literal from `REGISTERED_SPANS`,
+//! 7. waiver audit ([`waivers`]) — one `// lint: <rule> — <reason>`
+//!    grammar for every escape hatch; stale waivers are hard errors.
 //!
-//! Exit status: 0 when clean, 1 when any violation is found, 2 on usage
-//! errors. `cargo xtask lint --self-test` additionally runs the checkers
-//! against the seeded-violation fixtures in `xtask/fixtures/` and fails
-//! if any seeded violation goes undetected (guarding the gate itself
-//! against silent regressions).
+//! The walk covers library sources, binaries (`src/bin`), integration
+//! tests (`tests/`), examples, benches, and this tool's own sources
+//! (self-hosting), with per-scope rule sets: test code may `unwrap`,
+//! nothing may read wall clocks.
+//!
+//! Reporting: `--format json` emits a byte-stable machine-readable
+//! report; `--ratchet` compares per-rule counts against the checked-in
+//! `xtask/lint-baseline.json` and fails only when a count grows;
+//! `--write-baseline` records the current counts as the new baseline.
+//!
+//! Exit status: 0 when clean (or within the ratchet budget), 1 when the
+//! gate fails, 2 on usage errors. `cargo xtask lint --self-test`
+//! additionally runs the checkers against the seeded-violation fixtures
+//! in `xtask/fixtures/` and fails if any seeded violation goes
+//! undetected (guarding the gate itself against silent regressions).
 
 mod congest;
+mod determinism;
 mod headers;
 mod hygiene;
+mod report;
 mod selftest;
 mod source;
 mod spans;
+mod waivers;
 
 use source::SourceFile;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -53,6 +74,23 @@ impl std::fmt::Display for Violation {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// What kind of code a walked file is; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Scope {
+    /// Shipping library code: the full rule set.
+    Lib,
+    /// Binaries (`src/bin`): may panic on bad CLI input, but stay
+    /// deterministic.
+    Bin,
+    /// Integration tests and benches: may `unwrap`, but must not read
+    /// wall clocks, the environment, or ambient entropy.
+    Test,
+    /// Examples: same contract as tests.
+    Example,
+    /// This tool's own sources (self-hosting): library rules.
+    Xtask,
 }
 
 /// Workspace members whose manifests must inherit `[workspace.lints]`.
@@ -81,21 +119,39 @@ const CRATE_ROOTS: &[&str] = &[
     "crates/par/src/lib.rs",
 ];
 
-/// Source trees holding shipping library code (hygiene scope). Binaries
-/// (`src/bin/`), examples, benches and test modules are exempt.
-const LIBRARY_TREES: &[&str] = &[
-    "src",
-    "crates/bench/src",
-    "crates/core/src",
-    "crates/geometry/src",
-    "crates/graphs/src",
-    "crates/lp/src",
-    "crates/netsim/src",
-    "crates/par/src",
+/// Every source tree the gate walks, with its scope. Library trees skip
+/// their `bin/` subtrees (walked separately under [`Scope::Bin`]).
+const SCOPED_TREES: &[(&str, Scope)] = &[
+    ("src", Scope::Lib),
+    ("crates/bench/src", Scope::Lib),
+    ("crates/core/src", Scope::Lib),
+    ("crates/geometry/src", Scope::Lib),
+    ("crates/graphs/src", Scope::Lib),
+    ("crates/lp/src", Scope::Lib),
+    ("crates/netsim/src", Scope::Lib),
+    ("crates/par/src", Scope::Lib),
+    ("src/bin", Scope::Bin),
+    ("crates/bench/src/bin", Scope::Bin),
+    ("tests", Scope::Test),
+    ("crates/bench/benches", Scope::Test),
+    ("examples", Scope::Example),
+    ("xtask/src", Scope::Xtask),
 ];
 
 /// Numeric crates where float `==` is checked.
 const FLOAT_EQ_TREES: &[&str] = &["crates/lp/src", "crates/geometry/src"];
+
+/// Trees whose code feeds the deterministic simulation: order-sensitive
+/// hash iteration and scheduler-order merges are forbidden here.
+const DETERMINISM_TREES: &[&str] = &[
+    "src/",
+    "crates/netsim/src",
+    "crates/core/src",
+    "crates/par/src",
+    "crates/graphs/src",
+    "crates/bench/src",
+    "xtask/src",
+];
 
 /// Files subject to the CONGEST pass: the whole simulator crate plus the
 /// core protocol modules. The `bool` marks protocol modules, where every
@@ -115,11 +171,37 @@ fn main() -> ExitCode {
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            if let Some(bad) = args[1..].iter().find(|a| *a != "--self-test") {
-                eprintln!("unknown option `{bad}`; usage: cargo xtask lint [--self-test]");
-                return ExitCode::from(2);
+            let mut self_test = false;
+            let mut format = Format::Text;
+            let mut ratchet = false;
+            let mut write_baseline = false;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--self-test" => self_test = true,
+                    "--ratchet" => ratchet = true,
+                    "--write-baseline" => write_baseline = true,
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("json") => format = Format::Json,
+                        Some("text") => format = Format::Text,
+                        other => {
+                            eprintln!(
+                                "--format takes `text` or `json`, got {}",
+                                other.unwrap_or("nothing")
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    bad => {
+                        eprintln!(
+                            "unknown option `{bad}`; usage: cargo xtask lint \
+                             [--self-test] [--format text|json] [--ratchet] \
+                             [--write-baseline]"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
             }
-            let self_test = args.iter().any(|a| a == "--self-test");
             if self_test {
                 if let Err(msg) = selftest::run(&root) {
                     eprintln!("self-test FAILED: {msg}");
@@ -127,17 +209,24 @@ fn main() -> ExitCode {
                 }
                 println!("self-test passed: seeded violations detected, clean fixture clean");
             }
-            run_lint(&root)
+            run_lint(&root, format, ratchet, write_baseline)
         }
         Some(other) => {
             eprintln!("unknown task `{other}`; available: lint [--self-test]");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--self-test]");
+            eprintln!("usage: cargo xtask lint [--self-test] [--format text|json] [--ratchet] [--write-baseline]");
             ExitCode::from(2)
         }
     }
+}
+
+/// Output format for the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
 /// The workspace root: the parent of this crate's manifest directory.
@@ -148,23 +237,56 @@ fn workspace_root() -> PathBuf {
         .map_or(manifest.clone(), Path::to_path_buf)
 }
 
-/// Runs every pass and reports. Exit 0 iff no violations.
-fn run_lint(root: &Path) -> ExitCode {
+/// Is this file inside a determinism-scoped tree?
+fn in_determinism_tree(rel_path: &str) -> bool {
+    DETERMINISM_TREES.iter().any(|t| rel_path.starts_with(t))
+}
+
+/// Runs the per-file passes appropriate for `scope`.
+pub(crate) fn run_scoped_passes(file: &SourceFile, scope: Scope, out: &mut Vec<Violation>) {
+    let full = file.raw.len();
+    let lib_limit = file.test_code_start();
+    // Panic hygiene: shipping library code and the self-hosted tool.
+    if matches!(scope, Scope::Lib | Scope::Xtask) {
+        hygiene::check_panic_paths(file, out);
+    }
+    if scope == Scope::Lib && FLOAT_EQ_TREES.iter().any(|t| file.rel_path.starts_with(t)) {
+        hygiene::check_float_eq(file, out);
+    }
+    // Ambient-nondeterminism rules hold everywhere, *including* inline
+    // test modules: a wall-clock read in a test breaks replayability
+    // just as surely as one in the engine.
+    determinism::check_wall_clock(file, full, out);
+    determinism::check_env_read(file, full, out);
+    determinism::check_unseeded_rng(file, full, out);
+    determinism::check_unsafe_safety(file, full, out);
+    // Order-discipline rules guard simulation state; test modules may
+    // iterate hash maps over their own assertions.
+    if matches!(scope, Scope::Lib | Scope::Bin | Scope::Xtask)
+        && in_determinism_tree(&file.rel_path)
+    {
+        determinism::check_hashmap_iteration(file, lib_limit, out);
+        determinism::check_merge_order(file, lib_limit, out);
+    }
+}
+
+/// Runs every pass and reports. Exit 0 iff the gate passes.
+fn run_lint(root: &Path, format: Format, ratchet: bool, write_baseline: bool) -> ExitCode {
     let mut violations = Vec::new();
     headers::check_manifests(root, MEMBERS, &mut violations);
     for lib in CRATE_ROOTS {
         headers::check_crate_header(root, lib, &mut violations);
     }
+    let mut waiver_map: BTreeMap<String, Vec<waivers::Waiver>> = BTreeMap::new();
     let mut files_checked = 0usize;
-    for tree in LIBRARY_TREES {
+    for &(tree, scope) in SCOPED_TREES {
         for file in load_tree(root, tree) {
-            hygiene::check_panic_paths(&file, &mut violations);
+            run_scoped_passes(&file, scope, &mut violations);
+            let ws = waivers::collect(&file, &mut violations);
+            if !ws.is_empty() {
+                waiver_map.insert(file.rel_path.clone(), ws);
+            }
             files_checked += 1;
-        }
-    }
-    for tree in FLOAT_EQ_TREES {
-        for file in load_tree(root, tree) {
-            hygiene::check_float_eq(&file, &mut violations);
         }
     }
     for &(scope, protocol_module) in CONGEST_SCOPES {
@@ -192,26 +314,80 @@ fn run_lint(root: &Path) -> ExitCode {
                 .to_owned(),
         }),
     }
-    report(&violations, files_checked)
-}
+    let violations = waivers::apply(violations, &mut waiver_map);
+    let counts = report::counts(&violations);
 
-fn report(violations: &[Violation], files_checked: usize) -> ExitCode {
-    if violations.is_empty() {
-        println!("lint clean: {files_checked} library files, 0 violations");
-        ExitCode::SUCCESS
-    } else {
-        let mut sorted: Vec<&Violation> = violations.iter().collect();
-        sorted.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-        for v in &sorted {
+    if write_baseline {
+        let rendered = report::render_baseline(&counts);
+        if let Err(e) = std::fs::write(root.join(report::BASELINE_PATH), rendered) {
+            eprintln!("cannot write {}: {e}", report::BASELINE_PATH);
+            return ExitCode::from(1);
+        }
+        println!(
+            "baseline written to {} ({} rule(s), {} violation(s))",
+            report::BASELINE_PATH,
+            counts.len(),
+            violations.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if format == Format::Json {
+        print!("{}", report::render_json(&violations));
+    }
+
+    if ratchet {
+        let baseline = match report::load_baseline(root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ratchet error: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let (failures, improvements) = report::ratchet(&counts, &baseline);
+        for v in report::sorted(&violations) {
             eprintln!("{v}");
         }
-        eprintln!("lint FAILED: {} violation(s)", sorted.len());
+        for note in &improvements {
+            eprintln!("note: {note}");
+        }
+        return if failures.is_empty() {
+            if format == Format::Text {
+                println!(
+                    "ratchet OK: {files_checked} files, {} violation(s) within baseline",
+                    violations.len()
+                );
+            }
+            ExitCode::SUCCESS
+        } else {
+            for f in &failures {
+                eprintln!("ratchet FAILED: {f}");
+            }
+            ExitCode::from(1)
+        };
+    }
+
+    report_text(&violations, files_checked, format)
+}
+
+fn report_text(violations: &[Violation], files_checked: usize, format: Format) -> ExitCode {
+    if violations.is_empty() {
+        if format == Format::Text {
+            println!("lint clean: {files_checked} files, 0 violations");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for v in report::sorted(violations) {
+            eprintln!("{v}");
+        }
+        eprintln!("lint FAILED: {} violation(s)", violations.len());
         ExitCode::from(1)
     }
 }
 
 /// Loads and scrubs every `.rs` file under `root/rel` (a directory or a
-/// single file), excluding `bin/` subtrees.
+/// single file), excluding `bin/` subtrees (walked separately with
+/// [`Scope::Bin`]).
 pub(crate) fn load_tree(root: &Path, rel: &str) -> Vec<SourceFile> {
     let mut out = Vec::new();
     let base = root.join(rel);
@@ -230,7 +406,7 @@ pub(crate) fn load_tree(root: &Path, rel: &str) -> Vec<SourceFile> {
             let path = entry.path();
             if path.is_dir() {
                 if path.file_name().is_some_and(|n| n == "bin") {
-                    continue; // binaries are exempt from library hygiene
+                    continue; // bins are walked under their own scope
                 }
                 stack.push(path);
             } else if path.extension().is_some_and(|e| e == "rs") {

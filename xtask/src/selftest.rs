@@ -4,68 +4,161 @@
 //! easy to break silently (a refactor of the scrubber, a typo in a
 //! needle). The fixtures under `xtask/fixtures/` pin the contract:
 //!
-//! * `seeded_violations.rs` must trigger every rule listed in
-//!   [`EXPECTED_RULES`] — if any seeded violation goes undetected the
-//!   self-test fails,
+//! * `seeded_violations.rs` must trigger every hygiene/CONGEST rule
+//!   listed for it in [`SEEDED_FIXTURES`],
+//! * `determinism_violations.rs` must trigger every determinism-auditor
+//!   rule (hashmap-iteration, wall-clock, env-read, unseeded-rng,
+//!   unsafe-without-safety, merge-order),
+//! * `waiver_violations.rs` must trigger every waiver-audit rule
+//!   (stale-waiver, unknown-waiver-rule, waiver-syntax,
+//!   legacy-waiver-grammar),
 //! * `clean.rs` must produce zero violations — guarding against false
-//!   positives on comments, strings, waivers and test modules.
+//!   positives on comments, strings, waivers, sorted drains, justified
+//!   `unsafe`, and test modules.
+//!
+//! Every fixture runs through the *full* per-file pipeline (all passes
+//! plus waiver collection and application), so the self-test also
+//! exercises the suppression path end to end. It additionally pins the
+//! reporting layer: the checked-in baseline must parse, the ratchet
+//! must fail exactly on growth, and the JSON rendering must not depend
+//! on discovery order.
 
 use crate::source::SourceFile;
-use crate::{congest, hygiene, Violation};
+use crate::{congest, determinism, hygiene, report, waivers, Violation};
+use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Rules that must each fire at least once on the seeded fixture.
-const EXPECTED_RULES: &[&str] = &[
-    "no-panic-paths",
-    "no-float-eq",
-    "payload-impl-required",
-    "no-width-of-type",
-    "quantized-floats",
-    "no-flat-blob",
+/// Each fixture with the rules that must each fire at least once on it.
+/// Fixtures may trigger additional rules (e.g. the legacy-grammar seed
+/// also leaves an unwaived float equality); only the clean fixture is
+/// held to an exact count.
+const SEEDED_FIXTURES: &[(&str, &[&str])] = &[
+    (
+        "xtask/fixtures/seeded_violations.rs",
+        &[
+            "no-panic-paths",
+            "no-float-eq",
+            "payload-impl-required",
+            "no-width-of-type",
+            "quantized-floats",
+            "no-flat-blob",
+        ],
+    ),
+    (
+        "xtask/fixtures/determinism_violations.rs",
+        &[
+            "hashmap-iteration",
+            "wall-clock",
+            "env-read",
+            "unseeded-rng",
+            "unsafe-without-safety",
+            "merge-order",
+        ],
+    ),
+    (
+        "xtask/fixtures/waiver_violations.rs",
+        &[
+            "stale-waiver",
+            "unknown-waiver-rule",
+            "waiver-syntax",
+            "legacy-waiver-grammar",
+        ],
+    ),
 ];
 
-/// Runs all checkers over one fixture file.
+/// Runs the full per-file pipeline (every checker plus the waiver
+/// audit) over one fixture file.
 fn check_fixture(root: &Path, rel: &str) -> Result<Vec<Violation>, String> {
     let path = root.join(rel);
     let file = SourceFile::load(&path, rel.to_owned())
         .map_err(|e| format!("cannot load fixture {rel}: {e}"))?;
     let mut v = Vec::new();
+    let full = file.raw.len();
+    let limit = file.test_code_start();
     hygiene::check_panic_paths(&file, &mut v);
     hygiene::check_float_eq(&file, &mut v);
     congest::check(&file, true, &mut v);
-    Ok(v)
+    determinism::check_wall_clock(&file, full, &mut v);
+    determinism::check_env_read(&file, full, &mut v);
+    determinism::check_unseeded_rng(&file, full, &mut v);
+    determinism::check_unsafe_safety(&file, full, &mut v);
+    determinism::check_hashmap_iteration(&file, limit, &mut v);
+    determinism::check_merge_order(&file, limit, &mut v);
+    let mut waiver_map = BTreeMap::new();
+    let ws = waivers::collect(&file, &mut v);
+    if !ws.is_empty() {
+        waiver_map.insert(file.rel_path.clone(), ws);
+    }
+    Ok(waivers::apply(v, &mut waiver_map))
 }
 
 /// Runs the self-test; `Err` describes the first failure.
 pub(crate) fn run(root: &Path) -> Result<(), String> {
-    let seeded = check_fixture(root, "xtask/fixtures/seeded_violations.rs")?;
-    if seeded.is_empty() {
-        return Err("the seeded fixture produced no violations at all".to_owned());
-    }
-    for rule in EXPECTED_RULES {
-        if !seeded.iter().any(|v| v.rule == *rule) {
-            return Err(format!(
-                "seeded violation for rule `{rule}` was NOT detected — the checker \
-                 has regressed (detected: {:?})",
-                seeded.iter().map(|v| v.rule).collect::<Vec<_>>()
-            ));
+    let mut all_seeded = Vec::new();
+    for &(rel, expected) in SEEDED_FIXTURES {
+        let found = check_fixture(root, rel)?;
+        if found.is_empty() {
+            return Err(format!("fixture {rel} produced no violations at all"));
         }
+        for rule in expected {
+            if !found.iter().any(|v| v.rule == *rule) {
+                return Err(format!(
+                    "seeded violation for rule `{rule}` in {rel} was NOT detected — \
+                     the checker has regressed (detected: {:?})",
+                    found.iter().map(|v| v.rule).collect::<Vec<_>>()
+                ));
+            }
+        }
+        all_seeded.extend(found);
     }
+
     // Test-module exemption: the fixture's #[cfg(test)] unwrap must not
-    // be flagged, so every no-panic-paths hit must precede the module.
-    let fixture = std::fs::read_to_string(root.join("xtask/fixtures/seeded_violations.rs"))
-        .map_err(|e| e.to_string())?;
+    // be flagged, so every hit in that file must precede the module.
+    let seeded_rel = "xtask/fixtures/seeded_violations.rs";
+    let fixture = std::fs::read_to_string(root.join(seeded_rel)).map_err(|e| e.to_string())?;
     let test_line = fixture
         .lines()
         .position(|l| l.contains("#[cfg(test)]"))
         .map_or(usize::MAX, |p| p + 1);
-    if let Some(v) = seeded.iter().find(|v| v.line >= test_line) {
+    if let Some(v) = all_seeded
+        .iter()
+        .find(|v| v.path == seeded_rel && v.line >= test_line)
+    {
         return Err(format!("flagged test-module code: {v}"));
     }
 
     let clean = check_fixture(root, "xtask/fixtures/clean.rs")?;
     if let Some(v) = clean.first() {
         return Err(format!("false positive on the clean fixture: {v}"));
+    }
+
+    // The reporting layer: checked-in baseline parses, JSON is
+    // discovery-order independent, and the ratchet fails exactly on
+    // growth.
+    report::load_baseline(root).map_err(|e| format!("baseline self-check: {e}"))?;
+    let mut reversed = all_seeded.clone();
+    reversed.reverse();
+    if report::render_json(&all_seeded) != report::render_json(&reversed) {
+        return Err("JSON report depends on discovery order".to_owned());
+    }
+    let current = report::counts(&all_seeded);
+    let matching: BTreeMap<String, u64> = current
+        .iter()
+        .map(|(rule, n)| ((*rule).to_owned(), *n))
+        .collect();
+    let (failures, _) = report::ratchet(&current, &matching);
+    if !failures.is_empty() {
+        return Err(format!(
+            "ratchet failed although counts match the baseline: {failures:?}"
+        ));
+    }
+    let mut tightened = matching.clone();
+    if let Some(v) = tightened.values_mut().next() {
+        *v -= 1;
+    }
+    let (failures, _) = report::ratchet(&current, &tightened);
+    if failures.is_empty() {
+        return Err("ratchet did not fail when a rule count grew past the baseline".to_owned());
     }
     Ok(())
 }

@@ -7,12 +7,18 @@
 //! byte offsets (and therefore line numbers) in the scrubbed text map 1:1
 //! onto the original file.
 //!
+//! Waiver parsing needs the opposite projection: the text of *comments
+//! only*, with code and string literals blanked. [`SourceFile::comments`]
+//! carries that shadow, so a `// lint: …` waiver inside a string literal
+//! (e.g. in this tool's own diagnostic messages) is never mistaken for a
+//! real waiver.
+//!
 //! The scrubber is a pragmatic lexer, not a full one: it understands line
 //! and nested block comments, ordinary/raw/byte string literals, char
 //! literals, and the lifetime-vs-char-literal ambiguity. That covers
 //! everything this workspace's style produces.
 
-/// A loaded source file plus its scrubbed shadow copy.
+/// A loaded source file plus its scrubbed shadow copies.
 #[derive(Debug)]
 pub(crate) struct SourceFile {
     /// Repo-relative path, used in reports.
@@ -21,51 +27,83 @@ pub(crate) struct SourceFile {
     pub(crate) raw: String,
     /// Same length as `raw`, with comments and literal bodies blanked.
     pub(crate) scrubbed: String,
+    /// Same length as `raw`, with everything *except* comment text
+    /// blanked — the only place waivers are parsed from.
+    pub(crate) comments: String,
+    /// Byte offset of the start of each line (always starts with 0);
+    /// `line_of` binary-searches this instead of rescanning the prefix.
+    line_starts: Vec<usize>,
 }
 
 impl SourceFile {
-    /// Loads and scrubs `abs_path`, reporting it as `rel_path`.
-    pub(crate) fn load(abs_path: &std::path::Path, rel_path: String) -> std::io::Result<Self> {
-        let raw = std::fs::read_to_string(abs_path)?;
-        let scrubbed = scrub(&raw);
-        Ok(SourceFile {
+    /// Builds a `SourceFile` from in-memory contents.
+    pub(crate) fn new(rel_path: String, raw: String) -> Self {
+        let (scrubbed, comments) = scrub_with_comments(&raw);
+        let mut line_starts = vec![0usize];
+        line_starts.extend(
+            raw.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        SourceFile {
             rel_path,
             raw,
             scrubbed,
-        })
+            comments,
+            line_starts,
+        }
     }
 
-    /// 1-indexed line number of a byte offset.
+    /// Loads and scrubs `abs_path`, reporting it as `rel_path`.
+    pub(crate) fn load(abs_path: &std::path::Path, rel_path: String) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(abs_path)?;
+        Ok(Self::new(rel_path, raw))
+    }
+
+    /// 1-indexed line number of a byte offset (`O(log n)` via the
+    /// precomputed line-offset table).
     pub(crate) fn line_of(&self, offset: usize) -> usize {
-        self.raw.as_bytes()[..offset]
-            .iter()
-            .filter(|&&b| b == b'\n')
-            .count()
-            + 1
+        self.line_starts.partition_point(|&s| s <= offset)
     }
 
     /// The raw text of the line containing `offset`, trimmed.
     pub(crate) fn line_text(&self, offset: usize) -> &str {
-        let bytes = self.raw.as_bytes();
-        let start = bytes[..offset]
-            .iter()
-            .rposition(|&b| b == b'\n')
-            .map_or(0, |p| p + 1);
-        let end = bytes[offset..]
-            .iter()
-            .position(|&b| b == b'\n')
-            .map_or(self.raw.len(), |p| offset + p);
-        self.raw[start..end].trim()
+        self.raw_line(self.line_of(offset))
     }
 
     /// The raw text of the 1-indexed line `line`, trimmed; empty for
     /// out-of-range line numbers.
     pub(crate) fn raw_line(&self, line: usize) -> &str {
-        self.raw
-            .lines()
-            .nth(line.saturating_sub(1))
-            .unwrap_or("")
-            .trim()
+        self.slice_line(&self.raw, line).trim()
+    }
+
+    /// The scrubbed text of the 1-indexed line `line` (untrimmed; empty
+    /// for out-of-range line numbers).
+    pub(crate) fn scrubbed_line(&self, line: usize) -> &str {
+        self.slice_line(&self.scrubbed, line)
+    }
+
+    /// The comments-only text of the 1-indexed line `line`.
+    pub(crate) fn comment_line(&self, line: usize) -> &str {
+        self.slice_line(&self.comments, line)
+    }
+
+    /// Total number of lines.
+    pub(crate) fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    fn slice_line<'t>(&self, text: &'t str, line: usize) -> &'t str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(text.len(), |&next| next.saturating_sub(1));
+        &text[start..end]
     }
 
     /// Byte offset where test-only code begins (`#[cfg(test)]`), or the
@@ -79,37 +117,61 @@ impl SourceFile {
 }
 
 /// Blanks comments and literal bodies, preserving length and newlines.
+/// Kept as the single-output entry point for tests.
+#[cfg(test)]
 pub(crate) fn scrub(src: &str) -> String {
+    scrub_with_comments(src).0
+}
+
+/// Produces `(scrubbed, comments)` shadows: the first with comments and
+/// literal bodies blanked, the second with *only* comment text preserved.
+pub(crate) fn scrub_with_comments(src: &str) -> (String, String) {
     let bytes = src.as_bytes();
     let mut out = bytes.to_vec();
+    // Comments shadow: everything blank except newlines; comment bytes
+    // are copied over verbatim as they are blanked from `out`.
+    let mut com: Vec<u8> = bytes
+        .iter()
+        .map(|&b| if b == b'\n' { b'\n' } else { b' ' })
+        .collect();
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
                 // Line comment (incl. doc comments): blank to end of line.
                 while i < bytes.len() && bytes[i] != b'\n' {
+                    com[i] = bytes[i];
                     out[i] = b' ';
                     i += 1;
                 }
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 let mut depth = 1;
+                com[i] = bytes[i];
+                com[i + 1] = bytes[i + 1];
                 out[i] = b' ';
                 out[i + 1] = b' ';
                 i += 2;
                 while i < bytes.len() && depth > 0 {
                     if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
                         depth += 1;
+                        com[i] = bytes[i];
                         out[i] = b' ';
                         i += 1;
+                        com[i] = bytes[i];
                         out[i] = b' ';
                     } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
                         depth -= 1;
+                        com[i] = bytes[i];
                         out[i] = b' ';
                         i += 1;
+                        com[i] = bytes[i];
                         out[i] = b' ';
-                    } else if bytes[i] != b'\n' {
-                        out[i] = b' ';
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        com[i] = bytes[i];
                     }
                     i += 1;
                 }
@@ -143,9 +205,11 @@ pub(crate) fn scrub(src: &str) -> String {
             _ => i += 1,
         }
     }
-    // Only ASCII bytes were replaced with ASCII spaces, so this is still
-    // valid UTF-8.
-    String::from_utf8(out).unwrap_or_else(|_| unreachable!("scrub preserves UTF-8"))
+    // Only ASCII bytes were replaced with ASCII spaces, and comment spans
+    // were copied wholesale, so both shadows are still valid UTF-8.
+    let scrubbed = String::from_utf8(out).unwrap_or_else(|_| unreachable!("scrub preserves UTF-8"));
+    let comments = String::from_utf8(com).unwrap_or_else(|_| unreachable!("scrub preserves UTF-8"));
+    (scrubbed, comments)
 }
 
 /// Does `r…` / `b…` at `i` start a literal (vs. an identifier like `radius`)?
@@ -292,5 +356,70 @@ mod tests {
         let out = scrub(src);
         assert!(!out.contains("unwrap"));
         assert!(out.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // Regression: a multi-`#` raw string containing `"#` sequences
+        // must be blanked up to (and only up to) its true terminator.
+        let src = "let a = r##\"inner \"# unwrap() \"# body\"##; let b = x.unwrap();";
+        let out = scrub(src);
+        assert!(
+            out.contains("x.unwrap()"),
+            "code after the raw string must survive: {out}"
+        );
+        assert_eq!(out.matches("unwrap").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn raw_string_hash_terminator_is_not_greedy() {
+        // `"#` inside an `r##"…"##` literal must not close it early.
+        let src = "let s = r##\"a \"# b\"##;\nlet t = 1;\n";
+        let out = scrub(src);
+        assert!(out.contains("let t = 1;"), "{out}");
+        assert!(!out.contains("a \"# b"), "{out}");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate_correctly() {
+        let src = "/* l1 /* l2 /* l3 panic!() */ l2 */ l1 */ fn ok() {}";
+        let out = scrub(src);
+        assert!(!out.contains("panic"));
+        assert!(out.contains("fn ok() {}"), "{out}");
+    }
+
+    #[test]
+    fn line_of_matches_linear_scan() {
+        let src = "a\nbb\n\nccc\nd";
+        let f = SourceFile::new("t.rs".into(), src.into());
+        for (offset, _) in src.char_indices() {
+            let linear = src.as_bytes()[..offset]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                + 1;
+            assert_eq!(f.line_of(offset), linear, "offset {offset}");
+        }
+        assert_eq!(f.line_count(), 5);
+    }
+
+    #[test]
+    fn comment_shadow_holds_comments_only() {
+        let src = "let x = \"// lint: fake — not a waiver\"; // lint: real — waiver\n";
+        let f = SourceFile::new("t.rs".into(), src.into());
+        assert!(f.comments.contains("// lint: real"), "{}", f.comments);
+        assert!(!f.comments.contains("fake"), "{}", f.comments);
+        assert!(!f.scrubbed.contains("lint:"), "{}", f.scrubbed);
+    }
+
+    #[test]
+    fn line_slices_are_consistent() {
+        let src = "code(); // note\nsecond\n";
+        let f = SourceFile::new("t.rs".into(), src.into());
+        assert_eq!(f.raw_line(1), "code(); // note");
+        assert_eq!(f.raw_line(2), "second");
+        assert_eq!(f.raw_line(3), "");
+        assert!(f.scrubbed_line(1).starts_with("code();"));
+        assert!(f.comment_line(1).contains("// note"));
     }
 }

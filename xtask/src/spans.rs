@@ -115,14 +115,9 @@ pub(crate) fn check(file: &SourceFile, registered: &[String], out: &mut Vec<Viol
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::scrub;
 
     fn file(rel_path: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel_path: rel_path.into(),
-            raw: src.into(),
-            scrubbed: scrub(src),
-        }
+        SourceFile::new(rel_path.into(), src.into())
     }
 
     fn run(src: &str, registered: &[&str]) -> Vec<Violation> {
