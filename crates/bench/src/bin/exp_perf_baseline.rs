@@ -1,30 +1,41 @@
 //! **Perf baseline** for the parallel execution substrate: simulator
 //! throughput (node-rounds/sec and envelopes/sec) on a min-flood gossip
-//! workload over random geometric graphs, at `n ∈ {1k, 10k, 100k}` and
-//! `threads ∈ {1, max}`.
+//! workload over random geometric graphs, at `n ∈ {1k, 10k, 100k, 1M}`
+//! and forced `threads ∈ {1, 2, 4, 8}` (via [`par::with_threads`], so the
+//! sweep covers the sharded code paths even on small hosts; the host's
+//! real core count is recorded alongside).
 //!
 //! Emits a machine-readable `BENCH.json` (also printed to stdout) so perf
 //! changes have a trajectory to be measured against. Before timing, the
 //! run at every thread count is checked to produce **bit-for-bit** the
-//! same final node states and metrics as the serial run — a throughput
-//! number from a wrong computation is worthless.
+//! same final node states as the serial run — a throughput number from a
+//! wrong computation is worthless.
+//!
+//! Timing discipline: graph generation and simulator construction are
+//! measured separately (`graph_build_secs`, `setup_secs`) and excluded
+//! from `wall_secs`, which covers only the round execution. Each
+//! `(n, threads)` cell runs several trials and reports the **median**
+//! round-phase wall time (throughputs derive from that median).
 //!
 //! ```text
 //! cargo run --release -p ftclust-bench --bin exp_perf_baseline            # full
 //! cargo run --release -p ftclust-bench --bin exp_perf_baseline -- --smoke # CI-sized
 //! ```
 //!
-//! `--smoke` shrinks the sweep (n ∈ {1k, 5k}, fewer rounds) so CI can
-//! exercise the whole path in seconds. The "max" thread count is whatever
-//! `FTCLUST_THREADS` / the machine resolves to; on a single-core host
-//! both entries measure the serial engine.
+//! `--smoke` shrinks the sweep (n ∈ {1k, 5k}, threads {1, 2}, one trial)
+//! so CI can exercise the whole path in seconds. `--digest <path>` writes
+//! an FNV-1a digest of every final state vector; CI runs the smoke sweep
+//! under different `FTCLUST_THREADS` settings and diffs the digest files
+//! to pin cross-process determinism.
 
 use ftclust_bench::families::Family;
+use ftclust_bench::stats::median;
 use ftclust_netsim::{
     Context, Control, Envelope, EventLog, NodeLogic, Payload, Simulator, Topology,
 };
 use ftclust_par as par;
 use rand::Rng;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The flooded value: each node's current minimum, 64 bits on the wire.
@@ -65,25 +76,30 @@ impl NodeLogic for Gossip {
     }
 }
 
+/// One `(n, threads)` cell of the sweep: median-of-trials round-phase
+/// timing plus the setup phases measured separately.
 struct Measurement {
     n: u32,
     threads: usize,
     rounds: u64,
     messages: u64,
+    trials: usize,
+    graph_build_secs: f64,
+    setup_secs: f64,
     wall_secs: f64,
     node_rounds_per_sec: f64,
     envelopes_per_sec: f64,
 }
 
-/// Runs the gossip workload to quiescence and returns (final states,
-/// metrics, measurement).
-fn run_once(
+/// One trial: builds the simulator (timed as setup), runs the rounds
+/// (timed as the measured region), returns final states + phase times.
+fn run_trial(
     g: &ftclust_graphs::Graph,
-    n: u32,
     rounds: u32,
     threads: usize,
-) -> (Vec<u64>, Measurement) {
+) -> (Vec<u64>, u64, u64, f64, f64) {
     par::with_threads(threads, || {
+        let setup_start = Instant::now(); // lint: wall-clock — wall time is this benchmark’s measured output
         let mut sim = Simulator::new(
             Topology::from_graph(g),
             |_| Gossip {
@@ -92,29 +108,42 @@ fn run_once(
             },
             42,
         );
+        let setup = setup_start.elapsed().as_secs_f64();
         let start = Instant::now(); // lint: wall-clock — wall time is this benchmark’s measured output
         sim.run(u64::from(rounds) + 2).expect("gossip quiesces");
         let wall = start.elapsed().as_secs_f64();
         let m = sim.metrics();
-        let executed = m.rounds;
-        let measurement = Measurement {
-            n,
-            threads,
-            rounds: executed,
-            messages: m.messages,
-            wall_secs: wall,
-            node_rounds_per_sec: n as f64 * executed as f64 / wall.max(1e-9),
-            envelopes_per_sec: m.messages as f64 / wall.max(1e-9),
-        };
+        let (executed, messages) = (m.rounds, m.messages);
         let states: Vec<u64> = sim.logics().map(|l| l.best).collect();
-        (states, measurement)
+        (states, executed, messages, setup, wall)
     })
 }
 
-fn json_escape_free(m: &Measurement) -> String {
+/// FNV-1a over a state vector, for cross-process determinism diffs.
+fn fnv1a(states: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &s in states {
+        for b in s.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn json_row(m: &Measurement) -> String {
     format!(
-        "    {{\"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"wall_secs\": {:.6}, \"node_rounds_per_sec\": {:.1}, \"envelopes_per_sec\": {:.1}}}",
-        m.n, m.threads, m.rounds, m.messages, m.wall_secs, m.node_rounds_per_sec, m.envelopes_per_sec
+        "    {{\"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"trials\": {}, \"graph_build_secs\": {:.6}, \"setup_secs\": {:.6}, \"wall_secs\": {:.6}, \"node_rounds_per_sec\": {:.1}, \"envelopes_per_sec\": {:.1}}}",
+        m.n,
+        m.threads,
+        m.rounds,
+        m.messages,
+        m.trials,
+        m.graph_build_secs,
+        m.setup_secs,
+        m.wall_secs,
+        m.node_rounds_per_sec,
+        m.envelopes_per_sec
     )
 }
 
@@ -145,64 +174,94 @@ fn write_trace(path: &str, n: u32, rounds: u32) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let trace_path = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let (sizes, rounds): (&[u32], u32) = if smoke {
-        (&[1_000, 5_000], 6)
-    } else {
-        (&[1_000, 10_000, 100_000], 16)
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
     };
-    let max_threads = par::num_threads();
-    let thread_counts: Vec<usize> = if max_threads > 1 {
-        vec![1, max_threads]
+    let trace_path = arg_value("--trace");
+    let digest_path = arg_value("--digest");
+    // Per-size round counts: the n = 10⁶ row halves the rounds so the
+    // full sweep stays minutes, not hours.
+    let sizes: &[(u32, u32)] = if smoke {
+        &[(1_000, 6), (5_000, 6)]
     } else {
-        vec![1]
+        &[(1_000, 16), (10_000, 16), (100_000, 16), (1_000_000, 8)]
     };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let trials = if smoke { 1 } else { 3 };
+    let max_threads = *thread_counts.last().expect("non-empty sweep");
+    let host_logical_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     eprintln!(
-        "perf baseline: gossip flood, sizes {sizes:?}, {rounds} broadcast rounds, threads {thread_counts:?}{}",
+        "perf baseline: gossip flood, sizes {:?}, threads {thread_counts:?}, {trials} trial(s){}",
+        sizes.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
         if smoke { " (smoke)" } else { "" }
     );
 
     let mut results = Vec::new();
+    let mut digests = String::new();
     let mut speedup_at_largest = 1.0f64;
-    for &n in sizes {
+    for &(n, rounds) in sizes {
+        let build_start = Instant::now(); // lint: wall-clock — wall time is this benchmark’s measured output
         let g = Family::Rgg.build(n, u64::from(n));
+        let graph_build_secs = build_start.elapsed().as_secs_f64();
         let mut serial_states: Option<Vec<u64>> = None;
         let mut serial_nrps = 0.0f64;
-        for &threads in &thread_counts {
-            let (states, m) = run_once(&g, n, rounds, threads);
-            // Determinism gate: every thread count must reproduce the
-            // serial states exactly before its throughput counts.
-            match &serial_states {
-                None => serial_states = Some(states),
-                Some(reference) => assert_eq!(
-                    reference, &states,
-                    "parallel run diverged from serial at n={n}, threads={threads}"
-                ),
+        for &threads in thread_counts {
+            let mut setups = Vec::with_capacity(trials);
+            let mut walls = Vec::with_capacity(trials);
+            let mut rounds_executed = 0u64;
+            let mut messages = 0u64;
+            for _ in 0..trials {
+                let (states, executed, msgs, setup, wall) = run_trial(&g, rounds, threads);
+                // Determinism gate: every trial at every thread count
+                // must reproduce the serial states exactly before its
+                // throughput counts.
+                match &serial_states {
+                    None => serial_states = Some(states),
+                    Some(reference) => assert_eq!(
+                        reference, &states,
+                        "run diverged from serial at n={n}, threads={threads}"
+                    ),
+                }
+                setups.push(setup);
+                walls.push(wall);
+                rounds_executed = executed;
+                messages = msgs;
             }
+            let wall = median(&walls);
+            let m = Measurement {
+                n,
+                threads,
+                rounds: rounds_executed,
+                messages,
+                trials,
+                graph_build_secs,
+                setup_secs: median(&setups),
+                wall_secs: wall,
+                node_rounds_per_sec: n as f64 * rounds_executed as f64 / wall.max(1e-9),
+                envelopes_per_sec: messages as f64 / wall.max(1e-9),
+            };
             eprintln!(
-                "  n={n:>6} threads={threads:>2}: {:.3}s, {:.2e} node-rounds/s, {:.2e} envelopes/s",
-                m.wall_secs, m.node_rounds_per_sec, m.envelopes_per_sec
+                "  n={n:>7} threads={threads:>2}: median {:.3}s (+{:.3}s setup), {:.2e} node-rounds/s, {:.2e} envelopes/s",
+                m.wall_secs, m.setup_secs, m.node_rounds_per_sec, m.envelopes_per_sec
             );
             if threads == 1 {
                 serial_nrps = m.node_rounds_per_sec;
-            } else if n == *sizes.last().expect("non-empty sizes") {
-                speedup_at_largest = m.node_rounds_per_sec / serial_nrps.max(1e-9);
+            } else if n == sizes.last().expect("non-empty sizes").0 {
+                speedup_at_largest =
+                    speedup_at_largest.max(m.node_rounds_per_sec / serial_nrps.max(1e-9));
             }
             results.push(m);
         }
+        let digest = fnv1a(serial_states.as_deref().unwrap_or(&[]));
+        writeln!(digests, "n={n} fnv1a={digest:016x}").expect("string write");
     }
 
-    let body = results
-        .iter()
-        .map(json_escape_free)
-        .collect::<Vec<_>>()
-        .join(",\n");
+    let body = results.iter().map(json_row).collect::<Vec<_>>().join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"ftclust-perf-baseline-v1\",\n  \"workload\": \"gossip-min-flood-rgg\",\n  \"smoke\": {smoke},\n  \"max_threads\": {max_threads},\n  \"speedup_at_largest_n\": {speedup_at_largest:.3},\n  \"results\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"schema\": \"ftclust-perf-baseline-v2\",\n  \"workload\": \"gossip-min-flood-rgg\",\n  \"smoke\": {smoke},\n  \"host_logical_cpus\": {host_logical_cpus},\n  \"max_threads\": {max_threads},\n  \"speedup_at_largest_n\": {speedup_at_largest:.3},\n  \"results\": [\n{body}\n  ]\n}}\n"
     );
     print!("{json}");
     match std::fs::write("BENCH.json", &json) {
@@ -210,8 +269,20 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH.json: {e}"),
     }
 
-    if let Some(path) = trace_path {
-        let n = sizes.first().copied().unwrap_or(1_000);
-        write_trace(&path, n, rounds);
+    if let Some(path) = digest_path {
+        match std::fs::write(&path, &digests) {
+            Ok(()) => eprintln!("wrote state digests to {path}"),
+            Err(e) => eprintln!("could not write digests {path}: {e}"),
+        }
     }
+
+    if let Some(path) = trace_path {
+        let n = sizes.first().map_or(1_000, |&(n, _)| n);
+        write_trace(&path, n, rounds_of(sizes, 0));
+    }
+}
+
+/// Round count of size index `i` (helper for the trace re-run).
+fn rounds_of(sizes: &[(u32, u32)], i: usize) -> u32 {
+    sizes.get(i).map_or(6, |&(_, r)| r)
 }

@@ -28,6 +28,23 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
+/// Median of a sample (0 for empty input, matching [`mean`]). Even-length
+/// samples take the midpoint of the two central order statistics. Sorts
+/// by `total_cmp` so NaN inputs sort to the end instead of panicking.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +66,15 @@ mod tests {
         assert_eq!(max(&[-3.0, -1.0]), -1.0);
         assert_eq!(max(&[-0.5]), -0.5);
         assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even_unsorted_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.5]), 7.5);
+        assert_eq!(median(&[]), 0.0);
+        // Input order must not matter (trial timings arrive unsorted).
+        assert_eq!(median(&[9.0, 1.0]), median(&[1.0, 9.0]));
     }
 }

@@ -13,6 +13,7 @@
 //! is **identical for every thread count**, including the serial fallback.
 
 use super::{DeltaKnowledge, FractionalParams, FractionalSolution};
+use crate::bitset::BitSet;
 use crate::{Instance, KmdsError};
 use ftclust_graphs::NodeId;
 use ftclust_par as par;
@@ -34,7 +35,7 @@ pub(crate) struct AlgoState {
     pub x: Vec<f64>,
     pub xplus: Vec<f64>,
     pub cov: Vec<f64>,
-    pub white: Vec<bool>,
+    pub white: BitSet,
     pub dyndeg: Vec<u32>,
     /// `α_{j,i}` stored at observing node `i` in slot `(i → j)`.
     pub alpha: Vec<f64>,
@@ -51,7 +52,7 @@ impl AlgoState {
         let n = g.node_count();
         // Nodes with zero demand are covered from the start: they are gray
         // immediately ("colored gray as soon as completely covered").
-        let white: Vec<bool> = (0..n).map(|i| inst.demands()[i] > 0).collect();
+        let white = BitSet::from_fn_par(n, |i| inst.demands()[i] > 0);
         let mut state = AlgoState {
             x: vec![0.0; n],
             xplus: vec![0.0; n],
@@ -72,11 +73,14 @@ impl AlgoState {
         let g = inst.graph();
         let n = g.node_count();
         let AlgoState { white, dyndeg, .. } = self;
-        let white = &white[..];
+        let white = &*white;
         par::par_chunks_mut(dyndeg, par_chunk(n), |start, chunk| {
             for (j, d) in chunk.iter_mut().enumerate() {
                 let v = NodeId::new((start + j) as u32);
-                *d = g.closed_neighbors(v).filter(|w| white[w.index()]).count() as u32;
+                *d = g
+                    .closed_neighbors(v)
+                    .filter(|w| white.get(w.index()))
+                    .count() as u32;
             }
         });
     }
@@ -97,12 +101,17 @@ struct AccountShard<'s> {
     nodes: std::ops::Range<usize>,
     slot_base: usize,
     cov: &'s mut [f64],
-    white: &'s mut [bool],
     alpha: &'s mut [f64],
     alpha_self: &'s mut [f64],
     beta: &'s mut [f64],
     beta_self: &'s mut [f64],
     y: &'s mut [f64],
+    /// Nodes of this shard that turned gray during the phase. The white
+    /// bit set is packed (two nodes share a word), so shards read it
+    /// frozen and the flips are applied serially in shard order after the
+    /// parallel part — each node reads only its own bit, which no other
+    /// node writes, so the staging changes nothing.
+    gray: Vec<u32>,
 }
 
 /// The raise step of inner iteration `(p, q)` at a single node
@@ -273,8 +282,9 @@ pub fn solve_fractional(
                     ..
                 } = &mut st;
                 let xplus = &xplus[..];
+                let white_ro = &*white;
                 let mut shards: Vec<AccountShard<'_>> = Vec::new();
-                let (mut cov_r, mut white_r) = (&mut cov[..], &mut white[..]);
+                let mut cov_r = &mut cov[..];
                 let (mut as_r, mut bs_r, mut y_r) =
                     (&mut alpha_self[..], &mut beta_self[..], &mut y[..]);
                 let (mut alpha_r, mut beta_r) = (&mut alpha[..], &mut beta[..]);
@@ -288,14 +298,12 @@ pub fn solve_fractional(
                     let len = r.len();
                     let slots = slot_end - slot_base;
                     let (cov_h, cov_n) = cov_r.split_at_mut(len);
-                    let (white_h, white_n) = white_r.split_at_mut(len);
                     let (as_h, as_n) = as_r.split_at_mut(len);
                     let (bs_h, bs_n) = bs_r.split_at_mut(len);
                     let (y_h, y_n) = y_r.split_at_mut(len);
                     let (alpha_h, alpha_n) = alpha_r.split_at_mut(slots);
                     let (beta_h, beta_n) = beta_r.split_at_mut(slots);
                     cov_r = cov_n;
-                    white_r = white_n;
                     as_r = as_n;
                     bs_r = bs_n;
                     y_r = y_n;
@@ -305,19 +313,19 @@ pub fn solve_fractional(
                         nodes: r,
                         slot_base,
                         cov: cov_h,
-                        white: white_h,
                         alpha: alpha_h,
                         alpha_self: as_h,
                         beta: beta_h,
                         beta_self: bs_h,
                         y: y_h,
+                        gray: Vec::new(),
                     });
                     slot_base = slot_end;
                 }
                 par::par_for_each_mut(&mut shards, |_, s| {
                     for i in s.nodes.clone() {
                         let li = i - s.nodes.start;
-                        if !s.white[li] {
+                        if !white_ro.get(i) {
                             continue;
                         }
                         let v = NodeId::new(i as u32);
@@ -342,11 +350,16 @@ pub fn solve_fractional(
                             },
                         );
                         if let Some(yv) = turned_gray {
-                            s.white[li] = false;
+                            s.gray.push(i as u32);
                             s.y[li] = yv;
                         }
                     }
                 });
+                for s in &shards {
+                    for &i in &s.gray {
+                        white.remove(i as usize);
+                    }
+                }
             }
             // Lines 23–24: exchange colors, recompute dynamic degrees.
             st.recompute_dyndeg(inst);

@@ -35,6 +35,8 @@
 //! * [`bounds`] — the closed-form bounds of the theorems, for
 //!   measured-vs-predicted experiment tables.
 //! * [`weighted`] — the weighted extension mentioned in Section 4.1.
+//! * [`bitset`] — packed `u64`-word node masks backing the engines' hot
+//!   coverage and needy-set scans (see `DESIGN.md` §12).
 //!
 //! Every randomized component is deterministic given a seed. Each
 //! distributed algorithm exists twice: as a **message-passing protocol** on
@@ -72,6 +74,7 @@ mod instance;
 mod set;
 
 pub mod baselines;
+pub mod bitset;
 pub mod bounds;
 pub mod connect;
 pub mod fault;

@@ -82,6 +82,7 @@
 //! # Ok::<(), ftclust_core::KmdsError>(())
 //! ```
 
+use crate::bitset::{coverage_counts, BitSet};
 use crate::udg::PromotionRule;
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
@@ -182,17 +183,9 @@ struct RepairShard<'s> {
     start: usize,
     rngs: &'s mut [StdRng],
     targets: Vec<NodeId>,
-}
-
-/// Surviving-dominator count of every node: members of `member` that are
-/// in the closed neighborhood (for a non-member this is its dominator
-/// count; members are exempt anyway).
-fn survivor_coverage(g: &Graph, member: &[bool]) -> Vec<u32> {
-    par::par_map_range(g.node_count(), |i| {
-        g.closed_neighbors(NodeId::new(i as u32))
-            .filter(|w| member[w.index()])
-            .count() as u32
-    })
+    /// Per-member needy-neighbor list, reused across the shard's members
+    /// so an iteration allocates at most one list per worker.
+    scratch: Vec<NodeId>,
 }
 
 /// Repairs `set` after failures so that the survivors again form a strict
@@ -226,8 +219,7 @@ pub fn repair_coverage(
     assert!(k >= 1, "k must be at least 1");
 
     // Surviving membership: dead members are gone.
-    let mut member: Vec<bool> =
-        par::par_map_range(n, |i| alive[i] && set.contains(NodeId::new(i as u32)));
+    let mut member = BitSet::from_fn_par(n, |i| alive[i] && set.contains(NodeId::new(i as u32)));
     let alive_deg: Vec<u32> = par::par_map_range(n, |i| {
         g.neighbors(NodeId::new(i as u32))
             .iter()
@@ -256,19 +248,13 @@ pub fn repair_coverage(
     let mut deficit_nodes = 0usize;
     let mut iterations = 0u32;
     loop {
-        let cov = survivor_coverage(g, &member);
-        let needy: Vec<bool> = par::par_map_range(n, |i| alive[i] && !member[i] && cov[i] < k);
+        let cov = coverage_counts(g, &member);
+        let needy = BitSet::from_fn_par(n, |i| alive[i] && !member.get(i) && cov[i] < k);
         if iterations == 0 {
-            deficit_nodes = needy.iter().filter(|&&b| b).count();
-            peak_deficit = needy
-                .iter()
-                .enumerate()
-                .filter(|&(_, &b)| b)
-                .map(|(i, _)| k - cov[i])
-                .max()
-                .unwrap_or(0);
+            deficit_nodes = needy.count();
+            peak_deficit = needy.iter_ones().map(|i| k - cov[i]).max().unwrap_or(0);
         }
-        if !needy.iter().any(|&b| b) {
+        if !needy.any() {
             break;
         }
         if u64::from(iterations) >= cfg.max_iterations {
@@ -281,23 +267,21 @@ pub fn repair_coverage(
         rounds += 3;
         // Round 1 of the iteration: deficit broadcasts to surviving
         // neighbors.
-        for i in 0..n {
-            if needy[i] {
-                let deg = u64::from(alive_deg[i]);
-                messages += deg;
-                message_bits += deg * RepairMsg::Deficit { cov: cov[i] }.bit_size() as u64;
-            }
+        for i in needy.iter_ones() {
+            let deg = u64::from(alive_deg[i]);
+            messages += deg;
+            message_bits += deg * RepairMsg::Deficit { cov: cov[i] }.bit_size() as u64;
         }
         // Round 2: self-elections and member promotions. Each member
         // draws only from its own stream; targets are OR-merged after the
         // parallel part (commutative), matching Part II exactly.
-        let self_elect: Vec<bool> = par::par_map_range(n, |i| {
-            needy[i]
+        let self_elect = BitSet::from_fn_par(n, |i| {
+            needy.get(i)
                 && (alive_deg[i] < k
                     || !g
                         .neighbors(NodeId::new(i as u32))
                         .iter()
-                        .any(|w| member[w.index()]))
+                        .any(|w| member.get(w.index())))
         });
         let mut shards: Vec<RepairShard<'_>> = Vec::new();
         let mut rngs_rest = &mut rngs[..];
@@ -308,26 +292,28 @@ pub fn repair_coverage(
                 start: r.start,
                 rngs: rngs_here,
                 targets: Vec::new(),
+                scratch: Vec::new(),
             });
         }
         par::par_for_each_mut(&mut shards, |_, s| {
             for j in 0..s.rngs.len() {
                 let i = s.start + j;
-                if !member[i] {
+                if !member.get(i) {
                     continue;
                 }
                 let v = NodeId::new(i as u32);
-                let u: Vec<NodeId> = g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|w| needy[w.index()])
-                    .collect();
-                if u.is_empty() {
+                s.scratch.clear();
+                s.scratch.extend(
+                    g.neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|w| needy.get(w.index())),
+                );
+                if s.scratch.is_empty() {
                     continue;
                 }
                 let picks = crate::udg::select_promotions(
-                    &u,
+                    &s.scratch,
                     |w| cov[w.index()],
                     k as usize,
                     cfg.rule,
@@ -341,22 +327,21 @@ pub fn repair_coverage(
         for s in &shards {
             promote_msgs += s.targets.len() as u64;
             for w in &s.targets {
-                joins[w.index()] = true;
+                joins.insert(w.index());
             }
         }
         messages += promote_msgs;
         message_bits += promote_msgs * RepairMsg::Promote.bit_size() as u64;
-        let progress = joins.iter().enumerate().any(|(i, &p)| p && !member[i]);
-        if !progress {
+        if !joins.any_outside(&member) {
             return Err(KmdsError::IterationLimit {
                 stage: "coverage repair",
                 limit: u64::from(iterations),
             });
         }
         // Round 3: join announcements from the new members.
-        for i in 0..n {
-            if joins[i] && !member[i] {
-                member[i] = true;
+        for i in joins.iter_ones() {
+            if !member.get(i) {
+                member.insert(i);
                 added.push(NodeId::new(i as u32));
                 let deg = u64::from(alive_deg[i]);
                 messages += deg;
@@ -366,7 +351,7 @@ pub fn repair_coverage(
     }
     added.sort_unstable();
     let outcome = RepairOutcome {
-        set: DominatingSet::from_members(member),
+        set: DominatingSet::from_members(member.to_bools()),
         added,
         iterations,
         rounds,

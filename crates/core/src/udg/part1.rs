@@ -1,6 +1,7 @@
 //! Part I of Algorithm 3: radius-doubling sparsification into leaders.
 
 use super::IdMode;
+use crate::bitset::BitSet;
 use crate::DominatingSet;
 use ftclust_geometry::SpatialGrid;
 use ftclust_graphs::{NodeId, UnitDiskGraph};
@@ -83,19 +84,19 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
     // Per-node streams are seeded independently (SplitMix64 over the node
     // id), so even their construction parallelizes without reordering.
     let mut rngs: Vec<StdRng> = par::par_map_range(n, |i| node_rng(seed, NodeId::new(i as u32)));
-    let mut active = vec![true; n];
+    let mut active = BitSet::from_fn_par(n, |_| true);
     let mut ids = vec![0u64; n];
     let mut fixed_drawn = vec![false; n];
     let mut history = Vec::with_capacity(schedule.len());
     let mut masks: Vec<Vec<bool>> = Vec::with_capacity(schedule.len() + 1);
 
     for &theta in &schedule {
-        masks.push(active.clone());
+        masks.push(active.to_bools());
         // Draw identifiers for the active nodes (line 5). Each node's draw
         // comes from its own private stream, so contiguous shards produce
         // exactly the serial draws.
         {
-            let active = &active[..];
+            let active = &active;
             let mut shards: Vec<DrawShard<'_>> = Vec::new();
             let (mut rngs_r, mut ids_r, mut fd_r) =
                 (&mut rngs[..], &mut ids[..], &mut fixed_drawn[..]);
@@ -115,7 +116,7 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
             }
             par::par_for_each_mut(&mut shards, |_, s| {
                 for j in 0..s.rngs.len() {
-                    if !active[s.start + j] {
+                    if !active.get(s.start + j) {
                         continue;
                     }
                     match id_mode {
@@ -131,7 +132,7 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
             });
         }
         // Build a grid over the active nodes only.
-        let active_ids: Vec<u32> = (0..n).filter(|&i| active[i]).map(|i| i as u32).collect();
+        let active_ids: Vec<u32> = active.iter_ones().map(|i| i as u32).collect();
         let active_pos: Vec<_> =
             par::par_map_indexed(&active_ids, |_, &i| udg.position(NodeId::new(i)));
         let grid = SpatialGrid::build(&active_pos, theta.max(1e-12));
@@ -151,23 +152,20 @@ pub(crate) fn run_part1(udg: &UnitDiskGraph, seed: u64, id_mode: IdMode) -> Part
             });
             best.1
         });
-        let mut elected = vec![false; n];
+        let mut elected = BitSet::new(n);
         for w in winners {
-            elected[w as usize] = true;
+            elected.insert(w as usize);
         }
-        par::par_chunks_mut(&mut active, par::default_chunk(n), |start, chunk| {
-            for (j, a) in chunk.iter_mut().enumerate() {
-                *a = *a && elected[start + j];
-            }
-        });
-        history.push(active.iter().filter(|&&a| a).count());
+        active.and_assign(&elected);
+        history.push(active.count());
     }
-    masks.push(active.clone());
+    let final_mask = active.to_bools();
+    masks.push(final_mask.clone());
     #[cfg(feature = "strict-invariants")]
-    crate::audit::part1_invariants(udg, &masks, &active, schedule.iter().sum());
+    crate::audit::part1_invariants(udg, &masks, &final_mask, schedule.iter().sum());
 
     Part1Outcome {
-        leaders: DominatingSet::from_members(active),
+        leaders: DominatingSet::from_members(active.to_bools()),
         rounds: schedule.len() as u32,
         active_history: history,
         active_masks: masks,

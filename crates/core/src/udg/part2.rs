@@ -2,6 +2,7 @@
 //! dominating set.
 
 use super::PromotionRule;
+use crate::bitset::{coverage_counts, BitSet};
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
 use ftclust_netsim::node_rng;
@@ -17,6 +18,9 @@ struct PromoShard<'s> {
     start: usize,
     rngs: &'s mut [StdRng],
     targets: Vec<NodeId>,
+    /// Per-leader needy-neighbor list, reused across the shard's leaders
+    /// so an iteration allocates at most one list per worker.
+    scratch: Vec<NodeId>,
 }
 
 /// Where Part II gets its per-node random streams from.
@@ -84,7 +88,7 @@ pub(crate) fn run_part2(
     rule: PromotionRule,
 ) -> Result<(DominatingSet, u32), KmdsError> {
     let n = g.node_count();
-    let mut leader: Vec<bool> = leaders.as_members().to_vec();
+    let mut leader = BitSet::from_bools(leaders.as_members());
     let mut rngs: Vec<StdRng> = match rng_source {
         RngSource::Seed(seed) => par::par_map_range(n, |i| node_rng(seed, NodeId::new(i as u32))),
         RngSource::Streams(rngs) => {
@@ -96,13 +100,9 @@ pub(crate) fn run_part2(
     loop {
         // Coverage snapshot: number of leaders in each closed neighborhood
         // (for a non-leader this equals the leader count among neighbors).
-        let cov: Vec<u32> = par::par_map_range(n, |i| {
-            g.closed_neighbors(NodeId::new(i as u32))
-                .filter(|w| leader[w.index()])
-                .count() as u32
-        });
-        let needy: Vec<bool> = par::par_map_range(n, |i| !leader[i] && cov[i] < k);
-        if !needy.iter().any(|&b| b) {
+        let cov = coverage_counts(g, &leader);
+        let needy = BitSet::from_fn_par(n, |i| !leader.get(i) && cov[i] < k);
+        if !needy.any() {
             break;
         }
         iterations += 1;
@@ -118,49 +118,51 @@ pub(crate) fn run_part2(
                 start: r.start,
                 rngs: rngs_here,
                 targets: Vec::new(),
+                scratch: Vec::new(),
             });
         }
         par::par_for_each_mut(&mut shards, |_, s| {
             for j in 0..s.rngs.len() {
                 let i = s.start + j;
-                if !leader[i] {
+                if !leader.get(i) {
                     continue;
                 }
                 let v = NodeId::new(i as u32);
-                let u: Vec<NodeId> = g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|w| needy[w.index()])
-                    .collect();
-                if u.is_empty() {
+                s.scratch.clear();
+                s.scratch.extend(
+                    g.neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|w| needy.get(w.index())),
+                );
+                if s.scratch.is_empty() {
                     continue;
                 }
-                let picks =
-                    select_promotions(&u, |w| cov[w.index()], k as usize, rule, &mut s.rngs[j]);
+                let picks = select_promotions(
+                    &s.scratch,
+                    |w| cov[w.index()],
+                    k as usize,
+                    rule,
+                    &mut s.rngs[j],
+                );
                 s.targets.extend(picks);
             }
         });
-        let mut promoted = vec![false; n];
+        let mut promoted = BitSet::new(n);
         for s in &shards {
             for w in &s.targets {
-                promoted[w.index()] = true;
+                promoted.insert(w.index());
             }
         }
-        let progress = promoted.iter().enumerate().any(|(i, &p)| p && !leader[i]);
-        if !progress {
+        if !promoted.any_outside(&leader) {
             return Err(KmdsError::IterationLimit {
                 stage: "udg part 2",
                 limit: iterations as u64,
             });
         }
-        par::par_chunks_mut(&mut leader, par::default_chunk(n), |start, chunk| {
-            for (j, l) in chunk.iter_mut().enumerate() {
-                *l = *l || promoted[start + j];
-            }
-        });
+        leader.or_assign(&promoted);
     }
-    Ok((DominatingSet::from_members(leader), iterations))
+    Ok((DominatingSet::from_members(leader.to_bools()), iterations))
 }
 
 #[cfg(test)]

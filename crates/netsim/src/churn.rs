@@ -175,6 +175,13 @@ impl ChurnPlan {
         self.events.len()
     }
 
+    /// Whether any link outage window is configured at all. The simulator
+    /// skips the per-envelope [`ChurnPlan::link_down`] scan on plans
+    /// without outages.
+    pub fn has_link_outages(&self) -> bool {
+        !self.outages.is_empty()
+    }
+
     /// Returns `true` if a message sent from `from` to `to` in `round`
     /// crosses a link that is out.
     pub fn link_down(&self, from: NodeId, to: NodeId, round: u64) -> bool {

@@ -159,6 +159,30 @@ impl Metrics {
         }
     }
 
+    /// Batched [`Metrics::record_send`]: `count` messages totaling `bits`
+    /// with largest message `max_bits`, all within the current round.
+    /// Produces exactly the state `count` individual `record_send` calls
+    /// would (the folds are integer sums and a max), so the simulator's
+    /// fault-free merge path stays bit-identical to per-envelope metering.
+    pub(crate) fn record_sends(&mut self, count: u64, bits: u64, max_bits: u64) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(
+            self.rounds > 0,
+            "record_send before begin_round loses per-round accounting"
+        );
+        self.messages += count;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(max_bits);
+        if let Some(last) = self.per_round_messages.last_mut() {
+            *last += count;
+        }
+        if let Some(last) = self.per_round_bits.last_mut() {
+            *last += bits;
+        }
+    }
+
     pub(crate) fn begin_round(&mut self) {
         self.rounds += 1;
         // Accumulate into the open bucket while it has capacity (only

@@ -168,7 +168,9 @@ impl<'a, P: Payload> Context<'a, P> {
 
     /// Sends a copy of `payload` to every neighbor.
     pub fn broadcast(&mut self, payload: P) {
-        for &v in self.neighbors() {
+        let neighbors = self.neighbors();
+        self.outbox.reserve(neighbors.len());
+        for &v in neighbors {
             self.outbox.push(Envelope {
                 from: self.me,
                 to: v,

@@ -9,6 +9,9 @@
 //! * `determinism_violations.rs` must trigger every determinism-auditor
 //!   rule (hashmap-iteration, wall-clock, env-read, unseeded-rng,
 //!   unsafe-without-safety, merge-order),
+//! * `arena_merge_violations.rs` must trigger `merge-order` on both
+//!   arena-merge misuse shapes (atomic offset allocation and a locked
+//!   shared arena inside parallel call sites),
 //! * `waiver_violations.rs` must trigger every waiver-audit rule
 //!   (stale-waiver, unknown-waiver-rule, waiver-syntax,
 //!   legacy-waiver-grammar),
@@ -55,6 +58,7 @@ const SEEDED_FIXTURES: &[(&str, &[&str])] = &[
             "merge-order",
         ],
     ),
+    ("xtask/fixtures/arena_merge_violations.rs", &["merge-order"]),
     (
         "xtask/fixtures/waiver_violations.rs",
         &[
