@@ -1,5 +1,5 @@
 //! **E15 — lossy links**: protocol execution over unreliable channels via
-//! the reliable transport of `ftclust_netsim::transport`.
+//! the composable executor stack of `ftclust_netsim::exec`.
 //!
 //! Sweeps the per-message drop probability over {0, 0.01, 0.05, 0.2} for
 //! three protocol stacks — Algorithms 1+2 (fractional + rounding),
@@ -12,7 +12,10 @@
 //!
 //! The `p = 0` transport row doubles as the zero-overhead check: with
 //! lossless links the transport retransmits nothing and suppresses
-//! nothing.
+//! nothing. A final section composes the transport *and* trace layers in
+//! one run — the combination the pre-executor driver matrix never
+//! offered — and reconciles its per-phase rollups against the metrics
+//! conservation law.
 //!
 //! ```text
 //! cargo run --release -p ftclust-bench --bin exp_e15_lossy            # full
@@ -24,16 +27,15 @@
 
 use ftclust_bench::families::udg_workload;
 use ftclust_bench::table::Table;
-use ftclust_core::fractional::protocol::{
-    run_fractional_protocol_lossy, run_fractional_protocol_traced,
-};
+use ftclust_core::fractional::protocol::run_fractional_stack;
 use ftclust_core::fractional::FractionalParams;
-use ftclust_core::repair::{run_repair_protocol_lossy, run_repair_protocol_traced, RepairConfig};
-use ftclust_core::rounding::protocol::{run_rounding_protocol_lossy, run_rounding_protocol_traced};
+use ftclust_core::repair::{run_repair_stack, RepairConfig};
+use ftclust_core::rounding::protocol::run_rounding_stack;
 use ftclust_core::rounding::RoundingParams;
-use ftclust_core::udg::protocol::{run_udg_protocol_lossy, run_udg_protocol_traced};
+use ftclust_core::udg::protocol::run_udg_stack;
 use ftclust_core::udg::UdgAlgorithm;
 use ftclust_core::Instance;
+use ftclust_netsim::exec::Stack;
 use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{ChurnPlan, EventLog, Metrics};
 
@@ -64,8 +66,8 @@ impl Cost {
 }
 
 /// Checks the transport-extended conservation law on one execution's
-/// metrics. `run_reliably` stops on the all-done observation, so a few
-/// straggler retransmits may legitimately still be in flight.
+/// metrics. The transport loop stops on the all-done observation, so a
+/// few straggler retransmits may legitimately still be in flight.
 fn check_conservation(m: &Metrics, what: &str) {
     let accounted = m.delivered_messages + m.dropped_messages + m.dead_on_arrival;
     let in_flight = m
@@ -154,6 +156,7 @@ fn main() {
     let g = udg.graph();
     let transport = TransportConfig::default();
     let plan = |p: f64| ChurnPlan::none().drop_probability(p);
+    let lossy = |p: f64| Stack::new().churned(plan(p)).transport(transport);
     let mut inflation: Vec<(&str, f64, f64)> = Vec::new();
 
     // --- Algorithms 1 + 2: fractional LP then randomized rounding. ------
@@ -161,10 +164,18 @@ fn main() {
     let fparams = FractionalParams::new(2);
     let rparams = RoundingParams::default();
     let (frac, frac_log) =
-        run_fractional_protocol_traced(&inst, &fparams).expect("fractional protocol");
-    let (rounded, round_log) =
-        run_rounding_protocol_traced(&inst, &frac.solution.x, frac.solution.delta, 5, &rparams)
-            .expect("rounding protocol");
+        run_fractional_stack(&inst, &fparams, Stack::new().traced()).expect("fractional protocol");
+    let frac_log = frac_log.expect("traced stack records a log");
+    let (rounded, round_log) = run_rounding_stack(
+        &inst,
+        &frac.solution.x,
+        frac.solution.delta,
+        5,
+        &rparams,
+        Stack::new().traced(),
+    )
+    .expect("rounding protocol");
+    let round_log = round_log.expect("traced stack records a log");
     let base12 = Cost::default().add(&frac.metrics).add(&rounded.metrics);
     println!(
         "Algorithms 1+2 (t=2, k=2): |S| = {}, kappa = {:.3}",
@@ -174,16 +185,14 @@ fn main() {
     let mut t12 = Table::new(&HEADERS);
     t12.push_row(row("direct", &base12, &base12, true));
     for p in DROPS {
-        let f = run_fractional_protocol_lossy(&inst, &fparams, plan(p), transport)
-            .expect("lossy fractional");
-        let r = run_rounding_protocol_lossy(
+        let (f, _) = run_fractional_stack(&inst, &fparams, lossy(p)).expect("lossy fractional");
+        let (r, _) = run_rounding_stack(
             &inst,
             &f.solution.x,
             f.solution.delta,
             5,
             &rparams,
-            plan(p),
-            transport,
+            lossy(p),
         )
         .expect("lossy rounding");
         check_conservation(&f.metrics, "Alg 1");
@@ -207,7 +216,9 @@ fn main() {
 
     // --- Algorithm 3: UDG clustering. -----------------------------------
     let config = UdgAlgorithm::new(2).seed(4);
-    let (direct3, udg_log) = run_udg_protocol_traced(&udg, &config).expect("udg protocol");
+    let (direct3, udg_log) =
+        run_udg_stack(&udg, &config, Stack::new().traced()).expect("udg protocol");
+    let udg_log = udg_log.expect("traced stack records a log");
     let base3 = Cost::default().add(&direct3.metrics);
     println!(
         "Algorithm 3 (k=2): |S| = {}, {} leaders, {} part-II iterations",
@@ -218,7 +229,7 @@ fn main() {
     let mut t3 = Table::new(&HEADERS);
     t3.push_row(row("direct", &base3, &base3, true));
     for p in DROPS {
-        let r = run_udg_protocol_lossy(&udg, &config, plan(p), transport).expect("lossy udg");
+        let (r, _) = run_udg_stack(&udg, &config, lossy(p)).expect("lossy udg");
         check_conservation(&r.metrics, "Alg 3");
         let c = Cost::default().add(&r.metrics);
         let identical = r.run == direct3.run;
@@ -243,8 +254,16 @@ fn main() {
         alive[v.index()] = false;
     }
     let rcfg = RepairConfig::new(9);
-    let (directr, repair_log) =
-        run_repair_protocol_traced(g, &direct3.run.set, &alive, 2, &rcfg).expect("repair protocol");
+    let (directr, repair_log) = run_repair_stack(
+        g,
+        &direct3.run.set,
+        &alive,
+        2,
+        &rcfg,
+        Stack::new().traced(),
+    )
+    .expect("repair protocol");
+    let repair_log = repair_log.expect("traced stack records a log");
     let baser = Cost::default().add(&directr.metrics);
     println!(
         "repair (k=2, {kills} members killed): {} added, {} iterations, peak deficit {}",
@@ -255,9 +274,8 @@ fn main() {
     let mut tr = Table::new(&HEADERS);
     tr.push_row(row("direct", &baser, &baser, true));
     for p in DROPS {
-        let r =
-            run_repair_protocol_lossy(g, &direct3.run.set, &alive, 2, &rcfg, plan(p), transport)
-                .expect("lossy repair");
+        let (r, _) =
+            run_repair_stack(g, &direct3.run.set, &alive, 2, &rcfg, lossy(p)).expect("lossy repair");
         check_conservation(&r.metrics, "repair");
         let c = Cost::default().add(&r.metrics);
         let identical =
@@ -293,6 +311,40 @@ fn main() {
         rollup_rows(&mut tp, stack, log);
     }
     tp.print();
+    println!();
+
+    // --- Layer composition: transport + tracing in one run. --------------
+    println!("lossy+traced composition (p=0.20): the transport and trace layers");
+    println!("compose in one executor run; the per-phase rollups — now counting");
+    println!("retransmissions and acks inside their phases — still reconcile");
+    println!("exactly against the run's Metrics:");
+    let mut tc = Table::new(&["stack", "phase", "rounds", "msgs", "bits", "max bits"]);
+    let (lt_frac, lt_frac_log) =
+        run_fractional_stack(&inst, &fparams, lossy(0.2).traced()).expect("lossy+traced Alg 1");
+    let lt_frac_log = lt_frac_log.expect("traced stack records a log");
+    assert_eq!(
+        lt_frac.solution, frac.solution,
+        "lossy+traced Algorithm 1 diverged from the direct run"
+    );
+    check_conservation(&lt_frac.metrics, "Alg 1 lossy+traced");
+    if let Err(e) = lt_frac_log.reconcile(&lt_frac.metrics) {
+        panic!("Alg 1 lossy+traced: trace rollups diverged from Metrics: {e}");
+    }
+    rollup_rows(&mut tc, "Alg 1 p=0.20", &lt_frac_log);
+    let (lt_rep, lt_rep_log) =
+        run_repair_stack(g, &direct3.run.set, &alive, 2, &rcfg, lossy(0.2).traced())
+            .expect("lossy+traced repair");
+    let lt_rep_log = lt_rep_log.expect("traced stack records a log");
+    assert_eq!(
+        lt_rep.set, directr.set,
+        "lossy+traced repair diverged from the direct run"
+    );
+    check_conservation(&lt_rep.metrics, "repair lossy+traced");
+    if let Err(e) = lt_rep_log.reconcile(&lt_rep.metrics) {
+        panic!("repair lossy+traced: trace rollups diverged from Metrics: {e}");
+    }
+    rollup_rows(&mut tc, "repair p=0.20", &lt_rep_log);
+    tc.print();
     println!();
 
     if let Some(path) = &trace_path {

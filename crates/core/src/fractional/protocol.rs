@@ -25,10 +25,11 @@ use super::engine::account;
 use super::{FractionalParams, FractionalSolution};
 use crate::{Instance, KmdsError};
 use ftclust_graphs::NodeId;
-use ftclust_netsim::transport::{run_reliably, TransportConfig};
+use ftclust_netsim::exec::{Executor, Phase, Stack};
+use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{
     bits_for_ids, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload,
-    Simulator, Topology,
+    Topology,
 };
 
 /// Bits charged per transmitted numeric value (see the module docs).
@@ -289,6 +290,99 @@ fn assemble_solution<'n>(
     }
 }
 
+/// Algorithm 1's declarative span plan: round 0 is `dyndeg` (the initial
+/// color/dynamic-degree exchange), the `m`-th inner iteration contributes
+/// `raise(m)` (phase A) and `threshold(m)` (phase B, the threshold/dual
+/// accounting round), and the closing dual exchange plus assembly rounds
+/// run under `dual_exchange`.
+fn lp_phases(t2: u64) -> Vec<Phase> {
+    let mut plan = Vec::with_capacity(2 * t2 as usize + 2);
+    plan.push(Phase::span("dyndeg", 1));
+    for m in 0..t2 {
+        plan.push(Phase::indexed("raise", m, 1));
+        plan.push(Phase::indexed("threshold", m, 1));
+    }
+    plan.push(Phase::tail("dual_exchange"));
+    plan
+}
+
+/// Runs **Algorithm 1** through the composable executor stack of
+/// [`ftclust_netsim::exec`]: the reliable transport (loss masking), churn
+/// and tracing layers selected by `stack` compose freely. This is the
+/// canonical driver — [`run_fractional_protocol`] and the historical
+/// `_lossy`/`_traced` entry points are thin shims over it.
+///
+/// When the stack is traced, the run's [`EventLog`] attributes every
+/// round, message and bit of Theorem 4.5's `O(t²)` schedule to its phase
+/// via the plan above; tracing does not perturb the run, so solution and
+/// metrics are identical to the untraced stack's. When the stack engages
+/// the transport, drops and link outages stretch physical time and add
+/// metered retransmissions but leave the solution bit-for-bit identical
+/// (asserted against the engine by the `strict-invariants` feature, which
+/// also reconciles the log's rollups against the metrics).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget is exceeded (cannot
+/// happen for well-formed instances), or — with the transport engaged —
+/// wrapping [`ftclust_netsim::SimError::DeliveryFailed`] if loss exceeds
+/// a retransmit budget.
+///
+/// # Panics
+///
+/// Panics if `params` requests `TwoHopMax` Δ-knowledge: the metered
+/// protocol implements global-Δ knowledge only.
+pub fn run_fractional_stack(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+    stack: Stack,
+) -> Result<(FractionalProtocolRun, Option<EventLog>), KmdsError> {
+    assert_eq!(
+        params.knowledge,
+        super::DeltaKnowledge::Global,
+        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
+    );
+    let g = inst.graph();
+    let t = params.t;
+    let delta = params.resolve_delta(inst);
+    let t2 = (t as u64) * (t as u64);
+    let _transported = stack.engages_transport();
+    // The transport scales its physical ceiling from the exact logical
+    // round count (2t² + 3); the synchronous budget carries slack.
+    let budget = if _transported { 2 * t2 + 3 } else { 2 * t2 + 8 };
+    let run = Executor::new(
+        Topology::from_graph(g),
+        |v: NodeId| LpNode::new(inst.demand(v), t, delta),
+        0,
+    )
+    .stack(stack)
+    .phases(lp_phases(t2))
+    .run(budget)?;
+    let solution = assemble_solution(inst, t, delta, run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    {
+        if _transported {
+            crate::audit::loss_transparent(
+                "Algorithm 1",
+                &solution,
+                &super::solve_fractional(inst, params)?,
+            );
+        }
+        if let Some(log) = &run.log {
+            if let Err(e) = log.reconcile(&run.metrics) {
+                unreachable!("trace rollups diverged from Metrics: {e}");
+            }
+        }
+    }
+    Ok((
+        FractionalProtocolRun {
+            solution,
+            metrics: run.metrics,
+        },
+        run.log,
+    ))
+}
+
 /// Runs Algorithm 1 as a message-passing protocol and collects metrics.
 ///
 /// # Errors
@@ -314,39 +408,10 @@ pub fn run_fractional_protocol(
     inst: &Instance<'_>,
     params: &FractionalParams,
 ) -> Result<FractionalProtocolRun, KmdsError> {
-    assert_eq!(
-        params.knowledge,
-        super::DeltaKnowledge::Global,
-        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
-    );
-    let g = inst.graph();
-    let t = params.t;
-    let delta = params.resolve_delta(inst);
-    let topo = Topology::from_graph(g);
-    let mut sim = Simulator::new(topo, |v: NodeId| LpNode::new(inst.demand(v), t, delta), 0);
-    let budget = 2 * (t as u64) * (t as u64) + 8;
-    sim.run(budget)?;
-
-    Ok(FractionalProtocolRun {
-        solution: assemble_solution(inst, t, delta, sim.logics()),
-        metrics: sim.metrics().clone(),
-    })
+    run_fractional_stack(inst, params, Stack::new()).map(|(run, _)| run)
 }
 
-/// [`run_fractional_protocol`] with a recorded [`EventLog`]: Algorithm
-/// 1's phase schedule is bracketed with named spans — round 0 is
-/// `dyndeg` (the initial color/dynamic-degree exchange), the `m`-th
-/// inner iteration contributes `raise(m)` (phase A) and `threshold(m)`
-/// (phase B, the threshold/dual accounting round), and the closing dual
-/// exchange plus assembly rounds run under `dual_exchange` — so
-/// [`EventLog::rollups`] attributes every round, message and bit of
-/// Theorem 4.5's `O(t²)` schedule to its phase.
-///
-/// The traced run uses the same seed and schedule as
-/// [`run_fractional_protocol`], so the returned run (solution *and*
-/// metrics) is identical to the untraced one. Under `strict-invariants`
-/// the log is reconciled against the metrics (the conservation law,
-/// per phase).
+/// [`run_fractional_protocol`] with a recorded [`EventLog`].
 ///
 /// # Errors
 ///
@@ -355,55 +420,17 @@ pub fn run_fractional_protocol(
 /// # Panics
 ///
 /// As [`run_fractional_protocol`].
-pub fn run_fractional_protocol_traced(
+#[deprecated(note = "compose layers with `run_fractional_stack(inst, params, Stack::new().traced())`")]
+pub fn run_fractional_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     params: &FractionalParams,
 ) -> Result<(FractionalProtocolRun, EventLog), KmdsError> {
-    assert_eq!(
-        params.knowledge,
-        super::DeltaKnowledge::Global,
-        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
-    );
-    let g = inst.graph();
-    let t = params.t;
-    let delta = params.resolve_delta(inst);
-    let topo = Topology::from_graph(g);
-    let mut sim = Simulator::new(topo, |v: NodeId| LpNode::new(inst.demand(v), t, delta), 0);
-    sim.set_tracer(EventLog::new());
-    let t2 = (t as u64) * (t as u64);
-    let budget = 2 * t2 + 8;
-    sim.span_enter("dyndeg", None);
-    sim.step();
-    sim.span_exit("dyndeg", None);
-    for m in 0..t2 {
-        sim.span_enter("raise", Some(m));
-        sim.step();
-        sim.span_exit("raise", Some(m));
-        sim.span_enter("threshold", Some(m));
-        sim.step();
-        sim.span_exit("threshold", Some(m));
-    }
-    sim.span_enter("dual_exchange", None);
-    sim.run(budget)?;
-    sim.span_exit("dual_exchange", None);
-    let run = FractionalProtocolRun {
-        solution: assemble_solution(inst, t, delta, sim.logics()),
-        metrics: sim.metrics().clone(),
-    };
-    let log = sim.take_event_log().unwrap_or_default();
-    #[cfg(feature = "strict-invariants")]
-    if let Err(e) = log.reconcile(&run.metrics) {
-        unreachable!("trace rollups diverged from Metrics: {e}");
-    }
-    Ok((run, log))
+    run_fractional_stack(inst, params, Stack::new().traced())
+        .map(|(run, log)| (run, log.unwrap_or_default()))
 }
 
-/// Runs **Algorithm 1** over **lossy links**: every node is wrapped in the
-/// reliable transport of [`ftclust_netsim::transport`], so message drops
-/// and transient link outages injected by `churn` stretch physical time
-/// and add metered retransmissions but leave the computed solution
-/// bit-for-bit identical to [`run_fractional_protocol`]'s (asserted by
-/// the `strict-invariants` feature).
+/// Runs **Algorithm 1** over **lossy links** through the reliable
+/// transport.
 ///
 /// # Errors
 ///
@@ -411,40 +438,21 @@ pub fn run_fractional_protocol_traced(
 /// [`ftclust_netsim::SimError::DeliveryFailed`] if loss exceeds a
 /// retransmit budget, or `RoundLimitExceeded` past the physical-round
 /// budget [`TransportConfig::round_budget`].
-pub fn run_fractional_protocol_lossy(
+#[deprecated(
+    note = "compose layers with `run_fractional_stack(inst, params, Stack::new().churned(churn).transport(transport))`"
+)]
+pub fn run_fractional_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     params: &FractionalParams,
     churn: ChurnPlan,
     transport: TransportConfig,
 ) -> Result<FractionalProtocolRun, KmdsError> {
-    assert_eq!(
-        params.knowledge,
-        super::DeltaKnowledge::Global,
-        "the metered protocol implements global-Δ knowledge; use the engine for TwoHopMax"
-    );
-    let g = inst.graph();
-    let t = params.t;
-    let delta = params.resolve_delta(inst);
-    let logical = 2 * (t as u64) * (t as u64) + 3;
-    let run = run_reliably(
-        Topology::from_graph(g),
-        |v: NodeId| LpNode::new(inst.demand(v), t, delta),
-        0,
-        churn,
-        transport,
-        transport.round_budget(logical),
-    )?;
-    let solution = assemble_solution(inst, t, delta, run.logics.iter());
-    #[cfg(feature = "strict-invariants")]
-    crate::audit::loss_transparent(
-        "Algorithm 1",
-        &solution,
-        &super::solve_fractional(inst, params)?,
-    );
-    Ok(FractionalProtocolRun {
-        solution,
-        metrics: run.metrics,
-    })
+    run_fractional_stack(
+        inst,
+        params,
+        Stack::new().churned(churn).transport(transport),
+    )
+    .map(|(run, _)| run)
 }
 
 /// Runs Algorithm 1 on an **asynchronous** network with random message
@@ -460,6 +468,9 @@ pub fn run_fractional_protocol_lossy(
 ///
 /// Returns [`KmdsError::Sim`] if the local-round budget is exceeded
 /// (cannot happen for well-formed instances).
+#[deprecated(
+    note = "use `Executor::run_async` via the executor stack; kept for source compatibility"
+)]
 pub fn run_fractional_protocol_async(
     inst: &Instance<'_>,
     params: &FractionalParams,
@@ -473,19 +484,18 @@ pub fn run_fractional_protocol_async(
     let g = inst.graph();
     let t = params.t;
     let delta = params.resolve_delta(inst);
-    let topo = Topology::from_graph(g);
     let budget = 2 * (t as u64) * (t as u64) + 8;
-    let run = ftclust_netsim::synchronizer::run_asynchronously(
-        topo,
+    let (run, _) = Executor::new(
+        Topology::from_graph(g),
         |v: NodeId| LpNode::new(inst.demand(v), t, delta),
         0,
-        max_delay,
-        budget,
-    )?;
+    )
+    .run_async(max_delay, budget)?;
     Ok(assemble_solution(inst, t, delta, run.logics.iter()))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay under test to pin their parity with the stack
 mod tests {
     use super::*;
     use crate::fractional::solve_fractional;

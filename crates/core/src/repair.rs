@@ -86,10 +86,11 @@ use crate::bitset::{coverage_counts, BitSet};
 use crate::udg::PromotionRule;
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
-use ftclust_netsim::transport::{run_reliably, TransportConfig};
+use ftclust_netsim::exec::{completed_iterations, Executor, Phase, Stack};
+use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{
     bits_for_ids, node_rng, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic,
-    Payload, SimError, Simulator, Topology,
+    Payload, Topology,
 };
 use ftclust_par as par;
 use rand::rngs::StdRng;
@@ -600,9 +601,10 @@ fn assemble_repair(
         }
     }
     added.sort_unstable();
-    // Rounds: 1 detection + 3 per iteration + a trailing no-op iteration
-    // (deficit silence, then everyone halts) = 3·(iterations + 1).
-    let iterations = (logical_rounds / 3).saturating_sub(1) as u32;
+    // Rounds: 1 detection, 3 per iteration, and a trailing no-op
+    // iteration that halts in its second round (deficit silence, then
+    // everyone halts) = 3·(iterations + 1) in total.
+    let iterations = completed_iterations(logical_rounds, 1, 3, 2);
     RepairProtocolRun {
         set: DominatingSet::from_members(members),
         added,
@@ -611,6 +613,111 @@ fn assemble_repair(
         deficit_nodes,
         metrics,
     }
+}
+
+/// The coverage repair's declarative span plan: the round-0 heartbeat
+/// exchange runs under a `repair_heartbeat` span and every 3-round
+/// repair iteration (deficit announcement, re-election, join) under
+/// `repair_iter(j)`. Nodes halt in the re-election round (the second
+/// round of an iteration), so the final iteration's span may cover fewer
+/// than three executed rounds — stepping a quiescent network is a no-op
+/// and records nothing.
+fn repair_phases() -> Vec<Phase> {
+    vec![
+        Phase::span("repair_heartbeat", 1),
+        Phase::repeat("repair_iter", 3),
+    ]
+}
+
+/// Runs the coverage repair through the composable executor stack of
+/// [`ftclust_netsim::exec`] on the surviving subgraph: the reliable
+/// transport (loss masking), churn and tracing layers selected by
+/// `stack` compose freely. This is the canonical driver —
+/// [`run_repair_protocol`] and the historical `_lossy`/`_traced` entry
+/// points are thin shims over it.
+///
+/// When the stack is traced, [`EventLog::rollups`] shows how the repair
+/// cost is spread over iterations versus detection via the plan above.
+/// When the transport is engaged, drops and outage windows add metered
+/// retransmissions but leave the healed set, additions and iteration
+/// count seed-for-seed identical to [`repair_coverage`]'s (asserted by
+/// the `strict-invariants` feature, which also reconciles the log's
+/// rollups against the metrics).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget is exceeded —
+/// impossible by the progress argument in the [module docs](self) — or,
+/// with the transport engaged, if loss exhausts a retransmit budget.
+///
+/// # Panics
+///
+/// Panics if `alive.len()` or the set universe mismatch the graph, or if
+/// `k == 0`.
+pub fn run_repair_stack(
+    g: &Graph,
+    set: &DominatingSet,
+    alive: &[bool],
+    k: u32,
+    cfg: &RepairConfig,
+    stack: Stack,
+) -> Result<(RepairProtocolRun, Option<EventLog>), KmdsError> {
+    let n = g.node_count();
+    assert_eq!(alive.len(), n, "liveness mask length mismatch");
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
+    let (sub, old_of_new) = g.induced_subgraph(&keep);
+    if sub.node_count() == 0 {
+        let log = stack.is_traced().then(EventLog::new);
+        return Ok((assemble_repair(n, &[], &[], k, 0, Metrics::default()), log));
+    }
+    let _transported = stack.engages_transport();
+    let run = Executor::new(
+        Topology::from_graph(&sub),
+        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
+        cfg.seed,
+    )
+    .stack(stack)
+    .phases(repair_phases())
+    .run(repair_round_budget(sub.node_count()))?;
+    let out = assemble_repair(
+        n,
+        &old_of_new,
+        &run.logics,
+        k,
+        run.logical_rounds,
+        run.metrics,
+    );
+    #[cfg(feature = "strict-invariants")]
+    {
+        if _transported {
+            let engine = repair_coverage(g, set, alive, k, cfg)?;
+            crate::audit::loss_transparent(
+                "coverage repair",
+                &(
+                    out.set.clone(),
+                    out.added.clone(),
+                    out.iterations,
+                    out.peak_deficit,
+                    out.deficit_nodes,
+                ),
+                &(
+                    engine.set,
+                    engine.added,
+                    engine.iterations,
+                    engine.peak_deficit,
+                    engine.deficit_nodes,
+                ),
+            );
+        }
+        if let Some(log) = &run.log {
+            if let Err(e) = log.reconcile(&out.metrics) {
+                unreachable!("trace rollups diverged from Metrics: {e}");
+            }
+        }
+    }
+    Ok((out, run.log))
 }
 
 /// Runs the coverage repair as a **message-passing protocol** on the
@@ -635,43 +742,10 @@ pub fn run_repair_protocol(
     k: u32,
     cfg: &RepairConfig,
 ) -> Result<RepairProtocolRun, KmdsError> {
-    let n = g.node_count();
-    assert_eq!(alive.len(), n, "liveness mask length mismatch");
-    assert_eq!(set.universe(), n, "set universe mismatch");
-    assert!(k >= 1, "k must be at least 1");
-    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
-    let (sub, old_of_new) = g.induced_subgraph(&keep);
-    if sub.node_count() == 0 {
-        return Ok(assemble_repair(n, &[], &[], k, 0, Metrics::default()));
-    }
-    let mut sim = Simulator::new(
-        Topology::from_graph(&sub),
-        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
-        cfg.seed,
-    );
-    sim.run(repair_round_budget(sub.node_count()))?;
-    let metrics = sim.metrics().clone();
-    let logical_rounds = metrics.rounds;
-    let finals: Vec<RepairNode> = sim.into_logics();
-    Ok(assemble_repair(
-        n,
-        &old_of_new,
-        &finals,
-        k,
-        logical_rounds,
-        metrics,
-    ))
+    run_repair_stack(g, set, alive, k, cfg, Stack::new()).map(|(run, _)| run)
 }
 
-/// [`run_repair_protocol`] with a recorded [`EventLog`]: the round-0
-/// heartbeat exchange runs under a `repair_heartbeat` span and every
-/// 3-round repair iteration (deficit announcement, re-election, join)
-/// under `repair_iter(j)`, so [`EventLog::rollups`] shows how the
-/// repair cost is spread over iterations versus detection.
-///
-/// The traced run uses the same seed as [`run_repair_protocol`], so the
-/// returned run is identical to the untraced one. Under
-/// `strict-invariants` the log is reconciled against the metrics.
+/// [`run_repair_protocol`] with a recorded [`EventLog`].
 ///
 /// # Errors
 ///
@@ -680,66 +754,16 @@ pub fn run_repair_protocol(
 /// # Panics
 ///
 /// As [`run_repair_protocol`].
-pub fn run_repair_protocol_traced(
+#[deprecated(note = "compose layers with `run_repair_stack(..., Stack::new().traced())`")]
+pub fn run_repair_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
     g: &Graph,
     set: &DominatingSet,
     alive: &[bool],
     k: u32,
     cfg: &RepairConfig,
 ) -> Result<(RepairProtocolRun, EventLog), KmdsError> {
-    let n = g.node_count();
-    assert_eq!(alive.len(), n, "liveness mask length mismatch");
-    assert_eq!(set.universe(), n, "set universe mismatch");
-    assert!(k >= 1, "k must be at least 1");
-    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
-    let (sub, old_of_new) = g.induced_subgraph(&keep);
-    if sub.node_count() == 0 {
-        return Ok((
-            assemble_repair(n, &[], &[], k, 0, Metrics::default()),
-            EventLog::new(),
-        ));
-    }
-    let mut sim = Simulator::new(
-        Topology::from_graph(&sub),
-        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
-        cfg.seed,
-    );
-    sim.set_tracer(EventLog::new());
-    let budget = repair_round_budget(sub.node_count());
-    sim.span_enter("repair_heartbeat", None);
-    sim.step();
-    sim.span_exit("repair_heartbeat", None);
-    // Nodes halt in the re-election round (the second round of an
-    // iteration), so the final iteration's span may cover fewer than
-    // three executed rounds — step() on a quiescent network is a no-op
-    // and records nothing.
-    let mut iter = 0u64;
-    while !sim.is_quiescent() {
-        if sim.round() >= budget {
-            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
-                limit: budget,
-                round: sim.round(),
-                still_running: sim.running_count(),
-                in_flight: sim.in_flight_messages(),
-            }));
-        }
-        sim.span_enter("repair_iter", Some(iter));
-        sim.step();
-        sim.step();
-        sim.step();
-        sim.span_exit("repair_iter", Some(iter));
-        iter += 1;
-    }
-    let metrics = sim.metrics().clone();
-    let logical_rounds = metrics.rounds;
-    let log = sim.take_event_log().unwrap_or_default();
-    #[cfg(feature = "strict-invariants")]
-    if let Err(e) = log.reconcile(&metrics) {
-        unreachable!("trace rollups diverged from Metrics: {e}");
-    }
-    let finals: Vec<RepairNode> = sim.into_logics();
-    let run = assemble_repair(n, &old_of_new, &finals, k, logical_rounds, metrics);
-    Ok((run, log))
+    run_repair_stack(g, set, alive, k, cfg, Stack::new().traced())
+        .map(|(run, log)| (run, log.unwrap_or_default()))
 }
 
 /// Logical-round budget of a repair run: detection + one three-round
@@ -750,10 +774,7 @@ fn repair_round_budget(n_sub: usize) -> u64 {
 }
 
 /// Runs the coverage repair over **lossy links** via the reliable
-/// transport of [`ftclust_netsim::transport`]: drops and outage windows
-/// injected by `churn` add metered retransmissions but leave the healed
-/// set, additions and iteration count seed-for-seed identical to
-/// [`repair_coverage`]'s (asserted by the `strict-invariants` feature).
+/// transport.
 ///
 /// # Errors
 ///
@@ -764,7 +785,10 @@ fn repair_round_budget(n_sub: usize) -> u64 {
 ///
 /// Panics if `alive.len()` or the set universe mismatch the graph, or if
 /// `k == 0`.
-pub fn run_repair_protocol_lossy(
+#[deprecated(
+    note = "compose layers with `run_repair_stack(..., Stack::new().churned(churn).transport(transport))`"
+)]
+pub fn run_repair_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
     g: &Graph,
     set: &DominatingSet,
     alive: &[bool],
@@ -773,57 +797,19 @@ pub fn run_repair_protocol_lossy(
     churn: ChurnPlan,
     transport: TransportConfig,
 ) -> Result<RepairProtocolRun, KmdsError> {
-    let n = g.node_count();
-    assert_eq!(alive.len(), n, "liveness mask length mismatch");
-    assert_eq!(set.universe(), n, "set universe mismatch");
-    assert!(k >= 1, "k must be at least 1");
-    let keep: Vec<NodeId> = g.nodes().filter(|v| alive[v.index()]).collect();
-    let (sub, old_of_new) = g.induced_subgraph(&keep);
-    if sub.node_count() == 0 {
-        return Ok(assemble_repair(n, &[], &[], k, 0, Metrics::default()));
-    }
-    let logical_budget = repair_round_budget(sub.node_count());
-    let run = run_reliably(
-        Topology::from_graph(&sub),
-        |v| repair_node(&sub, &old_of_new, set, k, cfg, v),
-        cfg.seed,
-        churn,
-        transport,
-        transport.round_budget(logical_budget),
-    )?;
-    let out = assemble_repair(
-        n,
-        &old_of_new,
-        &run.logics,
+    run_repair_stack(
+        g,
+        set,
+        alive,
         k,
-        run.logical_rounds,
-        run.metrics,
-    );
-    #[cfg(feature = "strict-invariants")]
-    {
-        let engine = repair_coverage(g, set, alive, k, cfg)?;
-        crate::audit::loss_transparent(
-            "coverage repair",
-            &(
-                out.set.clone(),
-                out.added.clone(),
-                out.iterations,
-                out.peak_deficit,
-                out.deficit_nodes,
-            ),
-            &(
-                engine.set,
-                engine.added,
-                engine.iterations,
-                engine.peak_deficit,
-                engine.deficit_nodes,
-            ),
-        );
-    }
-    Ok(out)
+        cfg,
+        Stack::new().churned(churn).transport(transport),
+    )
+    .map(|(run, _)| run)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay under test to pin their parity with the stack
 mod tests {
     use super::*;
     use crate::udg::UdgAlgorithm;

@@ -14,10 +14,10 @@
 use super::{select_repair_targets, RepairSelection, RoundingOutcome, RoundingParams};
 use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::NodeId;
-use ftclust_netsim::transport::{run_reliably, TransportConfig};
+use ftclust_netsim::exec::{Executor, Phase, Stack};
+use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{
-    ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload, SimError,
-    Simulator, Topology,
+    ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload, Topology,
 };
 use rand::Rng;
 
@@ -119,6 +119,90 @@ pub struct RoundingProtocolRun {
     pub metrics: Metrics,
 }
 
+/// Runs **Algorithm 2** through the composable executor stack of
+/// [`ftclust_netsim::exec`]: the reliable transport (loss masking), churn
+/// and tracing layers selected by `stack` compose freely. This is the
+/// canonical driver — [`run_rounding_protocol`] and the historical
+/// `_lossy`/`_traced` entry points are thin shims over it.
+///
+/// When the stack is traced, each of Algorithm 2's (at most three)
+/// rounds runs under a `rounding_round(r)` span — flag draw,
+/// deficit/request, repair — so a composed Algorithm 1+2 trace
+/// attributes the rounding tail separately from the LP phases. Tracing
+/// does not perturb the run; when the transport is engaged, the rounded
+/// set stays seed-for-seed identical to the lossless run's (asserted
+/// against the engine by the `strict-invariants` feature, which also
+/// reconciles the log's rollups against the metrics).
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the (constant) round budget is exceeded
+/// (cannot happen losslessly) or — with the transport engaged — if loss
+/// exhausts a retransmit budget.
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the node count.
+pub fn run_rounding_stack(
+    inst: &Instance<'_>,
+    x: &[f64],
+    delta: usize,
+    seed: u64,
+    params: &RoundingParams,
+    stack: Stack,
+) -> Result<(RoundingProtocolRun, Option<EventLog>), KmdsError> {
+    let g = inst.graph();
+    assert_eq!(
+        x.len(),
+        g.node_count(),
+        "fractional solution length mismatch"
+    );
+    let ln_d1 = ((delta + 1) as f64).ln();
+    let _transported = stack.engages_transport();
+    // The transport scales its physical ceiling from the exact logical
+    // round count (3); the synchronous budget carries slack.
+    let budget = if _transported { 3 } else { 8 };
+    let run = Executor::new(
+        Topology::from_graph(g),
+        |v: NodeId| RoundingNode {
+            k: inst.demand(v),
+            x: x[v.index()],
+            ln_d1,
+            selection: params.selection,
+            repair: params.repair,
+            selected: false,
+            initial: false,
+        },
+        seed,
+    )
+    .stack(stack)
+    .phases(vec![Phase::repeat("rounding_round", 1)])
+    .run(budget)?;
+    let outcome = assemble_outcome(run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    {
+        if _transported {
+            crate::audit::loss_transparent(
+                "Algorithm 2",
+                &outcome,
+                &super::round_fractional(inst, x, delta, seed, params),
+            );
+        }
+        if let Some(log) = &run.log {
+            if let Err(e) = log.reconcile(&run.metrics) {
+                unreachable!("trace rollups diverged from Metrics: {e}");
+            }
+        }
+    }
+    Ok((
+        RoundingProtocolRun {
+            outcome,
+            metrics: run.metrics,
+        },
+        run.log,
+    ))
+}
+
 /// Runs **Algorithm 2** as a message-passing protocol.
 ///
 /// # Errors
@@ -136,44 +220,10 @@ pub fn run_rounding_protocol(
     seed: u64,
     params: &RoundingParams,
 ) -> Result<RoundingProtocolRun, KmdsError> {
-    let g = inst.graph();
-    assert_eq!(
-        x.len(),
-        g.node_count(),
-        "fractional solution length mismatch"
-    );
-    let ln_d1 = ((delta + 1) as f64).ln();
-    let topo = Topology::from_graph(g);
-    let mut sim = Simulator::new(
-        topo,
-        |v: NodeId| RoundingNode {
-            k: inst.demand(v),
-            x: x[v.index()],
-            ln_d1,
-            selection: params.selection,
-            repair: params.repair,
-            selected: false,
-            initial: false,
-        },
-        seed,
-    );
-    sim.run(8)?;
-    let outcome = assemble_outcome(sim.logics());
-    Ok(RoundingProtocolRun {
-        outcome,
-        metrics: sim.metrics().clone(),
-    })
+    run_rounding_stack(inst, x, delta, seed, params, Stack::new()).map(|(run, _)| run)
 }
 
-/// [`run_rounding_protocol`] with a recorded [`EventLog`]: each of
-/// Algorithm 2's (at most three) rounds runs under a
-/// `rounding_round(r)` span — flag draw, deficit/request, repair — so
-/// a composed Algorithm 1+2 trace attributes the rounding tail
-/// separately from the LP phases.
-///
-/// The traced run uses the same seed as [`run_rounding_protocol`], so
-/// the returned run is identical to the untraced one. Under
-/// `strict-invariants` the log is reconciled against the metrics.
+/// [`run_rounding_protocol`] with a recorded [`EventLog`].
 ///
 /// # Errors
 ///
@@ -182,59 +232,16 @@ pub fn run_rounding_protocol(
 /// # Panics
 ///
 /// As [`run_rounding_protocol`].
-pub fn run_rounding_protocol_traced(
+#[deprecated(note = "compose layers with `run_rounding_stack(..., Stack::new().traced())`")]
+pub fn run_rounding_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     x: &[f64],
     delta: usize,
     seed: u64,
     params: &RoundingParams,
 ) -> Result<(RoundingProtocolRun, EventLog), KmdsError> {
-    let g = inst.graph();
-    assert_eq!(
-        x.len(),
-        g.node_count(),
-        "fractional solution length mismatch"
-    );
-    let ln_d1 = ((delta + 1) as f64).ln();
-    let topo = Topology::from_graph(g);
-    let mut sim = Simulator::new(
-        topo,
-        |v: NodeId| RoundingNode {
-            k: inst.demand(v),
-            x: x[v.index()],
-            ln_d1,
-            selection: params.selection,
-            repair: params.repair,
-            selected: false,
-            initial: false,
-        },
-        seed,
-    );
-    sim.set_tracer(EventLog::new());
-    let budget = 8u64;
-    let mut r = 0u64;
-    while !sim.is_quiescent() {
-        if sim.round() >= budget {
-            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
-                limit: budget,
-                round: sim.round(),
-                still_running: sim.running_count(),
-                in_flight: sim.in_flight_messages(),
-            }));
-        }
-        sim.span_enter("rounding_round", Some(r));
-        sim.step();
-        sim.span_exit("rounding_round", Some(r));
-        r += 1;
-    }
-    let outcome = assemble_outcome(sim.logics());
-    let metrics = sim.metrics().clone();
-    let log = sim.take_event_log().unwrap_or_default();
-    #[cfg(feature = "strict-invariants")]
-    if let Err(e) = log.reconcile(&metrics) {
-        unreachable!("trace rollups diverged from Metrics: {e}");
-    }
-    Ok((RoundingProtocolRun { outcome, metrics }, log))
+    run_rounding_stack(inst, x, delta, seed, params, Stack::new().traced())
+        .map(|(run, log)| (run, log.unwrap_or_default()))
 }
 
 /// Assembles the [`RoundingOutcome`] from the final per-node states —
@@ -255,11 +262,7 @@ fn assemble_outcome<'n>(nodes: impl Iterator<Item = &'n RoundingNode>) -> Roundi
     }
 }
 
-/// Runs **Algorithm 2** over **lossy links** via the reliable transport of
-/// [`ftclust_netsim::transport`]: drops and outage windows injected by
-/// `churn` add metered retransmissions but leave the rounded set
-/// seed-for-seed identical to [`run_rounding_protocol`]'s (asserted by
-/// the `strict-invariants` feature).
+/// Runs **Algorithm 2** over **lossy links** via the reliable transport.
 ///
 /// # Errors
 ///
@@ -269,7 +272,10 @@ fn assemble_outcome<'n>(nodes: impl Iterator<Item = &'n RoundingNode>) -> Roundi
 /// # Panics
 ///
 /// Panics if `x.len()` differs from the node count.
-pub fn run_rounding_protocol_lossy(
+#[deprecated(
+    note = "compose layers with `run_rounding_stack(..., Stack::new().churned(churn).transport(transport))`"
+)]
+pub fn run_rounding_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     x: &[f64],
     delta: usize,
@@ -278,43 +284,19 @@ pub fn run_rounding_protocol_lossy(
     churn: ChurnPlan,
     transport: TransportConfig,
 ) -> Result<RoundingProtocolRun, KmdsError> {
-    let g = inst.graph();
-    assert_eq!(
-        x.len(),
-        g.node_count(),
-        "fractional solution length mismatch"
-    );
-    let ln_d1 = ((delta + 1) as f64).ln();
-    let run = run_reliably(
-        Topology::from_graph(g),
-        |v: NodeId| RoundingNode {
-            k: inst.demand(v),
-            x: x[v.index()],
-            ln_d1,
-            selection: params.selection,
-            repair: params.repair,
-            selected: false,
-            initial: false,
-        },
+    run_rounding_stack(
+        inst,
+        x,
+        delta,
         seed,
-        churn,
-        transport,
-        transport.round_budget(3),
-    )?;
-    let outcome = assemble_outcome(run.logics.iter());
-    #[cfg(feature = "strict-invariants")]
-    crate::audit::loss_transparent(
-        "Algorithm 2",
-        &outcome,
-        &super::round_fractional(inst, x, delta, seed, params),
-    );
-    Ok(RoundingProtocolRun {
-        outcome,
-        metrics: run.metrics,
-    })
+        params,
+        Stack::new().churned(churn).transport(transport),
+    )
+    .map(|(run, _)| run)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay under test to pin their parity with the stack
 mod tests {
     use super::*;
     use crate::fractional::{solve_fractional, FractionalParams};

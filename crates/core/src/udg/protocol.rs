@@ -27,10 +27,11 @@ use super::part2::select_promotions;
 use super::{IdMode, PromotionRule, UdgAlgorithm, UdgRun};
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{NodeId, UnitDiskGraph};
-use ftclust_netsim::transport::{run_reliably, TransportConfig};
+use ftclust_netsim::exec::{completed_iterations, Executor, Phase, Stack};
+use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{
     bits_for_ids, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic, Payload,
-    SimError, Simulator, Topology,
+    Topology,
 };
 use rand::Rng;
 
@@ -243,6 +244,116 @@ pub struct UdgProtocolRun {
     pub metrics: Metrics,
 }
 
+/// Algorithm 3's declarative span plan: each Part I doubling-radius
+/// iteration runs under `part1_round(i)` (`i` indexes the θ schedule;
+/// every iteration spans the two simulator rounds of its broadcast/decide
+/// pair, Theorem 5.7's `O(log log n)` loop) and each Part II greedy step
+/// under `part2_promotion(j)` (the 3-round status/needy/promote cycle;
+/// nodes only halt at the end of a cycle, so quiescence is always
+/// observed on a cycle boundary).
+fn udg_phases(part1_rounds: u32) -> Vec<Phase> {
+    let mut plan = Vec::with_capacity(part1_rounds as usize + 1);
+    for i in 0..u64::from(part1_rounds) {
+        plan.push(Phase::indexed("part1_round", i, 2));
+    }
+    plan.push(Phase::repeat("part2_promotion", 3));
+    plan
+}
+
+/// The [`UdgProtocolRun`] of a zero-node instance, where no protocol runs.
+fn empty_udg_run() -> UdgProtocolRun {
+    UdgProtocolRun {
+        run: UdgRun {
+            set: DominatingSet::empty(0),
+            leaders: DominatingSet::empty(0),
+            part1_rounds: 0,
+            part2_iterations: 0,
+            active_history: vec![],
+        },
+        metrics: Metrics::default(),
+    }
+}
+
+/// Runs **Algorithm 3** through the composable executor stack of
+/// [`ftclust_netsim::exec`]: the reliable transport (loss masking), churn
+/// and tracing layers selected by `stack` compose freely. This is the
+/// canonical driver — [`run_udg_protocol`] and the historical
+/// `_lossy`/`_traced` entry points are thin shims over it.
+///
+/// When the stack is traced, [`EventLog::rollups`] splits the run's cost
+/// between Part I sparsification and Part II promotion via the plan
+/// above. When the transport is engaged, drops and outage windows add
+/// metered retransmissions but leave the computed set, leaders and
+/// iteration counts seed-for-seed identical to the lossless run's
+/// (asserted against the engine by the `strict-invariants` feature,
+/// which also reconciles the log's rollups against the metrics); the
+/// Part II iteration count is derived from the transport's **logical**
+/// round count, which loss cannot inflate.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget (`2·part1 + 3·(n+2)`)
+/// is exceeded — impossible for valid unit disk graphs — or, with the
+/// transport engaged, if loss exhausts a retransmit budget.
+pub fn run_udg_stack(
+    udg: &UnitDiskGraph,
+    config: &UdgAlgorithm,
+    stack: Stack,
+) -> Result<(UdgProtocolRun, Option<EventLog>), KmdsError> {
+    let n = udg.node_count();
+    if n == 0 {
+        let log = stack.is_traced().then(EventLog::new);
+        return Ok((empty_udg_run(), log));
+    }
+    let schedule = theta_schedule(n, udg.radius());
+    let part1_rounds = schedule.len() as u32;
+    let cap = id_cap(n);
+    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
+    let budget = 2 * u64::from(part1_rounds) + 3 * (n as u64 + 2) + 8;
+    let _transported = stack.engages_transport();
+    let run = Executor::new(
+        Topology::from_udg(udg),
+        |_: NodeId| UdgNode {
+            k: config.k,
+            id_mode: config.id_mode,
+            promotion: config.promotion,
+            schedule: schedule.clone(),
+            id_cap: cap,
+            id_bits,
+            active: true,
+            my_id: 0,
+            fixed_drawn: false,
+            passive_after: None,
+            leader: false,
+            neighbor_leader: Vec::new(),
+            my_needy: false,
+        },
+        config.seed,
+    )
+    .stack(stack)
+    .phases(udg_phases(part1_rounds))
+    .run(budget)?;
+    let assembled = assemble_run(part1_rounds, run.logical_rounds, run.logics.iter());
+    #[cfg(feature = "strict-invariants")]
+    {
+        if _transported {
+            crate::audit::loss_transparent("Algorithm 3", &assembled, &config.run(udg)?);
+        }
+        if let Some(log) = &run.log {
+            if let Err(e) = log.reconcile(&run.metrics) {
+                unreachable!("trace rollups diverged from Metrics: {e}");
+            }
+        }
+    }
+    Ok((
+        UdgProtocolRun {
+            run: assembled,
+            metrics: run.metrics,
+        },
+        run.log,
+    ))
+}
+
 /// Runs **Algorithm 3** as a message-passing protocol with distance
 /// sensing, collecting communication metrics.
 ///
@@ -254,149 +365,21 @@ pub fn run_udg_protocol(
     udg: &UnitDiskGraph,
     config: &UdgAlgorithm,
 ) -> Result<UdgProtocolRun, KmdsError> {
-    let n = udg.node_count();
-    if n == 0 {
-        return Ok(UdgProtocolRun {
-            run: UdgRun {
-                set: DominatingSet::empty(0),
-                leaders: DominatingSet::empty(0),
-                part1_rounds: 0,
-                part2_iterations: 0,
-                active_history: vec![],
-            },
-            metrics: Metrics::default(),
-        });
-    }
-    let schedule = theta_schedule(n, udg.radius());
-    let part1_rounds = schedule.len() as u32;
-    let cap = id_cap(n);
-    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
-    let topo = Topology::from_udg(udg);
-    let mut sim = Simulator::new(
-        topo,
-        |_: NodeId| UdgNode {
-            k: config.k,
-            id_mode: config.id_mode,
-            promotion: config.promotion,
-            schedule: schedule.clone(),
-            id_cap: cap,
-            id_bits,
-            active: true,
-            my_id: 0,
-            fixed_drawn: false,
-            passive_after: None,
-            leader: false,
-            neighbor_leader: Vec::new(),
-            my_needy: false,
-        },
-        config.seed,
-    );
-    let budget = 2 * part1_rounds as u64 + 3 * (n as u64 + 2) + 8;
-    sim.run(budget)?;
-
-    let run = assemble_run(part1_rounds, sim.metrics().rounds, sim.logics());
-    Ok(UdgProtocolRun {
-        run,
-        metrics: sim.metrics().clone(),
-    })
+    run_udg_stack(udg, config, Stack::new()).map(|(run, _)| run)
 }
 
-/// [`run_udg_protocol`] with a recorded [`EventLog`]: Algorithm 3's
-/// schedule is bracketed with named spans — each Part I doubling-radius
-/// iteration runs under `part1_round(i)` (`i` indexes the θ schedule;
-/// every iteration spans the two simulator rounds of its
-/// broadcast/decide pair, Theorem 5.7's `O(log log n)` loop) and each
-/// Part II greedy step under `part2_promotion(j)` (the 3-round
-/// status/needy/promote cycle) — so [`EventLog::rollups`] splits the
-/// run's cost between sparsification and promotion.
-///
-/// The traced run uses the same seed and schedule as
-/// [`run_udg_protocol`], so the returned run is identical to the
-/// untraced one. Under `strict-invariants` the log is reconciled
-/// against the metrics.
+/// [`run_udg_protocol`] with a recorded [`EventLog`].
 ///
 /// # Errors
 ///
 /// As [`run_udg_protocol`].
-pub fn run_udg_protocol_traced(
+#[deprecated(note = "compose layers with `run_udg_stack(udg, config, Stack::new().traced())`")]
+pub fn run_udg_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
     udg: &UnitDiskGraph,
     config: &UdgAlgorithm,
 ) -> Result<(UdgProtocolRun, EventLog), KmdsError> {
-    let n = udg.node_count();
-    if n == 0 {
-        return Ok((
-            UdgProtocolRun {
-                run: UdgRun {
-                    set: DominatingSet::empty(0),
-                    leaders: DominatingSet::empty(0),
-                    part1_rounds: 0,
-                    part2_iterations: 0,
-                    active_history: vec![],
-                },
-                metrics: Metrics::default(),
-            },
-            EventLog::new(),
-        ));
-    }
-    let schedule = theta_schedule(n, udg.radius());
-    let part1_rounds = schedule.len() as u32;
-    let cap = id_cap(n);
-    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
-    let topo = Topology::from_udg(udg);
-    let mut sim = Simulator::new(
-        topo,
-        |_: NodeId| UdgNode {
-            k: config.k,
-            id_mode: config.id_mode,
-            promotion: config.promotion,
-            schedule: schedule.clone(),
-            id_cap: cap,
-            id_bits,
-            active: true,
-            my_id: 0,
-            fixed_drawn: false,
-            passive_after: None,
-            leader: false,
-            neighbor_leader: Vec::new(),
-            my_needy: false,
-        },
-        config.seed,
-    );
-    sim.set_tracer(EventLog::new());
-    let budget = 2 * part1_rounds as u64 + 3 * (n as u64 + 2) + 8;
-    for i in 0..u64::from(part1_rounds) {
-        sim.span_enter("part1_round", Some(i));
-        sim.step();
-        sim.step();
-        sim.span_exit("part1_round", Some(i));
-    }
-    // Part II: nodes only halt at the end of a 3-round promotion cycle,
-    // so quiescence is always observed on a cycle boundary.
-    let mut iter = 0u64;
-    while !sim.is_quiescent() {
-        if sim.round() >= budget {
-            return Err(KmdsError::Sim(SimError::RoundLimitExceeded {
-                limit: budget,
-                round: sim.round(),
-                still_running: sim.running_count(),
-                in_flight: sim.in_flight_messages(),
-            }));
-        }
-        sim.span_enter("part2_promotion", Some(iter));
-        sim.step();
-        sim.step();
-        sim.step();
-        sim.span_exit("part2_promotion", Some(iter));
-        iter += 1;
-    }
-    let run = assemble_run(part1_rounds, sim.metrics().rounds, sim.logics());
-    let metrics = sim.metrics().clone();
-    let log = sim.take_event_log().unwrap_or_default();
-    #[cfg(feature = "strict-invariants")]
-    if let Err(e) = log.reconcile(&metrics) {
-        unreachable!("trace rollups diverged from Metrics: {e}");
-    }
-    Ok((UdgProtocolRun { run, metrics }, log))
+    run_udg_stack(udg, config, Stack::new().traced())
+        .map(|(run, log)| (run, log.unwrap_or_default()))
 }
 
 /// Assembles the [`UdgRun`] from the final per-node states — shared by
@@ -422,8 +405,10 @@ fn assemble_run<'n>(
     let active_history: Vec<usize> = (1..=part1_rounds)
         .map(|i| passive_after.iter().filter(|&&p| p > i).count())
         .collect();
-    let part2_iterations =
-        ((logical_rounds - 2 * u64::from(part1_rounds)) / 3).saturating_sub(1) as u32;
+    // Part I occupies 2·part1_rounds logical rounds, each Part II
+    // iteration a 3-round cycle, and the final cycle is the all-quiet one
+    // that merely detects termination.
+    let part2_iterations = completed_iterations(logical_rounds, 2 * u64::from(part1_rounds), 3, 3);
     UdgRun {
         set: DominatingSet::from_members(members),
         leaders: DominatingSet::from_members(leaders),
@@ -433,74 +418,27 @@ fn assemble_run<'n>(
     }
 }
 
-/// Runs **Algorithm 3** over **lossy links** via the reliable transport
-/// of [`ftclust_netsim::transport`]: drops and outage windows injected by
-/// `churn` add metered retransmissions but leave the computed set,
-/// leaders and iteration counts seed-for-seed identical to
-/// [`run_udg_protocol`]'s (asserted by the `strict-invariants` feature).
-/// The Part II iteration count is derived from the transport's
-/// **logical** round count, which loss cannot inflate.
+/// Runs **Algorithm 3** over **lossy links** via the reliable transport.
 ///
 /// # Errors
 ///
 /// Returns [`KmdsError::Sim`] if loss exhausts a retransmit budget or the
 /// physical-round budget is exceeded.
-pub fn run_udg_protocol_lossy(
+#[deprecated(
+    note = "compose layers with `run_udg_stack(udg, config, Stack::new().churned(churn).transport(transport))`"
+)]
+pub fn run_udg_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
     udg: &UnitDiskGraph,
     config: &UdgAlgorithm,
     churn: ChurnPlan,
     transport: TransportConfig,
 ) -> Result<UdgProtocolRun, KmdsError> {
-    let n = udg.node_count();
-    if n == 0 {
-        return Ok(UdgProtocolRun {
-            run: UdgRun {
-                set: DominatingSet::empty(0),
-                leaders: DominatingSet::empty(0),
-                part1_rounds: 0,
-                part2_iterations: 0,
-                active_history: vec![],
-            },
-            metrics: Metrics::default(),
-        });
-    }
-    let schedule = theta_schedule(n, udg.radius());
-    let part1_rounds = schedule.len() as u32;
-    let cap = id_cap(n);
-    let id_bits = (4 * bits_for_ids(n.max(2))) as u16;
-    let logical_budget = 2 * u64::from(part1_rounds) + 3 * (n as u64 + 2) + 8;
-    let run = run_reliably(
-        Topology::from_udg(udg),
-        |_: NodeId| UdgNode {
-            k: config.k,
-            id_mode: config.id_mode,
-            promotion: config.promotion,
-            schedule: schedule.clone(),
-            id_cap: cap,
-            id_bits,
-            active: true,
-            my_id: 0,
-            fixed_drawn: false,
-            passive_after: None,
-            leader: false,
-            neighbor_leader: Vec::new(),
-            my_needy: false,
-        },
-        config.seed,
-        churn,
-        transport,
-        transport.round_budget(logical_budget),
-    )?;
-    let assembled = assemble_run(part1_rounds, run.logical_rounds, run.logics.iter());
-    #[cfg(feature = "strict-invariants")]
-    crate::audit::loss_transparent("Algorithm 3", &assembled, &config.run(udg)?);
-    Ok(UdgProtocolRun {
-        run: assembled,
-        metrics: run.metrics,
-    })
+    run_udg_stack(udg, config, Stack::new().churned(churn).transport(transport))
+        .map(|(run, _)| run)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay under test to pin their parity with the stack
 mod tests {
     use super::*;
     use crate::validate::{is_k_dominating, Semantics};

@@ -78,6 +78,7 @@ mod node;
 mod sim;
 mod topology;
 
+pub mod exec;
 pub mod synchronizer;
 pub mod trace;
 pub mod transport;

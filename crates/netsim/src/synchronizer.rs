@@ -350,7 +350,7 @@ pub fn run_asynchronously<L: NodeLogic>(
 /// # Panics
 ///
 /// Panics if `max_delay == 0`.
-pub fn run_asynchronously_traced<L: NodeLogic>(
+pub fn run_asynchronously_traced<L: NodeLogic>( // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
     topo: Topology<'_>,
     make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,
@@ -389,7 +389,7 @@ pub fn run_asynchronously_traced<L: NodeLogic>(
 /// # Panics
 ///
 /// Panics if `max_delay == 0` or `drop_probability` is not in `[0, 1]`.
-pub fn run_asynchronously_lossy<L: NodeLogic>(
+pub fn run_asynchronously_lossy<L: NodeLogic>( // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
     topo: Topology<'_>,
     make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,
@@ -411,6 +411,44 @@ pub fn run_asynchronously_lossy<L: NodeLogic>(
         false,
     )
     .map(|(run, _)| run)
+}
+
+/// The fully-composed asynchronous entry point used by
+/// [`crate::exec::Executor::run_async`]: [`run_asynchronously`] with any
+/// combination of i.i.d. bundle loss (see [`run_asynchronously_lossy`])
+/// and trace recording (see [`run_asynchronously_traced`]). The
+/// returned log is `Some` iff `traced` is set.
+///
+/// # Errors
+///
+/// As [`run_asynchronously_lossy`].
+///
+/// # Panics
+///
+/// Panics if `max_delay == 0` or `drop_probability` is not in `[0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_asynchronously_with<L: NodeLogic>(
+    topo: Topology<'_>,
+    make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    max_delay: u64,
+    max_rounds: u64,
+    drop_probability: f64,
+    traced: bool,
+) -> Result<(AsyncRun<L>, Option<EventLog>), SimError> {
+    assert!(
+        (0.0..=1.0).contains(&drop_probability),
+        "drop probability must be in [0, 1], got {drop_probability}"
+    );
+    run_async_impl(
+        topo,
+        make_logic,
+        master_seed,
+        max_delay,
+        max_rounds,
+        drop_probability,
+        traced,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -10,6 +10,7 @@
 //! synchronous execution and to the in-memory engine.
 //!
 //! Run with: `cargo run --release --example asynchronous`
+#![allow(deprecated)] // run_fractional_protocol_async is the stable doorway to the α-synchronizer
 
 use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_async};
 use ftclust::core::fractional::{solve_fractional, FractionalParams};

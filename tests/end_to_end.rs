@@ -1,5 +1,9 @@
 //! Cross-crate integration tests: full pipelines over generated networks,
 //! engines vs. protocols vs. the asynchronous synchronizer.
+//!
+//! The historical `run_fractional_protocol_async` shim stays under test
+//! here to pin its parity with the executor stack it delegates to.
+#![allow(deprecated)]
 
 use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_async};
 use ftclust::core::fractional::{solve_fractional, FractionalParams};

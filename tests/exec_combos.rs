@@ -1,0 +1,236 @@
+//! Layer-composition tests for the executor stack of
+//! `ftclust_netsim::exec`: the combinations the pre-executor driver
+//! matrix never offered — **lossy+traced** and **churned+lossy** (with
+//! tracing stacked on top, so all three layers compose) — run Algorithm
+//! 1 and the coverage repair with results identical to the lossless
+//! runs, byte-identical [`EventLog`]s at every `FTCLUST_THREADS`
+//! setting, and metrics satisfying the transport-extended conservation
+//! law.
+
+use ftclust::core::fractional::protocol::run_fractional_stack;
+use ftclust::core::fractional::FractionalParams;
+use ftclust::core::repair::{run_repair_stack, RepairConfig};
+use ftclust::core::udg::UdgAlgorithm;
+use ftclust::core::Instance;
+use ftclust::graphs::generators;
+use ftclust::graphs::NodeId;
+use ftclust::netsim::exec::Stack;
+use ftclust::netsim::trace::{REGISTERED_SPANS, UNSPANNED};
+use ftclust::netsim::transport::TransportConfig;
+use ftclust::netsim::{ChurnPlan, EventLog, Metrics};
+use ftclust_par::with_threads;
+
+/// Thread counts compared against the single-thread reference.
+const THREADS: &[usize] = &[2, 7];
+
+/// Asserts `log` uses only registered span names and reconciles against
+/// the run's metrics.
+fn check_log(log: &EventLog, metrics: &Metrics, what: &str) {
+    log.reconcile(metrics)
+        .unwrap_or_else(|e| panic!("{what}: rollups diverged from Metrics: {e}"));
+    for r in log.rollups() {
+        assert!(
+            r.name == UNSPANNED || REGISTERED_SPANS.contains(&r.name),
+            "{what}: unregistered span {:?}",
+            r.name
+        );
+    }
+}
+
+/// The transport-extended conservation law.
+fn check_conservation(m: &Metrics, what: &str) {
+    assert_eq!(
+        m.delivered_messages,
+        m.unique_delivered() + m.duplicates_suppressed,
+        "{what}: delivered ≠ unique + suppressed duplicates"
+    );
+    assert!(
+        m.duplicates_suppressed <= m.retransmits,
+        "{what}: more duplicates than retransmissions"
+    );
+    assert!(
+        m.delivered_messages + m.dropped_messages + m.dead_on_arrival <= m.messages,
+        "{what}: more messages accounted than sent"
+    );
+}
+
+/// Transport + i.i.d. loss + tracing: the lossy+traced combination.
+fn lossy_traced(p: f64) -> Stack {
+    Stack::new()
+        .churned(ChurnPlan::none().drop_probability(p))
+        .transport(TransportConfig::default())
+        .traced()
+}
+
+/// Transport + i.i.d. loss + a scheduled crash/recovery window +
+/// tracing: the churned+lossy combination (all three layers composed).
+fn churned_lossy_traced(p: f64, victim: u32, down: u64, up: u64) -> Stack {
+    Stack::new()
+        .churned(
+            ChurnPlan::none()
+                .drop_probability(p)
+                .crash(NodeId::new(victim), down)
+                .recover(NodeId::new(victim), up),
+        )
+        .transport(TransportConfig::default())
+        .traced()
+}
+
+#[test]
+fn alg1_lossy_traced_is_thread_invariant_and_reconciles() {
+    for &seed in &[5u64, 29] {
+        let g = generators::gnp(40, 0.15, seed);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let params = FractionalParams::new(2);
+        let (lossless, _) = run_fractional_stack(&inst, &params, Stack::new()).expect("lossless");
+        let (ref_run, ref_log) = with_threads(1, || {
+            let (run, log) =
+                run_fractional_stack(&inst, &params, lossy_traced(0.1)).expect("lossy+traced");
+            let log = log.expect("traced stack records a log");
+            check_log(&log, &run.metrics, "Alg 1 lossy+traced");
+            check_conservation(&run.metrics, "Alg 1 lossy+traced");
+            (run, log)
+        });
+        assert_eq!(
+            ref_run.solution, lossless.solution,
+            "loss changed Algorithm 1's solution at seed {seed}"
+        );
+        assert!(
+            ref_run.metrics.retransmits > 0,
+            "no loss was exercised at seed {seed}"
+        );
+        for &t in THREADS {
+            let (run, log) = with_threads(t, || {
+                let (run, log) =
+                    run_fractional_stack(&inst, &params, lossy_traced(0.1)).expect("lossy+traced");
+                (run, log.expect("traced stack records a log"))
+            });
+            assert_eq!(ref_run.solution, run.solution, "seed={seed} t={t}");
+            assert_eq!(ref_run.metrics, run.metrics, "seed={seed} t={t}");
+            assert_eq!(ref_log, log, "log diverged seed={seed} t={t}");
+            assert_eq!(
+                ref_log.to_jsonl(),
+                log.to_jsonl(),
+                "jsonl diverged seed={seed} t={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alg1_churned_lossy_is_thread_invariant_and_reconciles() {
+    for &seed in &[5u64, 29] {
+        let g = generators::gnp(40, 0.15, seed);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let params = FractionalParams::new(2);
+        let (lossless, _) = run_fractional_stack(&inst, &params, Stack::new()).expect("lossless");
+        // Node 3 goes down for physical rounds 2..7; the ARQ retransmits
+        // across the outage, so the solution cannot change.
+        let stack = || churned_lossy_traced(0.05, 3, 2, 7);
+        let (ref_run, ref_log) = with_threads(1, || {
+            let (run, log) = run_fractional_stack(&inst, &params, stack()).expect("churned+lossy");
+            let log = log.expect("traced stack records a log");
+            check_log(&log, &run.metrics, "Alg 1 churned+lossy");
+            check_conservation(&run.metrics, "Alg 1 churned+lossy");
+            (run, log)
+        });
+        assert_eq!(
+            ref_run.solution, lossless.solution,
+            "churn+loss changed Algorithm 1's solution at seed {seed}"
+        );
+        assert!(
+            ref_run.metrics.dead_on_arrival > 0 || ref_run.metrics.retransmits > 0,
+            "no churn or loss was exercised at seed {seed}"
+        );
+        for &t in THREADS {
+            let (run, log) = with_threads(t, || {
+                let (run, log) =
+                    run_fractional_stack(&inst, &params, stack()).expect("churned+lossy");
+                (run, log.expect("traced stack records a log"))
+            });
+            assert_eq!(ref_run.solution, run.solution, "seed={seed} t={t}");
+            assert_eq!(ref_run.metrics, run.metrics, "seed={seed} t={t}");
+            assert_eq!(ref_log, log, "log diverged seed={seed} t={t}");
+        }
+    }
+}
+
+/// Repair fixture: an engine-built clustering with ten members killed.
+fn repair_fixture() -> (
+    ftclust::graphs::UnitDiskGraph,
+    ftclust::core::DominatingSet,
+    Vec<bool>,
+) {
+    let udg = generators::random_udg(150, 9.0, 1.0, 12);
+    let base = UdgAlgorithm::new(2).seed(7).run(&udg).expect("udg engine");
+    let mut alive = vec![true; udg.graph().node_count()];
+    for v in base.set.ids().take(10) {
+        alive[v.index()] = false;
+    }
+    (udg, base.set, alive)
+}
+
+#[test]
+fn repair_lossy_traced_is_thread_invariant_and_reconciles() {
+    let (udg, set, alive) = repair_fixture();
+    let g = udg.graph();
+    let cfg = RepairConfig::new(3);
+    let (lossless, _) =
+        run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
+    assert!(!lossless.added.is_empty(), "fixture repairs nothing");
+    let (ref_run, ref_log) = with_threads(1, || {
+        let (run, log) =
+            run_repair_stack(g, &set, &alive, 2, &cfg, lossy_traced(0.1)).expect("lossy+traced");
+        let log = log.expect("traced stack records a log");
+        check_log(&log, &run.metrics, "repair lossy+traced");
+        check_conservation(&run.metrics, "repair lossy+traced");
+        (run, log)
+    });
+    assert_eq!(ref_run.set, lossless.set, "loss changed the healed set");
+    assert_eq!(ref_run.added, lossless.added);
+    assert_eq!(ref_run.iterations, lossless.iterations);
+    assert!(ref_run.metrics.retransmits > 0, "no loss was exercised");
+    for &t in THREADS {
+        let (run, log) = with_threads(t, || {
+            let (run, log) = run_repair_stack(g, &set, &alive, 2, &cfg, lossy_traced(0.1))
+                .expect("lossy+traced");
+            (run, log.expect("traced stack records a log"))
+        });
+        assert_eq!(ref_run.set, run.set, "t={t}");
+        assert_eq!(ref_run.metrics, run.metrics, "t={t}");
+        assert_eq!(ref_log, log, "log diverged t={t}");
+        assert_eq!(ref_log.to_jsonl(), log.to_jsonl(), "jsonl diverged t={t}");
+    }
+}
+
+#[test]
+fn repair_churned_lossy_is_thread_invariant_and_reconciles() {
+    let (udg, set, alive) = repair_fixture();
+    let g = udg.graph();
+    let cfg = RepairConfig::new(3);
+    let (lossless, _) =
+        run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
+    // Subgraph node 5 goes down for physical rounds 2..8.
+    let stack = || churned_lossy_traced(0.05, 5, 2, 8);
+    let (ref_run, ref_log) = with_threads(1, || {
+        let (run, log) =
+            run_repair_stack(g, &set, &alive, 2, &cfg, stack()).expect("churned+lossy");
+        let log = log.expect("traced stack records a log");
+        check_log(&log, &run.metrics, "repair churned+lossy");
+        check_conservation(&run.metrics, "repair churned+lossy");
+        (run, log)
+    });
+    assert_eq!(ref_run.set, lossless.set, "churn+loss changed the healed set");
+    assert_eq!(ref_run.added, lossless.added);
+    assert_eq!(ref_run.iterations, lossless.iterations);
+    for &t in THREADS {
+        let (run, log) = with_threads(t, || {
+            let (run, log) =
+                run_repair_stack(g, &set, &alive, 2, &cfg, stack()).expect("churned+lossy");
+            (run, log.expect("traced stack records a log"))
+        });
+        assert_eq!(ref_run.set, run.set, "t={t}");
+        assert_eq!(ref_run.metrics, run.metrics, "t={t}");
+        assert_eq!(ref_log, log, "log diverged t={t}");
+    }
+}

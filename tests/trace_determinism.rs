@@ -8,6 +8,12 @@
 //! at 1, 2, and 7 threads across multiple seeds and compare both the
 //! in-memory logs and the rendered JSONL byte-for-byte, then reconcile
 //! each log's rollups against the run's `Metrics` conservation law.
+//!
+//! The historical `run_*_traced` shims stay under test here to pin their
+//! parity with the executor stack they delegate to; the layer-composition
+//! combinations the old drivers never offered (lossy+traced,
+//! churned+lossy) are covered in `tests/exec_combos.rs`.
+#![allow(deprecated)]
 
 use ftclust::core::fractional::protocol::{
     run_fractional_protocol, run_fractional_protocol_traced,

@@ -1,0 +1,23 @@
+//! Seeded violations for the driver-drift rule: hand-specialized
+//! `run_*` variants that re-grow the per-combination runner matrix the
+//! executor stack replaced. Both forbidden suffixes are seeded; the
+//! plain runner and the private helper must NOT fire.
+
+/// A lossy driver specialization outside the executor module. VIOLATION.
+pub fn run_widget_lossy() {}
+
+/// A traced driver specialization outside the executor module. VIOLATION.
+pub fn run_widget_traced() {}
+
+/// The plain entry point is fine — layers compose through the stack.
+pub fn run_widget() {}
+
+/// Private helpers are not part of the driver surface.
+fn run_helper_lossy() {}
+
+fn main() {
+    run_widget_lossy();
+    run_widget_traced();
+    run_widget();
+    run_helper_lossy();
+}

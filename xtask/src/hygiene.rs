@@ -13,8 +13,14 @@
 //!   with a floating-point literal operand is forbidden unless waived
 //!   with the unified grammar (rule token `float-eq`), e.g. for
 //!   skipping exact zeros in simplex elimination.
+//! * **driver-drift** — new `pub fn run_*_lossy` / `pub fn run_*_traced`
+//!   free functions are forbidden outside the executor module. The old
+//!   4×4 runner matrix drifted exactly because each layer combination
+//!   was a hand-written driver; new code composes layers through
+//!   `ftclust_netsim::exec::Stack` instead. The deprecated shims that
+//!   delegate to the stack carry waivers.
 //!
-//! Both rules only *emit* candidate violations here; waiver suppression
+//! All rules only *emit* candidate violations here; waiver suppression
 //! (same or adjacent line, so rustfmt-wrapped statements keep their
 //! trailing comments effective) is applied centrally by [`crate::waivers`].
 
@@ -49,6 +55,48 @@ pub(crate) fn check_panic_paths(file: &SourceFile, out: &mut Vec<Violation>) {
                 ),
             });
             from = offset + needle.len();
+        }
+    }
+}
+
+/// The one module allowed to define layered `run_*` entry points: the
+/// composable executor itself.
+const DRIVER_HOME: &str = "crates/netsim/src/exec.rs";
+
+/// Suffixes that mark a hand-specialized driver variant.
+const DRIVER_SUFFIXES: &[&str] = &["_lossy", "_traced"];
+
+/// Runs the driver-drift rule over one library source file: no new
+/// `pub fn run_*_lossy` / `pub fn run_*_traced` free functions outside
+/// the executor module.
+pub(crate) fn check_driver_drift(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel_path == DRIVER_HOME {
+        return;
+    }
+    let limit = file.test_code_start();
+    let code = &file.scrubbed[..limit];
+    const NEEDLE: &str = "pub fn run_";
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(NEEDLE) {
+        let offset = from + pos;
+        let name_start = offset + "pub fn ".len();
+        let name_len = code[name_start..]
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(code.len() - name_start);
+        let name = &code[name_start..name_start + name_len];
+        from = name_start + name_len;
+        if DRIVER_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            out.push(Violation {
+                rule: "driver-drift",
+                path: file.rel_path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "`{name}` re-grows the per-combination runner matrix; compose \
+                     the loss/trace layers through `ftclust_netsim::exec::Stack` \
+                     instead of adding a specialized driver (line: `{}`)",
+                    file.line_text(offset)
+                ),
+            });
         }
     }
 }
@@ -207,6 +255,40 @@ mod tests {
         let src = "fn f(x: f64) -> bool { x == 0.0 } // lint: float-eq \u{2014} skip zeros\n";
         let mut v = Vec::new();
         check_float_eq(&file(src), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn flags_specialized_drivers_outside_executor_module() {
+        let src = "pub fn run_widget_lossy() {}\npub fn run_widget_traced() {}\n\
+                   pub fn run_widget() {}\nfn run_private_lossy() {}\n";
+        let mut v = Vec::new();
+        check_driver_drift(&SourceFile::new("crates/core/src/widget.rs".into(), src.into()), &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "driver-drift"));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn executor_module_and_test_code_exempt_from_driver_drift() {
+        let src = "pub fn run_widget_lossy() {}\n";
+        let mut v = Vec::new();
+        check_driver_drift(
+            &SourceFile::new("crates/netsim/src/exec.rs".into(), src.into()),
+            &mut v,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let test_src = "#[cfg(test)]\nmod t { pub fn run_widget_lossy() {} }\n";
+        check_driver_drift(&file(test_src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waived_driver_still_emits_candidate_for_central_suppression() {
+        let src = "pub fn run_widget_lossy() {} // lint: driver-drift \u{2014} deprecated shim\n";
+        let mut v = Vec::new();
+        check_driver_drift(&file(src), &mut v);
         assert_eq!(v.len(), 1, "{v:?}");
     }
 

@@ -253,6 +253,11 @@ pub(crate) fn run_scoped_passes(file: &SourceFile, scope: Scope, out: &mut Vec<V
     if scope == Scope::Lib && FLOAT_EQ_TREES.iter().any(|t| file.rel_path.starts_with(t)) {
         hygiene::check_float_eq(file, out);
     }
+    // Driver drift: library crates must not re-grow the per-combination
+    // runner matrix the executor stack replaced.
+    if scope == Scope::Lib {
+        hygiene::check_driver_drift(file, out);
+    }
     // Ambient-nondeterminism rules hold everywhere, *including* inline
     // test modules: a wall-clock read in a test breaks replayability
     // just as surely as one in the engine.

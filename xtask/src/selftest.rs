@@ -15,6 +15,9 @@
 //! * `waiver_violations.rs` must trigger every waiver-audit rule
 //!   (stale-waiver, unknown-waiver-rule, waiver-syntax,
 //!   legacy-waiver-grammar),
+//! * `driver_drift_violations.rs` must trigger `driver-drift` on both
+//!   forbidden driver suffixes (`_lossy`, `_traced`) while sparing the
+//!   plain runner and private helpers,
 //! * `clean.rs` must produce zero violations — guarding against false
 //!   positives on comments, strings, waivers, sorted drains, justified
 //!   `unsafe`, and test modules.
@@ -68,6 +71,10 @@ const SEEDED_FIXTURES: &[(&str, &[&str])] = &[
             "legacy-waiver-grammar",
         ],
     ),
+    (
+        "xtask/fixtures/driver_drift_violations.rs",
+        &["driver-drift"],
+    ),
 ];
 
 /// Runs the full per-file pipeline (every checker plus the waiver
@@ -81,6 +88,7 @@ fn check_fixture(root: &Path, rel: &str) -> Result<Vec<Violation>, String> {
     let limit = file.test_code_start();
     hygiene::check_panic_paths(&file, &mut v);
     hygiene::check_float_eq(&file, &mut v);
+    hygiene::check_driver_drift(&file, &mut v);
     congest::check(&file, true, &mut v);
     determinism::check_wall_clock(&file, full, &mut v);
     determinism::check_env_read(&file, full, &mut v);

@@ -50,6 +50,7 @@ pub(crate) const WAIVABLE_RULES: &[&str] = &[
     "quantized-floats",
     "span-name-unregistered",
     "span-name-not-literal",
+    "driver-drift",
 ];
 
 /// One parsed waiver comment.
