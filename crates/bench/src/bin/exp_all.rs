@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e13_ablations",
     "exp_e14_churn",
     "exp_e15_lossy",
+    "exp_e16_chaos",
 ];
 
 struct Outcome {

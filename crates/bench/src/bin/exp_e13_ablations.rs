@@ -10,12 +10,13 @@ use ftclust_bench::families::{run_trials_par, udg_workload, Family};
 use ftclust_bench::stats::mean;
 use ftclust_bench::table::{f2, f3, Table};
 use ftclust_core::fractional::{
-    protocol::run_fractional_protocol, solve_fractional, FractionalParams,
+    protocol::run_fractional_stack, solve_fractional, FractionalParams,
 };
 use ftclust_core::rounding::{round_fractional, RoundingParams};
-use ftclust_core::udg::{protocol::run_udg_protocol, IdMode, UdgAlgorithm};
+use ftclust_core::udg::{protocol::run_udg_stack, IdMode, UdgAlgorithm};
 use ftclust_core::validate::{is_k_dominating_instance, Semantics};
 use ftclust_core::Instance;
+use ftclust_netsim::exec::Stack;
 
 fn main() {
     println!("E13a: fresh vs fixed identifiers in Part I (10 seeds, k = 1)");
@@ -80,13 +81,16 @@ fn main() {
     let inst = Instance::uniform_clamped(&g, 2);
     let params = FractionalParams::new(3);
     let engine = solve_fractional(&inst, &params).unwrap();
-    let proto = run_fractional_protocol(&inst, &params).unwrap().solution;
+    let proto = run_fractional_stack(&inst, &params, Stack::new())
+        .unwrap()
+        .0
+        .solution;
     assert_eq!(engine, proto);
     let udg = udg_workload(400, 10.0, 12);
     let config = UdgAlgorithm::new(3).seed(5);
     assert_eq!(
         config.run(&udg).unwrap(),
-        run_udg_protocol(&udg, &config).unwrap().run
+        run_udg_stack(&udg, &config, Stack::new()).unwrap().0.run
     );
     println!("  fractional engine == protocol: yes");
     println!("  udg engine == protocol: yes");

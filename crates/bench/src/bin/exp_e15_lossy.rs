@@ -254,15 +254,9 @@ fn main() {
         alive[v.index()] = false;
     }
     let rcfg = RepairConfig::new(9);
-    let (directr, repair_log) = run_repair_stack(
-        g,
-        &direct3.run.set,
-        &alive,
-        2,
-        &rcfg,
-        Stack::new().traced(),
-    )
-    .expect("repair protocol");
+    let (directr, repair_log) =
+        run_repair_stack(g, &direct3.run.set, &alive, 2, &rcfg, Stack::new().traced())
+            .expect("repair protocol");
     let repair_log = repair_log.expect("traced stack records a log");
     let baser = Cost::default().add(&directr.metrics);
     println!(
@@ -274,8 +268,8 @@ fn main() {
     let mut tr = Table::new(&HEADERS);
     tr.push_row(row("direct", &baser, &baser, true));
     for p in DROPS {
-        let (r, _) =
-            run_repair_stack(g, &direct3.run.set, &alive, 2, &rcfg, lossy(p)).expect("lossy repair");
+        let (r, _) = run_repair_stack(g, &direct3.run.set, &alive, 2, &rcfg, lossy(p))
+            .expect("lossy repair");
         check_conservation(&r.metrics, "repair");
         let c = Cost::default().add(&r.metrics);
         let identical =

@@ -4,8 +4,9 @@
 use ftclust_bench::cells;
 use ftclust_bench::families::{run_trials_par, Family};
 use ftclust_bench::table::Table;
-use ftclust_core::fractional::{protocol::run_fractional_protocol, FractionalParams};
+use ftclust_core::fractional::{protocol::run_fractional_stack, FractionalParams};
 use ftclust_core::Instance;
+use ftclust_netsim::exec::Stack;
 
 fn main() {
     println!("E2: measured round complexity and message sizes of Algorithm 1");
@@ -27,7 +28,7 @@ fn main() {
         let inst = Instance::uniform_clamped(&g, 2);
         let mut out = Vec::new();
         for t in [1u32, 2, 4, 6] {
-            let run = run_fractional_protocol(&inst, &FractionalParams::new(t))
+            let (run, _) = run_fractional_stack(&inst, &FractionalParams::new(t), Stack::new())
                 .expect("protocol completes");
             let predicted = 2 * (t as u64).pow(2) + 3;
             assert_eq!(run.metrics.rounds, predicted, "round count mismatch");

@@ -4,9 +4,10 @@
 use ftclust_bench::cells;
 use ftclust_bench::families::{run_trials_par, udg_workload, Family};
 use ftclust_bench::table::{f2, Table};
-use ftclust_core::fractional::{protocol::run_fractional_protocol, FractionalParams};
-use ftclust_core::udg::{protocol::run_udg_protocol, UdgAlgorithm};
+use ftclust_core::fractional::{protocol::run_fractional_stack, FractionalParams};
+use ftclust_core::udg::{protocol::run_udg_stack, UdgAlgorithm};
 use ftclust_core::Instance;
+use ftclust_netsim::exec::Stack;
 
 fn main() {
     println!("E8: maximum message size (bits) vs log2(n)");
@@ -25,12 +26,14 @@ fn main() {
         let log2n = (n as f64).log2();
         let g = Family::Gnp.build(n, 2);
         let inst = Instance::uniform_clamped(&g, 2);
-        let lp = run_fractional_protocol(&inst, &FractionalParams::new(3))
+        let lp = run_fractional_stack(&inst, &FractionalParams::new(3), Stack::new())
             .expect("lp protocol")
+            .0
             .metrics;
         let udg = udg_workload(n, 10.0, n as u64);
-        let u = run_udg_protocol(&udg, &UdgAlgorithm::new(2).seed(3))
+        let u = run_udg_stack(&udg, &UdgAlgorithm::new(2).seed(3), Stack::new())
             .expect("udg protocol")
+            .0
             .metrics;
         cells![
             n,

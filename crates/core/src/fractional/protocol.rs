@@ -420,8 +420,11 @@ pub fn run_fractional_protocol(
 /// # Panics
 ///
 /// As [`run_fractional_protocol`].
-#[deprecated(note = "compose layers with `run_fractional_stack(inst, params, Stack::new().traced())`")]
-pub fn run_fractional_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
+#[deprecated(
+    note = "compose layers with `run_fractional_stack(inst, params, Stack::new().traced())`"
+)]
+pub fn run_fractional_protocol_traced(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     params: &FractionalParams,
 ) -> Result<(FractionalProtocolRun, EventLog), KmdsError> {
@@ -441,7 +444,8 @@ pub fn run_fractional_protocol_traced( // lint: driver-drift — deprecated shim
 #[deprecated(
     note = "compose layers with `run_fractional_stack(inst, params, Stack::new().churned(churn).transport(transport))`"
 )]
-pub fn run_fractional_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_fractional_protocol_lossy(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     params: &FractionalParams,
     churn: ChurnPlan,
@@ -461,20 +465,31 @@ pub fn run_fractional_protocol_lossy( // lint: driver-drift — deprecated shim 
 /// Section 3 ("every synchronous message-passing algorithm can be turned
 /// into an asynchronous algorithm with the same time complexity").
 ///
-/// The returned solution is identical to the synchronous protocol's and to
-/// the engine's.
+/// The stack composes partially with asynchrony (see
+/// [`ftclust_netsim::exec`]): the loss layer and an adversary's
+/// corruption fold into the synchronizer's bundle-loss rate, jitter and
+/// duplication are subsumed by its delay and exactly-once semantics, and
+/// the transport, churn and partition layers are rejected.
+///
+/// On a fault-free stack the returned solution is identical to the
+/// synchronous protocol's and to the engine's.
 ///
 /// # Errors
 ///
-/// Returns [`KmdsError::Sim`] if the local-round budget is exceeded
-/// (cannot happen for well-formed instances).
-#[deprecated(
-    note = "use `Executor::run_async` via the executor stack; kept for source compatibility"
-)]
-pub fn run_fractional_protocol_async(
+/// Returns [`KmdsError::Sim`] if the local-round budget is exceeded, or
+/// wrapping [`ftclust_netsim::SimError::AsyncStalled`] when injected
+/// bundle loss starves a node of a neighbor's round bundle — the
+/// synchronizer fails fast instead of computing from a partial inbox.
+///
+/// # Panics
+///
+/// As [`Executor::run_async`]: panics if `max_delay == 0` or the stack
+/// engages the transport, churn, or partition layers.
+pub fn run_fractional_async_stack(
     inst: &Instance<'_>,
     params: &FractionalParams,
     max_delay: u64,
+    stack: Stack,
 ) -> Result<FractionalSolution, KmdsError> {
     assert_eq!(
         params.knowledge,
@@ -490,8 +505,23 @@ pub fn run_fractional_protocol_async(
         |v: NodeId| LpNode::new(inst.demand(v), t, delta),
         0,
     )
+    .stack(stack)
     .run_async(max_delay, budget)?;
     Ok(assemble_solution(inst, t, delta, run.logics.iter()))
+}
+
+/// [`run_fractional_async_stack`] on the empty stack.
+///
+/// # Errors
+///
+/// As [`run_fractional_async_stack`].
+#[deprecated(note = "use `run_fractional_async_stack` (composes with the executor stack)")]
+pub fn run_fractional_protocol_async(
+    inst: &Instance<'_>,
+    params: &FractionalParams,
+    max_delay: u64,
+) -> Result<FractionalSolution, KmdsError> {
+    run_fractional_async_stack(inst, params, max_delay, Stack::new())
 }
 
 #[cfg(test)]

@@ -41,6 +41,22 @@
 //! [`ftclust_netsim::transport`] — all three produce the identical healed
 //! set, additions and iteration count for the same [`RepairConfig`].
 //!
+//! # Continuous mode
+//!
+//! The epoch-based entry points above heal once, *after* a churn epoch
+//! has ended. [`run_repair_continuous`] instead runs the repair as a
+//! standing service **while** churn and adversarial delivery faults are
+//! live: every 4-round cycle probes coverage with membership beacons,
+//! records each node's observed deficit, and immediately re-elects and
+//! joins replacements. The per-cycle deficit series feeds
+//! [`ftclust_netsim::monitor::HealthMonitor`], which derives detection
+//! latency and mean time to repair per fault burst. Continuous mode runs
+//! *without* the reliable transport — ARQ cannot mask crash churn (a
+//! frame addressed to a crashed node exhausts its retransmit budget) —
+//! so the protocol itself is loss-tolerant: a lost or corrupted beacon
+//! undercounts coverage, which can only cause a spurious *extra*
+//! promotion, never a missed deficit.
+//!
 //! # Locality and termination
 //!
 //! Membership only ever grows, so coverage is monotone and the needy set
@@ -87,6 +103,7 @@ use crate::udg::PromotionRule;
 use crate::{DominatingSet, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
 use ftclust_netsim::exec::{completed_iterations, Executor, Phase, Stack};
+use ftclust_netsim::monitor::HealthMonitor;
 use ftclust_netsim::transport::TransportConfig;
 use ftclust_netsim::{
     bits_for_ids, node_rng, ChurnPlan, Context, Control, Envelope, EventLog, Metrics, NodeLogic,
@@ -101,6 +118,13 @@ use rand::rngs::StdRng;
 pub enum RepairMsg {
     /// Detection-round liveness beacon.
     Heartbeat,
+    /// Continuous-mode probe beacon: liveness plus current membership,
+    /// so receivers can measure their live coverage every cycle (see
+    /// [`run_repair_continuous`]).
+    Beacon {
+        /// Whether the sender is currently in the dominating set.
+        member: bool,
+    },
     /// "I am needy": the sender's current surviving-dominator count
     /// (`< k`; needed by the `MostDeficient` promotion rule).
     Deficit {
@@ -117,6 +141,7 @@ impl Payload for RepairMsg {
     fn bit_size(&self) -> usize {
         match self {
             RepairMsg::Heartbeat | RepairMsg::Promote | RepairMsg::Join => 1,
+            RepairMsg::Beacon { .. } => 2,
             RepairMsg::Deficit { cov } => 1 + bits_for_ids(*cov as usize + 2),
         }
     }
@@ -755,7 +780,8 @@ pub fn run_repair_protocol(
 ///
 /// As [`run_repair_protocol`].
 #[deprecated(note = "compose layers with `run_repair_stack(..., Stack::new().traced())`")]
-pub fn run_repair_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_repair_protocol_traced(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     g: &Graph,
     set: &DominatingSet,
     alive: &[bool],
@@ -788,7 +814,8 @@ fn repair_round_budget(n_sub: usize) -> u64 {
 #[deprecated(
     note = "compose layers with `run_repair_stack(..., Stack::new().churned(churn).transport(transport))`"
 )]
-pub fn run_repair_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_repair_protocol_lossy(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     g: &Graph,
     set: &DominatingSet,
     alive: &[bool],
@@ -806,6 +833,261 @@ pub fn run_repair_protocol_lossy( // lint: driver-drift — deprecated shim dele
         Stack::new().churned(churn).transport(transport),
     )
     .map(|(run, _)| run)
+}
+
+/// Per-node state of the **continuous** repair service (see the
+/// [module docs](self) on continuous mode). Runs on the *full* graph
+/// under live churn — liveness is whatever the simulator's churn plan
+/// says at each round — in repeating 4-round cycles:
+///
+/// 1. *Probe* (round `4c`) — every live node broadcasts a
+///    [`RepairMsg::Beacon`] carrying its membership.
+/// 2. *Deficit* (round `4c + 1`) — each node counts the **distinct**
+///    member beacon senders it heard (network duplicates must not
+///    double-count coverage), records its observed deficit for the
+///    monitor, and broadcasts [`RepairMsg::Deficit`] if under-covered.
+/// 3. *Re-election* (round `4c + 2`) — members promote up to `k` needy
+///    neighbors; a needy node that heard no member beacon at all (or
+///    whose degree is below `k`) marks itself for self-election.
+/// 4. *Join* (round `4c + 3`) — promoted and self-elected nodes enter
+///    the set; the next cycle's beacon announces it.
+///
+/// Loss, corruption and partitions make beacons *undercount* coverage,
+/// which can only trigger spurious extra promotions — the deficit probe
+/// never misses a real deficit for longer than one cycle. Jittered
+/// messages landing outside their cycle phase are ignored (each phase
+/// reads only its own message variant), i.e. treated as loss.
+#[derive(Debug)]
+pub struct ContinuousRepairNode {
+    k: u32,
+    rule: PromotionRule,
+    rng: StdRng,
+    member: bool,
+    /// Rounds this node participates in: it halts at round
+    /// `4 * cycles`.
+    horizon_rounds: u64,
+    /// Did the last probe deliver any member beacon?
+    heard_member_beacon: bool,
+    my_needy: bool,
+    pending_join: bool,
+    /// Whether this node joined the set during the run.
+    pub joined: bool,
+    /// Observed `(cycle, deficit)` pairs, one per deficit round this
+    /// node was alive for (a down node skips cycles, so the cycle index
+    /// is recorded explicitly).
+    pub deficits: Vec<(u64, u32)>,
+}
+
+impl NodeLogic for ContinuousRepairNode {
+    type Payload = RepairMsg;
+
+    fn on_round(
+        &mut self,
+        inbox: &[Envelope<RepairMsg>],
+        ctx: &mut Context<'_, RepairMsg>,
+    ) -> Control {
+        let r = ctx.round();
+        if r >= self.horizon_rounds {
+            return Control::Halt;
+        }
+        match r % 4 {
+            0 => {
+                ctx.broadcast(RepairMsg::Beacon {
+                    member: self.member,
+                });
+                Control::Continue
+            }
+            1 => {
+                // Coverage probe readout: distinct member beacon senders
+                // only — the adversary may deliver duplicates, and a
+                // duplicated beacon must not count as two dominators.
+                let mut members: Vec<NodeId> = inbox
+                    .iter()
+                    .filter_map(|e| match e.payload {
+                        RepairMsg::Beacon { member: true } => Some(e.from),
+                        _ => None,
+                    })
+                    .collect();
+                members.sort_unstable();
+                members.dedup();
+                self.heard_member_beacon = !members.is_empty();
+                let cov = u32::from(self.member) + members.len() as u32;
+                let deficit = if self.member {
+                    0
+                } else {
+                    self.k.saturating_sub(members.len() as u32)
+                };
+                self.deficits.push((r / 4, deficit));
+                self.my_needy = deficit > 0;
+                if self.my_needy {
+                    ctx.broadcast(RepairMsg::Deficit { cov });
+                }
+                Control::Continue
+            }
+            2 => {
+                let mut needy: Vec<(NodeId, u32)> = inbox
+                    .iter()
+                    .filter_map(|e| match e.payload {
+                        RepairMsg::Deficit { cov } => Some((e.from, cov)),
+                        _ => None,
+                    })
+                    .collect();
+                needy.sort_unstable_by_key(|&(v, _)| v);
+                needy.dedup_by_key(|&mut (v, _)| v);
+                if self.member && !needy.is_empty() {
+                    let ids: Vec<NodeId> = needy.iter().map(|&(v, _)| v).collect();
+                    let cov_of = |v: NodeId| match needy.iter().find(|&&(w, _)| w == v) {
+                        Some(&(_, c)) => c,
+                        None => unreachable!("promotion candidates come from `needy`"),
+                    };
+                    let chosen = crate::udg::select_promotions(
+                        &ids,
+                        cov_of,
+                        self.k as usize,
+                        self.rule,
+                        &mut self.rng,
+                    );
+                    for w in chosen {
+                        ctx.send(w, RepairMsg::Promote);
+                    }
+                }
+                if self.my_needy && (ctx.degree() < self.k as usize || !self.heard_member_beacon) {
+                    self.pending_join = true;
+                }
+                Control::Continue
+            }
+            _ => {
+                if inbox
+                    .iter()
+                    .any(|e| matches!(e.payload, RepairMsg::Promote))
+                {
+                    self.pending_join = true;
+                }
+                if self.pending_join && !self.member {
+                    self.member = true;
+                    self.joined = true;
+                }
+                self.pending_join = false;
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// Result of a [`run_repair_continuous`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousRepairRun {
+    /// Final membership over the full node universe (crashed nodes keep
+    /// their flag: a recovered member resumes as a member).
+    pub set: DominatingSet,
+    /// Nodes that joined the set at any point of the run, ascending.
+    pub added: Vec<NodeId>,
+    /// The per-cycle health series: the total observed coverage deficit
+    /// of every probe cycle, ready for
+    /// [`HealthMonitor::bursts`]/[`HealthMonitor::mttr`].
+    pub monitor: HealthMonitor,
+    /// Probe cycles executed.
+    pub cycles: u64,
+    /// Measured communication metrics of the physical execution.
+    pub metrics: Metrics,
+}
+
+/// Runs the repair protocol **continuously** for `cycles` 4-round probe
+/// cycles on the full graph while `stack`'s churn plan and adversary
+/// inject faults live — no epochs, no global pause. Per-cycle observed
+/// deficits are summed into a [`HealthMonitor`]; pair its series with
+/// the burst schedule of the churn plan to get detection latency and
+/// MTTR per burst.
+///
+/// The tracing layer brackets the run into a `monitor` span (the
+/// round-0 probe) and one `repair_continuous` span per cycle.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the physical-round budget (the horizon
+/// plus recovery slack) is exceeded — only possible if the churn plan
+/// keeps nodes down-but-wakeable long past the horizon.
+///
+/// # Panics
+///
+/// Panics if the set universe mismatches the graph, `k == 0`, or the
+/// stack engages the reliable transport: continuous repair runs bare —
+/// ARQ cannot mask crash churn (frames to crashed nodes exhaust their
+/// retransmit budget), and the protocol is loss-tolerant by design (a
+/// lost beacon undercounts coverage, which only over-promotes).
+pub fn run_repair_continuous(
+    g: &Graph,
+    set: &DominatingSet,
+    k: u32,
+    cfg: &RepairConfig,
+    cycles: u64,
+    stack: Stack,
+) -> Result<(ContinuousRepairRun, Option<EventLog>), KmdsError> {
+    let n = g.node_count();
+    assert_eq!(set.universe(), n, "set universe mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        !stack.engages_transport(),
+        "continuous repair runs without the transport layer (ARQ cannot mask crash churn); \
+         inject loss via the churn plan instead"
+    );
+    let horizon = 4 * cycles;
+    let run = Executor::new(
+        Topology::from_graph(g),
+        |v| ContinuousRepairNode {
+            k,
+            rule: cfg.rule,
+            rng: node_rng(cfg.seed, v),
+            member: set.contains(v),
+            horizon_rounds: horizon,
+            heard_member_beacon: false,
+            my_needy: false,
+            pending_join: false,
+            joined: false,
+            deficits: Vec::new(),
+        },
+        cfg.seed,
+    )
+    .stack(stack)
+    .phases(vec![
+        Phase::span("monitor", 1),
+        Phase::repeat("repair_continuous", 4),
+    ])
+    // Physical budget: the horizon, plus slack for nodes that sit out
+    // crashed past it and still owe their halting round after recovery.
+    .run(horizon.saturating_mul(4).saturating_add(64))?;
+    let mut members = vec![false; n];
+    let mut added = Vec::new();
+    let mut sums = vec![0u64; cycles as usize];
+    for (i, node) in run.logics.iter().enumerate() {
+        members[i] = node.member;
+        if node.joined {
+            added.push(NodeId::new(i as u32));
+        }
+        for &(c, d) in &node.deficits {
+            sums[c as usize] += u64::from(d);
+        }
+    }
+    let mut monitor = HealthMonitor::new();
+    for s in sums {
+        monitor.observe(s);
+    }
+    #[cfg(feature = "strict-invariants")]
+    if let Some(log) = &run.log {
+        if let Err(e) = log.reconcile(&run.metrics) {
+            unreachable!("trace rollups diverged from Metrics: {e}");
+        }
+    }
+    Ok((
+        ContinuousRepairRun {
+            set: DominatingSet::from_members(members),
+            added,
+            monitor,
+            cycles,
+            metrics: run.metrics,
+        },
+        run.log,
+    ))
 }
 
 #[cfg(test)]
@@ -1105,5 +1387,168 @@ mod tests {
                 "missing phase {expected}"
             );
         }
+    }
+
+    /// Alive mask for a churn plan whose crashes are never recovered.
+    fn alive_after(n: usize, churn: &ftclust_netsim::ChurnPlan) -> Vec<bool> {
+        use ftclust_netsim::ChurnEvent;
+        let mut alive = vec![true; n];
+        for (_, v, ev) in churn.scheduled_events() {
+            alive[v.index()] = matches!(ev, ChurnEvent::Recover);
+        }
+        alive
+    }
+
+    #[test]
+    fn continuous_repair_heals_scheduled_burst() {
+        use ftclust_netsim::ChurnPlan;
+        let udg = generators::random_udg(300, 10.0, 1.0, 33);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(4).run(&udg).unwrap();
+        // Crash a slice of members at round 8 — the cycle-2 probe.
+        let members: Vec<NodeId> = run.set.ids().collect();
+        let mut churn = ChurnPlan::none();
+        for &m in members.iter().step_by(3).take(8) {
+            churn = churn.crash(m, 8);
+        }
+        let cfg = RepairConfig::new(7);
+        let (out, _) = run_repair_continuous(
+            g,
+            &run.set,
+            2,
+            &cfg,
+            10,
+            Stack::new().churned(churn.clone()),
+        )
+        .unwrap();
+        assert_eq!(out.cycles, 10);
+        assert_eq!(out.monitor.cycles(), 10);
+        // Quiet before the burst: the initial set strictly 2-dominates.
+        assert_eq!(&out.monitor.deficits()[..2], &[0, 0]);
+        // The burst is detected at its own probe cycle and repaired.
+        let reports = out.monitor.bursts(&[2]);
+        assert_eq!(reports[0].detected_cycle, Some(2));
+        let mttr = ftclust_netsim::monitor::HealthMonitor::mttr(&reports)
+            .expect("burst must be repaired within the run");
+        assert!(mttr >= 1.0, "repair cannot precede detection");
+        assert!(!out.added.is_empty(), "healing must add replacements");
+        // The healed set strictly k-dominates the survivors.
+        let alive = alive_after(g.node_count(), &churn);
+        let (sub, survivors) = surviving_instance(g, &out.set, &alive);
+        assert!(is_k_dominating(&sub, &survivors, 2, Semantics::Strict));
+    }
+
+    #[test]
+    fn continuous_repair_heals_under_adversarial_chaos() {
+        use ftclust_netsim::{AdversaryPlan, ChurnPlan};
+        let udg = generators::random_udg(300, 10.0, 1.0, 33);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(4).run(&udg).unwrap();
+        let members: Vec<NodeId> = run.set.ids().collect();
+        let mut churn = ChurnPlan::none();
+        for &m in members.iter().step_by(3).take(8) {
+            churn = churn.crash(m, 8);
+        }
+        // Jitter capped at 3 rounds: a delayed probe beacon can never
+        // alias into a later deficit round (that needs delay ≡ 0 mod 4),
+        // so out-of-phase arrivals degrade to loss, which the protocol
+        // tolerates by design.
+        let plan = AdversaryPlan::new(0xC4A05)
+            .jitter(0.15, 3)
+            .duplicate(0.1)
+            .corrupt(0.1);
+        let cfg = RepairConfig::new(7);
+        let (out, _) = run_repair_continuous(
+            g,
+            &run.set,
+            2,
+            &cfg,
+            16,
+            Stack::new().churned(churn.clone()).adversarial(plan),
+        )
+        .unwrap();
+        assert!(out.metrics.corrupted > 0, "chaos run saw no corruption");
+        assert!(
+            out.metrics.net_duplicated > 0,
+            "chaos run saw no duplicates"
+        );
+        let reports = out.monitor.bursts(&[2]);
+        assert!(reports[0].detected_cycle.is_some(), "burst went undetected");
+        assert!(
+            reports[0].repaired_cycle.is_some(),
+            "burst unrepaired under chaos: deficits {:?}",
+            out.monitor.deficits()
+        );
+        let alive = alive_after(g.node_count(), &churn);
+        let (sub, survivors) = surviving_instance(g, &out.set, &alive);
+        assert!(is_k_dominating(&sub, &survivors, 2, Semantics::Strict));
+    }
+
+    #[test]
+    fn continuous_repair_is_thread_invariant_and_reconciles() {
+        use ftclust_netsim::trace::REGISTERED_SPANS;
+        use ftclust_netsim::{AdversaryPlan, ChurnPlan};
+        let udg = generators::random_udg(200, 9.0, 1.0, 51);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(2).seed(6).run(&udg).unwrap();
+        let members: Vec<NodeId> = run.set.ids().collect();
+        let mut churn = ChurnPlan::none();
+        for &m in members.iter().take(4) {
+            churn = churn.crash(m, 4);
+        }
+        let stack = || {
+            Stack::new()
+                .churned(churn.clone())
+                .adversarial(
+                    AdversaryPlan::new(7)
+                        .jitter(0.2, 2)
+                        .duplicate(0.1)
+                        .corrupt(0.05),
+                )
+                .traced()
+        };
+        let cfg = RepairConfig::new(9);
+        let runs: Vec<_> = [1usize, 2, 7]
+            .into_iter()
+            .map(|t| {
+                par::with_threads(t, || {
+                    run_repair_continuous(g, &run.set, 2, &cfg, 8, stack()).unwrap()
+                })
+            })
+            .collect();
+        let (base, log) = &runs[0];
+        let log = log.as_ref().expect("traced run must produce a log");
+        log.reconcile(&base.metrics).unwrap();
+        for r in log.rollups() {
+            assert!(
+                REGISTERED_SPANS.contains(&r.name),
+                "unregistered span {:?}",
+                r.name
+            );
+        }
+        for (t, (other, other_log)) in [2usize, 7].into_iter().zip(&runs[1..]) {
+            assert_eq!(base, other, "results diverged at {t} threads");
+            assert_eq!(
+                log.to_jsonl(),
+                other_log.as_ref().unwrap().to_jsonl(),
+                "event log diverged at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without the transport layer")]
+    fn continuous_repair_rejects_transport() {
+        let udg = generators::random_udg(50, 5.0, 1.0, 1);
+        let g = udg.graph();
+        let run = UdgAlgorithm::new(1).seed(1).run(&udg).unwrap();
+        let _ = run_repair_continuous(
+            g,
+            &run.set,
+            1,
+            &RepairConfig::new(1),
+            2,
+            Stack::new().transport(TransportConfig::default()),
+        );
     }
 }

@@ -233,7 +233,8 @@ pub fn run_rounding_protocol(
 ///
 /// As [`run_rounding_protocol`].
 #[deprecated(note = "compose layers with `run_rounding_stack(..., Stack::new().traced())`")]
-pub fn run_rounding_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_rounding_protocol_traced(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     x: &[f64],
     delta: usize,
@@ -275,7 +276,8 @@ fn assemble_outcome<'n>(nodes: impl Iterator<Item = &'n RoundingNode>) -> Roundi
 #[deprecated(
     note = "compose layers with `run_rounding_stack(..., Stack::new().churned(churn).transport(transport))`"
 )]
-pub fn run_rounding_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_rounding_protocol_lossy(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     inst: &Instance<'_>,
     x: &[f64],
     delta: usize,

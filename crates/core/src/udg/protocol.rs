@@ -374,7 +374,8 @@ pub fn run_udg_protocol(
 ///
 /// As [`run_udg_protocol`].
 #[deprecated(note = "compose layers with `run_udg_stack(udg, config, Stack::new().traced())`")]
-pub fn run_udg_protocol_traced( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_udg_protocol_traced(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     udg: &UnitDiskGraph,
     config: &UdgAlgorithm,
 ) -> Result<(UdgProtocolRun, EventLog), KmdsError> {
@@ -427,14 +428,19 @@ fn assemble_run<'n>(
 #[deprecated(
     note = "compose layers with `run_udg_stack(udg, config, Stack::new().churned(churn).transport(transport))`"
 )]
-pub fn run_udg_protocol_lossy( // lint: driver-drift — deprecated shim delegating to the executor stack
+pub fn run_udg_protocol_lossy(
+    // lint: driver-drift — deprecated shim delegating to the executor stack
     udg: &UnitDiskGraph,
     config: &UdgAlgorithm,
     churn: ChurnPlan,
     transport: TransportConfig,
 ) -> Result<UdgProtocolRun, KmdsError> {
-    run_udg_stack(udg, config, Stack::new().churned(churn).transport(transport))
-        .map(|(run, _)| run)
+    run_udg_stack(
+        udg,
+        config,
+        Stack::new().churned(churn).transport(transport),
+    )
+    .map(|(run, _)| run)
 }
 
 #[cfg(test)]

@@ -15,17 +15,25 @@
 //!   and link loss ([`Stack::churned`]);
 //! * **tracing** — record an [`EventLog`] with per-phase spans driven by
 //!   a declarative [`Phase`] plan ([`Stack::traced`]);
+//! * **adversary** — an [`AdversaryPlan`] of delay jitter, duplication,
+//!   corruption and scheduled partitions ([`Stack::adversarial`]);
 //! * **asynchrony** — the α-synchronizer ([`Executor::run_async`]).
 //!
 //! # Layer-composition rules
 //!
-//! * Transport, churn and tracing compose freely: all 2³ combinations
-//!   run through [`Executor::run`].
+//! * Transport, churn, adversary and tracing compose freely: all 2⁴
+//!   combinations run through [`Executor::run`].
 //! * The α-synchronizer composes with i.i.d. bundle loss and tracing
 //!   but **not** with the transport layer (it has no timers to drive
 //!   retransmission — see the [`crate::synchronizer`] module docs) and
 //!   not with scheduled churn plans. [`Executor::run_async`] asserts
-//!   both restrictions.
+//!   both restrictions. An adversary plan composes partially: its
+//!   corruption probability folds into the synchronizer's bundle-loss
+//!   rate (a corrupted bundle is checksum-erased, i.e. lost), jitter is
+//!   subsumed by the synchronizer's own delays and duplicates by its
+//!   exactly-once bundle delivery, while scheduled partitions are
+//!   rejected (the synchronizer has no global round clock to schedule
+//!   against).
 //!
 //! # Parity
 //!
@@ -41,6 +49,7 @@
 //! final phase) are attributed to the still-open final span, and a
 //! plan-less traced run records an unspanned log.
 
+use crate::adversary::AdversaryPlan;
 use crate::churn::ChurnPlan;
 use crate::error::SimError;
 use crate::metrics::Metrics;
@@ -130,6 +139,7 @@ pub struct Stack {
     traced: bool,
     drop_probability: f64,
     churned: bool,
+    adversary: Option<AdversaryPlan>,
 }
 
 impl Stack {
@@ -186,6 +196,16 @@ impl Stack {
         self
     }
 
+    /// Engages the adversarial delivery layer (see [`crate::adversary`]):
+    /// the plan's delay jitter, duplication, corruption and scheduled
+    /// partitions apply to every message that survives the churn layer.
+    /// Compose with [`Stack::transport`] to mask the injected faults; an
+    /// inert plan leaves the run untouched.
+    pub fn adversarial(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = Some(plan);
+        self
+    }
+
     /// Will [`Executor::run`] wrap nodes in the reliable transport?
     pub fn engages_transport(&self) -> bool {
         self.transport.is_some() || self.drop_probability > 0.0
@@ -199,6 +219,11 @@ impl Stack {
     /// The i.i.d. drop probability set via [`Stack::lossy`] (0 if none).
     pub fn drop_probability(&self) -> f64 {
         self.drop_probability
+    }
+
+    /// The adversary plan set via [`Stack::adversarial`], if any.
+    pub fn adversary(&self) -> Option<&AdversaryPlan> {
+        self.adversary.as_ref()
     }
 }
 
@@ -314,6 +339,12 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
         self
     }
 
+    /// Sugar for [`Stack::adversarial`] on the current stack.
+    pub fn adversarial(mut self, plan: AdversaryPlan) -> Self {
+        self.stack = self.stack.adversarial(plan);
+        self
+    }
+
     /// Attaches the declarative span plan used by traced runs (ignored
     /// when tracing is off; an empty plan records an unspanned log).
     pub fn phases(mut self, plan: Vec<Phase>) -> Self {
@@ -381,13 +412,26 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
             !self.stack.churned,
             "the α-synchronizer supports i.i.d. bundle loss only, not churn plans"
         );
+        // An adversary folds partially into the synchronizer (see the
+        // module docs): corruption is checksum-erased bundle loss, so it
+        // combines with the configured drop rate into the probability of
+        // *either* fate; jitter and duplication are subsumed by the
+        // synchronizer's own delay and exactly-once semantics.
+        let mut drop_probability = self.stack.drop_probability;
+        if let Some(plan) = &self.stack.adversary {
+            assert!(
+                !plan.has_partitions(),
+                "the α-synchronizer cannot schedule partitions (no global round clock)"
+            );
+            drop_probability = 1.0 - (1.0 - drop_probability) * (1.0 - plan.corrupt_prob());
+        }
         synchronizer::run_asynchronously_with(
             self.topo,
             self.make,
             self.seed,
             max_delay,
             max_rounds,
-            self.stack.drop_probability,
+            drop_probability,
             self.stack.traced,
         )
     }
@@ -395,6 +439,9 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
     /// Lossless untraced path: exactly `Simulator::run`.
     fn run_sync(self, budget: u64) -> Result<Run<L>, SimError> {
         let mut sim = Simulator::with_churn(self.topo, self.make, self.seed, self.stack.churn);
+        if let Some(plan) = self.stack.adversary {
+            sim.set_adversary(plan);
+        }
         sim.run(budget)?;
         let metrics = sim.metrics().clone();
         let logical_rounds = metrics.rounds;
@@ -411,6 +458,9 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
     /// the run (states *and* metrics) is identical to the untraced one.
     fn run_sync_traced(self, budget: u64) -> Result<Run<L>, SimError> {
         let mut sim = Simulator::with_churn(self.topo, self.make, self.seed, self.stack.churn);
+        if let Some(plan) = self.stack.adversary {
+            sim.set_adversary(plan);
+        }
         sim.set_tracer(EventLog::new());
         for phase in &self.phases {
             match *phase {
@@ -454,13 +504,15 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
         })
     }
 
-    /// Transport untraced path: delegates to [`transport::run_reliably`].
+    /// Transport untraced path: delegates to
+    /// [`transport::run_reliably_with`].
     fn run_transport(self, cfg: TransportConfig, logical: u64) -> Result<Run<L>, SimError> {
-        let run = transport::run_reliably(
+        let run = transport::run_reliably_with(
             self.topo,
             self.make,
             self.seed,
             self.stack.churn,
+            self.stack.adversary,
             cfg,
             cfg.round_budget(logical),
         )?;
@@ -488,6 +540,9 @@ impl<'a, L: NodeLogic, F: FnMut(NodeId) -> L> Executor<'a, L, F> {
             self.seed,
             self.stack.churn,
         );
+        if let Some(plan) = self.stack.adversary.take() {
+            sim.set_adversary(plan);
+        }
         sim.set_tracer(EventLog::new());
         let max_rounds = cfg.round_budget(logical);
         let mut cursor = SpanCursor::new(&self.phases);

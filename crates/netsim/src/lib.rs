@@ -21,7 +21,11 @@
 //! k-fold dominating sets tolerate exactly such faults. Live churn (crash
 //! **and recovery** events, seeded-random membership churn, link outage
 //! windows) is injected via [`ChurnPlan`], driving the self-healing repair
-//! protocol in `ftclust-core`.
+//! protocol in `ftclust-core`. Beyond loss, an [`AdversaryPlan`] injects
+//! the faults real radios produce — reordering delay jitter, frame
+//! duplication, payload corruption, scheduled group partitions — and the
+//! [`monitor`] module measures detection latency and time-to-repair when
+//! the repair protocol runs continuously under that chaos.
 //!
 //! Determinism: all randomness derives from a master seed via per-node
 //! streams ([`node_rng`]), so every execution is exactly reproducible and
@@ -78,11 +82,14 @@ mod node;
 mod sim;
 mod topology;
 
+pub mod adversary;
 pub mod exec;
+pub mod monitor;
 pub mod synchronizer;
 pub mod trace;
 pub mod transport;
 
+pub use adversary::AdversaryPlan;
 pub use churn::{ChurnEvent, ChurnPlan, RandomChurn};
 pub use error::SimError;
 pub use fault::FaultPlan;

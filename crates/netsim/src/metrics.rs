@@ -46,10 +46,28 @@ pub struct Metrics {
     pub acks: u64,
     /// Delivered frames a reliable transport discarded as duplicates of
     /// data it had already received (the flip side of a retransmission
-    /// whose original also survived). Included in
-    /// [`Metrics::delivered_messages`]; subtracting them yields
-    /// [`Metrics::unique_delivered`].
+    /// whose original also survived, or of a network-level duplicate
+    /// injected by an adversary — see [`Metrics::net_duplicated`]).
+    /// Included in [`Metrics::delivered_messages`]; subtracting them
+    /// yields [`Metrics::unique_delivered`].
     pub duplicates_suppressed: u64,
+    /// Messages erased in flight by adversarial payload corruption
+    /// ([`crate::adversary`]): the receiver's link-layer checksum detects
+    /// the damage and discards the frame, so corruption behaves as loss —
+    /// but it is counted separately from [`Metrics::dropped_messages`]
+    /// because it is an adversary-facing fault, not a channel fault. The
+    /// conservation law extends to `messages == delivered_messages +
+    /// dropped_messages + dead_on_arrival + corrupted + in-flight`.
+    pub corrupted: u64,
+    /// Frame clones injected by adversarial network-level duplication
+    /// ([`crate::adversary`]). Each clone is also an ordinary send (it is
+    /// metered wire traffic, so it is *included* in [`Metrics::messages`]
+    /// and flows through delivery accounting like any frame); this
+    /// counter isolates the adversary's contribution, distinct from
+    /// retransmit-induced duplicates. With a reliable transport in play
+    /// the duplicate bound relaxes to `duplicates_suppressed <=
+    /// retransmits + net_duplicated`.
+    pub net_duplicated: u64,
     /// Rounds folded into each `per_round_*` bucket (1 = exact series).
     /// Doubles every time the capped series is compacted.
     per_round_resolution: u64,
@@ -75,6 +93,8 @@ impl Default for Metrics {
             retransmits: 0,
             acks: 0,
             duplicates_suppressed: 0,
+            corrupted: 0,
+            net_duplicated: 0,
             per_round_resolution: 1,
             per_round_cap: None,
             rounds_in_last: 0,
@@ -96,8 +116,9 @@ impl Metrics {
     /// minus transport duplicates. With a reliable transport in play the
     /// conservation law refines to `messages == unique_delivered() +
     /// duplicates_suppressed + dropped_messages + dead_on_arrival +
-    /// in-flight`, with `duplicates_suppressed <= retransmits` (only a
-    /// retransmission can produce a duplicate) and `retransmits + acks <=
+    /// corrupted + in-flight`, with `duplicates_suppressed <= retransmits
+    /// + net_duplicated` (only a retransmission or an adversary-injected
+    /// clone can produce a duplicate) and `retransmits + acks <=
     /// messages` (both kinds of overhead frame are ordinary sends).
     ///
     /// Every duplicate is counted as delivered in the same round it is

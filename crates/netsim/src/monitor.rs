@@ -1,0 +1,184 @@
+//! Self-healing health monitor: detection latency and mean time to
+//! repair (MTTR) per fault burst.
+//!
+//! The continuous repair runner (`ftclust-core`'s
+//! `run_repair_continuous`) probes network coverage every protocol cycle
+//! and repairs deficits as they appear, instead of waiting for discrete
+//! epochs. This module turns its per-cycle coverage-deficit series into
+//! the operational numbers a production clustering service is judged by:
+//!
+//! * **detection latency** — cycles from a fault burst starting until a
+//!   positive coverage deficit is first observed at or after it,
+//! * **time to repair (TTR)** — cycles from the burst starting until the
+//!   observed deficit returns to zero and stays resolved for that burst,
+//! * **MTTR** — the mean TTR over every repaired burst of a run.
+//!
+//! All inputs are logical quantities (cycle indices, deficit counts), so
+//! the reports are deterministic and byte-identical at any
+//! `FTCLUST_THREADS` — the same discipline as [`crate::trace`].
+
+use serde::{Deserialize, Serialize};
+
+/// One fault burst's health timeline, in probe cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstReport {
+    /// Probe cycle at (or just after) which the burst's faults struck.
+    pub burst_cycle: u64,
+    /// First cycle `>= burst_cycle` with a positive observed deficit;
+    /// `None` if the burst never produced one (e.g. redundant coverage
+    /// absorbed it).
+    pub detected_cycle: Option<u64>,
+    /// First cycle `>= detected_cycle` where the observed deficit was
+    /// back to zero; `None` while unrepaired at the end of the run.
+    pub repaired_cycle: Option<u64>,
+}
+
+impl BurstReport {
+    /// Cycles from fault to first detection (`None` if never detected).
+    #[must_use]
+    pub fn detection_latency(&self) -> Option<u64> {
+        self.detected_cycle.map(|d| d - self.burst_cycle)
+    }
+
+    /// Cycles from fault to full repair (`None` while unrepaired).
+    #[must_use]
+    pub fn time_to_repair(&self) -> Option<u64> {
+        self.repaired_cycle.map(|r| r - self.burst_cycle)
+    }
+}
+
+/// Accumulates the per-cycle coverage-deficit series of a continuous
+/// repair run and derives per-burst health reports from it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthMonitor {
+    /// Total observed coverage deficit per probe cycle, in cycle order.
+    deficits: Vec<u64>,
+}
+
+impl HealthMonitor {
+    /// An empty monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the total observed deficit of the next probe cycle.
+    pub fn observe(&mut self, deficit: u64) {
+        self.deficits.push(deficit);
+    }
+
+    /// The recorded per-cycle deficit series.
+    #[must_use]
+    pub fn deficits(&self) -> &[u64] {
+        &self.deficits
+    }
+
+    /// Number of recorded probe cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.deficits.len() as u64
+    }
+
+    /// Derives one [`BurstReport`] per fault burst. `burst_cycles` are
+    /// the probe cycles at which fault bursts struck, in ascending
+    /// order. Detection scans forward from each burst for the first
+    /// positive deficit before the next burst begins (later bursts own
+    /// their own deficits); repair scans forward from detection for the
+    /// first zero.
+    #[must_use]
+    pub fn bursts(&self, burst_cycles: &[u64]) -> Vec<BurstReport> {
+        debug_assert!(
+            burst_cycles.windows(2).all(|w| w[0] < w[1]),
+            "burst cycles must be strictly ascending"
+        );
+        burst_cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let horizon = burst_cycles
+                    .get(i + 1)
+                    .copied()
+                    .unwrap_or(self.deficits.len() as u64);
+                let detected_cycle = (start..horizon)
+                    .find(|&c| self.deficits.get(c as usize).copied().unwrap_or(0) > 0);
+                let repaired_cycle = detected_cycle.and_then(|d| {
+                    (d..self.deficits.len() as u64)
+                        .find(|&c| self.deficits.get(c as usize).copied().unwrap_or(0) == 0)
+                });
+                BurstReport {
+                    burst_cycle: start,
+                    detected_cycle,
+                    repaired_cycle,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean time to repair over the repaired bursts of `reports`
+    /// (`None` if no burst was both detected and repaired).
+    #[must_use]
+    pub fn mttr(reports: &[BurstReport]) -> Option<f64> {
+        let repaired: Vec<u64> = reports
+            .iter()
+            .filter_map(BurstReport::time_to_repair)
+            .collect();
+        if repaired.is_empty() {
+            None
+        } else {
+            Some(repaired.iter().sum::<u64>() as f64 / repaired.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_and_repairs_a_single_burst() {
+        let mut mon = HealthMonitor::new();
+        for d in [0, 0, 3, 2, 0, 0] {
+            mon.observe(d);
+        }
+        let reports = mon.bursts(&[1]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].burst_cycle, 1);
+        assert_eq!(reports[0].detected_cycle, Some(2));
+        assert_eq!(reports[0].repaired_cycle, Some(4));
+        assert_eq!(reports[0].detection_latency(), Some(1));
+        assert_eq!(reports[0].time_to_repair(), Some(3));
+        assert_eq!(HealthMonitor::mttr(&reports), Some(3.0));
+    }
+
+    #[test]
+    fn later_bursts_own_their_deficits() {
+        // Burst at cycle 1 repaired by 3; burst at cycle 4 detected at 5
+        // and never repaired within the run.
+        let mut mon = HealthMonitor::new();
+        for d in [0, 2, 1, 0, 0, 4, 4] {
+            mon.observe(d);
+        }
+        let reports = mon.bursts(&[1, 4]);
+        assert_eq!(reports[0].detected_cycle, Some(1));
+        assert_eq!(reports[0].repaired_cycle, Some(3));
+        assert_eq!(reports[1].detected_cycle, Some(5));
+        assert_eq!(reports[1].repaired_cycle, None);
+        assert_eq!(reports[1].time_to_repair(), None);
+        // MTTR averages only the repaired burst.
+        assert_eq!(HealthMonitor::mttr(&reports), Some(2.0));
+    }
+
+    #[test]
+    fn absorbed_burst_is_never_detected() {
+        let mut mon = HealthMonitor::new();
+        for d in [0, 0, 0, 0] {
+            mon.observe(d);
+        }
+        let reports = mon.bursts(&[1]);
+        assert_eq!(reports[0].detected_cycle, None);
+        assert_eq!(reports[0].repaired_cycle, None);
+        assert_eq!(HealthMonitor::mttr(&reports), None);
+        assert_eq!(mon.cycles(), 4);
+        assert_eq!(mon.deficits(), &[0, 0, 0, 0]);
+    }
+}

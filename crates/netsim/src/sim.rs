@@ -1,3 +1,4 @@
+use crate::adversary::{AdversaryPlan, AdversaryState, Verdict};
 use crate::arena::{DeliverySorter, InboxArena};
 use crate::metrics::TransportCounters;
 use crate::node::Context;
@@ -11,8 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// SplitMix64 finalizer — mixes a master seed with a node id into an
-/// independent stream seed.
-fn splitmix64(mut z: u64) -> u64 {
+/// independent stream seed (also the mixing primitive behind the
+/// adversary's per-link streams, see [`crate::adversary`]).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -140,6 +142,10 @@ pub struct Simulator<'a, L: NodeLogic> {
     /// accounting scan entirely.
     down_count: usize,
     fault_rng: StdRng,
+    /// Adversarial delivery faults (reorder/duplicate/corrupt/partition);
+    /// `None` keeps the fault-free merge fast path. See
+    /// [`Simulator::set_adversary`].
+    adversary: Option<AdversaryState<L::Payload>>,
     round: u64,
     /// Cached quiescence, recomputed once per step (state only changes in
     /// [`Simulator::step`]).
@@ -210,6 +216,7 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
             down: vec![false; n],
             down_count: 0,
             fault_rng: StdRng::seed_from_u64(splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17)),
+            adversary: None,
             round: 0,
             quiescent: false,
         };
@@ -275,11 +282,17 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
         &self.down
     }
 
-    /// Messages sent but not yet delivered, dropped, or dead on arrival.
-    /// Closes the conservation law `messages == delivered_messages +
-    /// dropped_messages + dead_on_arrival + in_flight_messages`.
+    /// Messages sent but not yet delivered, dropped, dead on arrival, or
+    /// corrupted — both the staged next-round deliveries and envelopes an
+    /// adversary is holding back as delay jitter. Closes the conservation
+    /// law `messages == delivered_messages + dropped_messages +
+    /// dead_on_arrival + corrupted + in_flight_messages`.
     pub fn in_flight_messages(&self) -> u64 {
         self.pending.total()
+            + self
+                .adversary
+                .as_ref()
+                .map_or(0, AdversaryState::delayed_total)
     }
 
     /// Applies every scheduled churn event due at the current round.
@@ -528,7 +541,21 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                 }
             }
         }
-        if !tracing && self.churn.drop_prob() == 0.0 && !self.churn.has_link_outages() {
+        // Stage jittered envelopes whose hold expires this round, ahead
+        // of the fresh outboxes. They were metered, traced and
+        // adversary-decided at injection, so staging is a plain push;
+        // delivery happens at phase 0 of the next round like any other
+        // staged envelope.
+        if let Some(adv) = &mut self.adversary {
+            for env in adv.take_due(round) {
+                self.sorter.push(env);
+            }
+        }
+        if !tracing
+            && self.churn.drop_prob() == 0.0
+            && !self.churn.has_link_outages()
+            && self.adversary.is_none()
+        {
             // Fast path: no tracing and no per-envelope fault decisions —
             // meter the batch with three integer folds (identical totals
             // to per-envelope metering) and stage everything.
@@ -585,6 +612,74 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
                             );
                         }
                         continue;
+                    }
+                    // Adversarial delivery faults apply to the envelopes
+                    // that survived churn, drawn per-link in the same
+                    // global sender order.
+                    if let Some(adv) = &mut self.adversary {
+                        match adv.decide(env.from, env.to, round) {
+                            Verdict::Cut => {
+                                self.metrics.dropped_messages += 1;
+                                if tracing {
+                                    self.tracer.record(
+                                        round,
+                                        TraceEvent::Drop {
+                                            from: env.from,
+                                            to: env.to,
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                            Verdict::Corrupt => {
+                                // The receiver's frame checksum detects
+                                // the flipped bits and erases the frame:
+                                // loss-shaped, but accounted separately.
+                                self.metrics.corrupted += 1;
+                                if tracing {
+                                    self.tracer.record(
+                                        round,
+                                        TraceEvent::Corrupted {
+                                            from: env.from,
+                                            to: env.to,
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                            Verdict::Deliver { duplicate, delay } => {
+                                if duplicate {
+                                    // The extra copy is real metered wire
+                                    // traffic; it rides on time even when
+                                    // the original is jittered.
+                                    let copy = env.clone();
+                                    self.metrics.record_send(bits);
+                                    self.metrics.net_duplicated += 1;
+                                    if tracing {
+                                        self.tracer.record(
+                                            round,
+                                            TraceEvent::Send {
+                                                from: copy.from,
+                                                to: copy.to,
+                                                bits: bits as u64,
+                                            },
+                                        );
+                                        self.tracer.record(
+                                            round,
+                                            TraceEvent::NetDuplicated {
+                                                from: copy.from,
+                                                to: copy.to,
+                                            },
+                                        );
+                                    }
+                                    self.sorter.push(copy);
+                                }
+                                if delay > 0 {
+                                    adv.push_delayed(round + delay, env);
+                                    continue;
+                                }
+                            }
+                        }
                     }
                     self.sorter.push(env);
                 }
@@ -681,6 +776,20 @@ impl<'a, L: NodeLogic> Simulator<'a, L> {
     /// keeps one (`None` for the default no-op tracer).
     pub fn take_event_log(&mut self) -> Option<EventLog> {
         self.tracer.take_log()
+    }
+
+    /// Attaches an adversarial delivery layer (see [`crate::adversary`]):
+    /// from now on every message surviving churn is additionally subject
+    /// to the plan's partitions, corruption, duplication and delay
+    /// jitter, decided on the sequential merge path from per-link RNG
+    /// streams — determinism at every thread count is preserved.
+    ///
+    /// An inert plan ([`AdversaryPlan::is_active`] is `false`) is not
+    /// installed at all, keeping the fault-free merge fast path.
+    pub fn set_adversary(&mut self, plan: AdversaryPlan) {
+        if plan.is_active() {
+            self.adversary = Some(AdversaryState::new(plan));
+        }
     }
 
     /// Opens a named protocol phase span at the current round. Protocol

@@ -350,7 +350,8 @@ pub fn run_asynchronously<L: NodeLogic>(
 /// # Panics
 ///
 /// Panics if `max_delay == 0`.
-pub fn run_asynchronously_traced<L: NodeLogic>( // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
+pub fn run_asynchronously_traced<L: NodeLogic>(
+    // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
     topo: Topology<'_>,
     make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,
@@ -389,7 +390,8 @@ pub fn run_asynchronously_traced<L: NodeLogic>( // lint: driver-drift — α-syn
 /// # Panics
 ///
 /// Panics if `max_delay == 0` or `drop_probability` is not in `[0, 1]`.
-pub fn run_asynchronously_lossy<L: NodeLogic>( // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
+pub fn run_asynchronously_lossy<L: NodeLogic>(
+    // lint: driver-drift — α-synchronizer wrapper predating the stack; delegates to run_async_impl
     topo: Topology<'_>,
     make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,

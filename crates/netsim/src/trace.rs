@@ -70,6 +70,11 @@ pub const REGISTERED_SPANS: &[&str] = &[
     // iterations (deficit, re-election, join).
     "repair_heartbeat",
     "repair_iter",
+    // Continuous repair under chaos (core::repair::run_repair_continuous):
+    // the round-0 coverage probe, then repeating 4-round cycles (deficit,
+    // re-election, join, next probe).
+    "monitor",
+    "repair_continuous",
 ];
 
 /// One structured trace event. All payloads are logical quantities
@@ -146,6 +151,27 @@ pub enum TraceEvent {
     DuplicateSuppressed {
         /// Node that detected the duplicate.
         node: NodeId,
+    },
+    /// An adversary corrupted an in-flight message; the receiver's
+    /// checksum detects the damage and the frame is erased (counted in
+    /// [`Metrics::corrupted`], not in drops).
+    Corrupted {
+        /// Sender of the corrupted message.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// An adversary injected a network-level duplicate of an in-flight
+    /// message. The clone itself is metered as an ordinary [`Send`]
+    /// (emitted immediately before this event); this marks its
+    /// provenance (counted in [`Metrics::net_duplicated`]).
+    ///
+    /// [`Send`]: TraceEvent::Send
+    NetDuplicated {
+        /// Sender of the duplicated message.
+        from: NodeId,
+        /// Receiver of the extra copy.
+        to: NodeId,
     },
     /// Churn took a node down.
     Crash {
@@ -337,6 +363,8 @@ impl EventLog {
         let mut retransmits = 0u64;
         let mut acks = 0u64;
         let mut dups = 0u64;
+        let mut corrupted = 0u64;
+        let mut net_duplicated = 0u64;
         let mut stack: Vec<&'static str> = Vec::new();
         for rec in &self.records {
             match rec.event {
@@ -372,6 +400,8 @@ impl EventLog {
                 TraceEvent::Retransmit { .. } => retransmits += 1,
                 TraceEvent::Ack { .. } => acks += 1,
                 TraceEvent::DuplicateSuppressed { .. } => dups += 1,
+                TraceEvent::Corrupted { .. } => corrupted += 1,
+                TraceEvent::NetDuplicated { .. } => net_duplicated += 1,
                 TraceEvent::Crash { .. }
                 | TraceEvent::Recover { .. }
                 | TraceEvent::SynchronizerPulse { .. } => {}
@@ -408,6 +438,12 @@ impl EventLog {
                 "duplicate count vs duplicates_suppressed",
                 dups,
                 m.duplicates_suppressed,
+            ),
+            ("corrupted count vs corrupted", corrupted, m.corrupted),
+            (
+                "net duplicate count vs net_duplicated",
+                net_duplicated,
+                m.net_duplicated,
             ),
         ];
         for (what, got, want) in checks {
@@ -486,6 +522,22 @@ impl EventLog {
                 }
                 TraceEvent::DuplicateSuppressed { node } => {
                     let _ = write!(out, "\"duplicate_suppressed\",\"node\":{}", node.raw());
+                }
+                TraceEvent::Corrupted { from, to } => {
+                    let _ = write!(
+                        out,
+                        "\"corrupted\",\"from\":{},\"to\":{}",
+                        from.raw(),
+                        to.raw()
+                    );
+                }
+                TraceEvent::NetDuplicated { from, to } => {
+                    let _ = write!(
+                        out,
+                        "\"net_duplicated\",\"from\":{},\"to\":{}",
+                        from.raw(),
+                        to.raw()
+                    );
                 }
                 TraceEvent::Crash { node } => {
                     let _ = write!(out, "\"crash\",\"node\":{}", node.raw());

@@ -79,8 +79,8 @@
 //! transport is pure opt-in.
 
 use crate::{
-    bits_for_ids, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic, Payload, SimError,
-    Simulator, Topology,
+    bits_for_ids, AdversaryPlan, ChurnPlan, Context, Control, Envelope, Metrics, NodeLogic,
+    Payload, SimError, Simulator, Topology,
 };
 use ftclust_graphs::NodeId;
 use std::collections::VecDeque;
@@ -666,9 +666,34 @@ pub struct ReliableRun<L> {
 /// [`TransportConfig::round_budget`]).
 pub fn run_reliably<'a, L: NodeLogic>(
     topo: Topology<'a>,
+    make_logic: impl FnMut(NodeId) -> L,
+    master_seed: u64,
+    churn: ChurnPlan,
+    cfg: TransportConfig,
+    max_rounds: u64,
+) -> Result<ReliableRun<L>, SimError> {
+    run_reliably_with(topo, make_logic, master_seed, churn, None, cfg, max_rounds)
+}
+
+/// [`run_reliably`] with an optional adversarial delivery layer (see
+/// [`crate::adversary`]) underneath the transport. The ARQ machinery is
+/// exactly what the adversary's faults exercise: corruption is erased by
+/// the frame checksum and retransmitted like loss, network duplicates are
+/// suppressed by the per-link sequence numbers (counted in
+/// [`Metrics::net_duplicated`]), delay jitter is absorbed by the
+/// out-of-order buffer and cumulative acks, and a partition outliving the
+/// retransmit budget surfaces [`SimError::DeliveryFailed`] naming the cut
+/// link — never a hang.
+///
+/// # Errors
+///
+/// As [`run_reliably`].
+pub fn run_reliably_with<'a, L: NodeLogic>(
+    topo: Topology<'a>,
     mut make_logic: impl FnMut(NodeId) -> L,
     master_seed: u64,
     churn: ChurnPlan,
+    adversary: Option<AdversaryPlan>,
     cfg: TransportConfig,
     max_rounds: u64,
 ) -> Result<ReliableRun<L>, SimError> {
@@ -678,6 +703,9 @@ pub fn run_reliably<'a, L: NodeLogic>(
         master_seed,
         churn,
     );
+    if let Some(plan) = adversary {
+        sim.set_adversary(plan);
+    }
     while sim.step() {
         // Surface a delivery failure immediately: the victim's neighbors
         // would otherwise wait for its frames until the round limit and

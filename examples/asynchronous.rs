@@ -10,12 +10,12 @@
 //! synchronous execution and to the in-memory engine.
 //!
 //! Run with: `cargo run --release --example asynchronous`
-#![allow(deprecated)] // run_fractional_protocol_async is the stable doorway to the α-synchronizer
 
-use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_async};
+use ftclust::core::fractional::protocol::{run_fractional_async_stack, run_fractional_stack};
 use ftclust::core::fractional::{solve_fractional, FractionalParams};
 use ftclust::core::prelude::*;
 use ftclust::graphs::generators;
+use ftclust::netsim::exec::Stack;
 
 fn main() -> Result<(), KmdsError> {
     let g = generators::gnp(200, 0.05, 42);
@@ -29,7 +29,7 @@ fn main() -> Result<(), KmdsError> {
     println!("engine:        Σx = {:.4}", engine.value);
 
     // 2. The synchronous protocol (the paper's model).
-    let sync = run_fractional_protocol(&inst, &params)?;
+    let (sync, _) = run_fractional_stack(&inst, &params, Stack::new())?;
     println!(
         "synchronous:   Σx = {:.4}   ({} rounds, {} messages)",
         sync.solution.value, sync.metrics.rounds, sync.metrics.messages
@@ -38,7 +38,7 @@ fn main() -> Result<(), KmdsError> {
     // 3. The asynchronous execution through the α-synchronizer: messages
     //    are delayed by 1–9 ticks each; nodes advance their local round
     //    only when every neighbor's bundle for the previous round arrived.
-    let async_sol = run_fractional_protocol_async(&inst, &params, 9)?;
+    let async_sol = run_fractional_async_stack(&inst, &params, 9, Stack::new())?;
     println!(
         "asynchronous:  Σx = {:.4}   (delays up to 9 ticks)",
         async_sol.value

@@ -175,8 +175,7 @@ fn repair_lossy_traced_is_thread_invariant_and_reconciles() {
     let (udg, set, alive) = repair_fixture();
     let g = udg.graph();
     let cfg = RepairConfig::new(3);
-    let (lossless, _) =
-        run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
+    let (lossless, _) = run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
     assert!(!lossless.added.is_empty(), "fixture repairs nothing");
     let (ref_run, ref_log) = with_threads(1, || {
         let (run, log) =
@@ -208,8 +207,7 @@ fn repair_churned_lossy_is_thread_invariant_and_reconciles() {
     let (udg, set, alive) = repair_fixture();
     let g = udg.graph();
     let cfg = RepairConfig::new(3);
-    let (lossless, _) =
-        run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
+    let (lossless, _) = run_repair_stack(g, &set, &alive, 2, &cfg, Stack::new()).expect("lossless");
     // Subgraph node 5 goes down for physical rounds 2..8.
     let stack = || churned_lossy_traced(0.05, 5, 2, 8);
     let (ref_run, ref_log) = with_threads(1, || {
@@ -220,7 +218,10 @@ fn repair_churned_lossy_is_thread_invariant_and_reconciles() {
         check_conservation(&run.metrics, "repair churned+lossy");
         (run, log)
     });
-    assert_eq!(ref_run.set, lossless.set, "churn+loss changed the healed set");
+    assert_eq!(
+        ref_run.set, lossless.set,
+        "churn+loss changed the healed set"
+    );
     assert_eq!(ref_run.added, lossless.added);
     assert_eq!(ref_run.iterations, lossless.iterations);
     for &t in THREADS {

@@ -263,7 +263,10 @@ mod tests {
         let src = "pub fn run_widget_lossy() {}\npub fn run_widget_traced() {}\n\
                    pub fn run_widget() {}\nfn run_private_lossy() {}\n";
         let mut v = Vec::new();
-        check_driver_drift(&SourceFile::new("crates/core/src/widget.rs".into(), src.into()), &mut v);
+        check_driver_drift(
+            &SourceFile::new("crates/core/src/widget.rs".into(), src.into()),
+            &mut v,
+        );
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|v| v.rule == "driver-drift"));
         assert_eq!(v[0].line, 1);

@@ -160,6 +160,7 @@ const CONGEST_SCOPES: &[(&str, bool)] = &[
     ("crates/netsim/src", false),
     ("crates/netsim/src/trace.rs", true),
     ("crates/netsim/src/transport.rs", true),
+    ("crates/netsim/src/adversary.rs", true),
     ("crates/core/src/fractional/protocol.rs", true),
     ("crates/core/src/rounding/protocol.rs", true),
     ("crates/core/src/udg/protocol.rs", true),
