@@ -6,11 +6,16 @@
 //! real core count is recorded alongside). Rows whose thread count
 //! exceeds `host_logical_cpus` still run the determinism gate but are
 //! marked `oversubscribed` — their timing is scheduler noise, and they
-//! are excluded from `speedup_at_largest_n` (which is `null` when no
-//! honest multithreaded row exists).
+//! are excluded from `speedup_at_largest_n`.
 //!
-//! Emits a machine-readable `BENCH.json` (also printed to stdout) so perf
-//! changes have a trajectory to be measured against. Before timing, the
+//! Emits a machine-readable `BENCH.json` (schema v4; also printed to
+//! stdout) so perf changes have a trajectory to be measured against.
+//! Graph construction happens once per `n` and is shared by every
+//! thread row, so it is reported in the per-`n` `graph_build` section
+//! (schema v3 repeated the thread-1 value in every row);
+//! `speedup_at_largest_n` is a `{value, reason}` pair whose value is
+//! `null` with reason `"oversubscribed_host"` when no honest
+//! multithreaded row exists. Before timing, the
 //! run at every thread count is checked to produce **bit-for-bit** the
 //! same final node states as the serial run — a throughput number from a
 //! wrong computation is worthless.
@@ -88,7 +93,6 @@ struct Measurement {
     rounds: u64,
     messages: u64,
     trials: usize,
-    graph_build_secs: f64,
     setup_secs: f64,
     wall_secs: f64,
     node_rounds_per_sec: f64,
@@ -141,13 +145,12 @@ fn fnv1a(states: &[u64]) -> u64 {
 
 fn json_row(m: &Measurement) -> String {
     format!(
-        "    {{\"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"trials\": {}, \"graph_build_secs\": {:.6}, \"setup_secs\": {:.6}, \"wall_secs\": {:.6}, \"node_rounds_per_sec\": {:.1}, \"envelopes_per_sec\": {:.1}, \"oversubscribed\": {}}}",
+        "    {{\"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"trials\": {}, \"setup_secs\": {:.6}, \"wall_secs\": {:.6}, \"node_rounds_per_sec\": {:.1}, \"envelopes_per_sec\": {:.1}, \"oversubscribed\": {}}}",
         m.n,
         m.threads,
         m.rounds,
         m.messages,
         m.trials,
-        m.graph_build_secs,
         m.setup_secs,
         m.wall_secs,
         m.node_rounds_per_sec,
@@ -211,10 +214,16 @@ fn main() {
     let mut results = Vec::new();
     let mut digests = String::new();
     let mut speedup_at_largest: Option<f64> = None;
+    // Graph construction happens once per n and is shared by every
+    // thread row, so it is recorded per n — schema v3 repeated the
+    // thread-1 value verbatim into every row, inviting misreads as a
+    // per-row measurement.
+    let mut graph_builds: Vec<(u32, f64)> = Vec::new();
     for &(n, rounds) in sizes {
         let build_start = Instant::now(); // lint: wall-clock — wall time is this benchmark’s measured output
         let g = Family::Rgg.build(n, u64::from(n));
         let graph_build_secs = build_start.elapsed().as_secs_f64();
+        graph_builds.push((n, graph_build_secs));
         let mut serial_states: Option<Vec<u64>> = None;
         let mut serial_nrps = 0.0f64;
         for &threads in thread_counts {
@@ -247,7 +256,6 @@ fn main() {
                 rounds: rounds_executed,
                 messages,
                 trials,
-                graph_build_secs,
                 setup_secs: median(&setups),
                 wall_secs: wall,
                 node_rounds_per_sec: n as f64 * rounds_executed as f64 / wall.max(1e-9),
@@ -282,17 +290,26 @@ fn main() {
     }
 
     let body = results.iter().map(json_row).collect::<Vec<_>>().join(",\n");
-    // `null` when every multithreaded row at the largest n was
-    // oversubscribed — a 1-CPU host has no parallel speedup to report.
-    let speedup_json = speedup_at_largest.map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
+    // Null-with-reason when every multithreaded row at the largest n
+    // was oversubscribed — a 1-CPU host has no parallel speedup to
+    // report, and a bare `null` could not say why.
+    let speedup_json = speedup_at_largest.map_or_else(
+        || "{\"value\": null, \"reason\": \"oversubscribed_host\"}".to_string(),
+        |s| format!("{{\"value\": {s:.3}, \"reason\": null}}"),
+    );
     if speedup_at_largest.is_none() {
         eprintln!(
             "note: all threads>1 rows oversubscribe the {host_logical_cpus}-CPU host; \
-             speedup_at_largest_n is null"
+             speedup_at_largest_n is null (reason: oversubscribed_host)"
         );
     }
+    let builds_body = graph_builds
+        .iter()
+        .map(|&(n, secs)| format!("    {{\"n\": {n}, \"graph_build_secs\": {secs:.6}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"ftclust-perf-baseline-v3\",\n  \"workload\": \"gossip-min-flood-rgg\",\n  \"smoke\": {smoke},\n  \"host_logical_cpus\": {host_logical_cpus},\n  \"max_threads\": {max_threads},\n  \"speedup_at_largest_n\": {speedup_json},\n  \"results\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"schema\": \"ftclust-perf-baseline-v4\",\n  \"workload\": \"gossip-min-flood-rgg\",\n  \"smoke\": {smoke},\n  \"host_logical_cpus\": {host_logical_cpus},\n  \"max_threads\": {max_threads},\n  \"speedup_at_largest_n\": {speedup_json},\n  \"graph_build\": [\n{builds_body}\n  ],\n  \"results\": [\n{body}\n  ]\n}}\n"
     );
     print!("{json}");
     match std::fs::write("BENCH.json", &json) {

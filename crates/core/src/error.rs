@@ -51,6 +51,17 @@ pub enum KmdsError {
         /// Which evaluator rejected the request.
         what: &'static str,
     },
+    /// An approximation ratio was requested against a degenerate lower
+    /// bound: an empty dual certificate or a zero-weight optimum yields
+    /// `lower_bound ≤ 0`, and pre-fix code silently divided through to
+    /// `inf`/`NaN` in reports. Use [`crate::validate::certified_ratio`],
+    /// which surfaces this variant instead.
+    DegenerateCertificate {
+        /// The solution value whose ratio was requested.
+        value: f64,
+        /// The degenerate certified lower bound (`≤ 0`, or non-finite).
+        lower_bound: f64,
+    },
 }
 
 impl fmt::Display for KmdsError {
@@ -74,6 +85,10 @@ impl fmt::Display for KmdsError {
             KmdsError::ZeroTrials { what } => {
                 write!(f, "{what} needs at least one trial to aggregate")
             }
+            KmdsError::DegenerateCertificate { value, lower_bound } => write!(
+                f,
+                "cannot certify a ratio for value {value} against degenerate lower bound {lower_bound}"
+            ),
         }
     }
 }
@@ -126,6 +141,12 @@ mod tests {
             what: "survivability",
         };
         assert!(e.to_string().contains("at least one trial"));
+        let e = KmdsError::DegenerateCertificate {
+            value: 4.0,
+            lower_bound: 0.0,
+        };
+        assert!(e.to_string().contains("degenerate lower bound"));
+        assert!(e.source().is_none());
     }
 
     #[test]

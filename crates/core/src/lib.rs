@@ -80,6 +80,7 @@ pub mod connect;
 pub mod fault;
 pub mod fractional;
 pub mod general;
+pub mod portfolio;
 pub mod repair;
 pub mod rounding;
 pub mod udg;
@@ -96,9 +97,12 @@ pub mod prelude {
     pub use crate::connect::connect_dominating_set;
     pub use crate::fractional::{solve_fractional, FractionalParams};
     pub use crate::general::GeneralPipeline;
+    pub use crate::portfolio::{recommend, Algorithm, PortfolioRun, Workload};
     pub use crate::repair::{repair_coverage, surviving_instance, RepairConfig};
     pub use crate::rounding::round_fractional;
     pub use crate::udg::UdgAlgorithm;
-    pub use crate::validate::{coverage, is_k_dominating, is_k_dominating_instance, Semantics};
+    pub use crate::validate::{
+        certified_ratio, coverage, is_k_dominating, is_k_dominating_instance, Semantics,
+    };
     pub use crate::{DominatingSet, Instance, KmdsError};
 }

@@ -1,0 +1,205 @@
+//! Centralized greedy `H(Δ+1)` baseline, metered for distribution.
+//!
+//! The engine-side [`greedy_kmds`] is the classical sequential greedy —
+//! the `H(Δ + 1)`-approximation reference upper bound of the
+//! leaderboard. Production would compute it at a sink and ship the
+//! result, so the protocol here meters exactly that: a **two-round
+//! announce/verify** run in which preloaded members broadcast a 1-bit
+//! membership beacon (`greedy_announce`) and every node checks its
+//! demand against the observed closed neighborhood (`greedy_verify`).
+//! Rounds and bits on the leaderboard are therefore the *distribution*
+//! cost of a centrally computed set — the floor any distributed
+//! algorithm is competing against.
+
+use crate::baselines::greedy_kmds;
+use crate::validate::Semantics;
+use crate::{DominatingSet, Instance, KmdsError};
+use ftclust_netsim::exec::{Executor, Phase, Stack};
+use ftclust_netsim::{Context, Control, Envelope, EventLog, NodeLogic, Payload, Topology};
+
+use super::PortfolioRun;
+
+/// Wire messages of the announce/verify protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyMsg {
+    /// 1-bit membership beacon from a preloaded set member.
+    Member,
+}
+
+impl Payload for GreedyMsg {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Per-node state: the preloaded membership plus the verification
+/// verdict.
+#[derive(Debug)]
+struct GreedyNode {
+    member: bool,
+    demand: u32,
+    verified: bool,
+}
+
+impl NodeLogic for GreedyNode {
+    type Payload = GreedyMsg;
+
+    fn on_round(
+        &mut self,
+        inbox: &[Envelope<GreedyMsg>],
+        ctx: &mut Context<'_, GreedyMsg>,
+    ) -> Control {
+        if ctx.round() == 0 {
+            if self.member {
+                ctx.broadcast(GreedyMsg::Member);
+            }
+            return Control::Continue;
+        }
+        // Verify round: every inbox entry is a member beacon.
+        let covered = u32::from(self.member) + inbox.len() as u32;
+        self.verified = covered >= self.demand;
+        Control::Halt
+    }
+}
+
+/// Runs the centralized-greedy baseline through the composable executor
+/// stack: [`greedy_kmds`] (under [`Semantics::CoverSelf`], so the LP
+/// dual bound applies) picks the set, and the two-round announce/verify
+/// protocol distributes and checks it under the selected transport,
+/// churn, tracing and adversarial layers. Traced runs attribute the
+/// rounds to the `greedy_announce` and `greedy_verify` spans.
+///
+/// # Errors
+///
+/// Returns [`KmdsError::Sim`] if the round budget is exceeded (cannot
+/// happen), or — with the transport engaged — wrapping
+/// [`ftclust_netsim::SimError::DeliveryFailed`] if loss exceeds a
+/// retransmit budget.
+#[cfg_attr(not(feature = "strict-invariants"), allow(unused_variables))]
+pub fn run_cgreedy_stack(
+    inst: &Instance<'_>,
+    stack: Stack,
+) -> Result<(PortfolioRun, Option<EventLog>), KmdsError> {
+    let g = inst.graph();
+    let engine_set = greedy_kmds(inst, Semantics::CoverSelf);
+    let _transported = stack.engages_transport();
+    let run = Executor::new(
+        Topology::from_graph(g),
+        |v| GreedyNode {
+            member: engine_set.contains(v),
+            demand: inst.demand(v),
+            verified: false,
+        },
+        0,
+    )
+    .stack(stack)
+    .phases(vec![
+        Phase::span("greedy_announce", 1),
+        Phase::tail("greedy_verify"),
+    ])
+    .run(4)?;
+    let set = DominatingSet::from_members(run.logics.iter().map(|l| l.member).collect());
+    #[cfg(feature = "strict-invariants")]
+    {
+        assert_eq!(
+            set, engine_set,
+            "centralized greedy: distribution changed the set"
+        );
+        for (i, node) in run.logics.iter().enumerate() {
+            assert!(
+                node.verified,
+                "centralized greedy: node {i} failed coverage verification"
+            );
+        }
+        if _transported {
+            crate::audit::loss_transparent("centralized greedy", &set, &engine_set);
+        }
+        if let Some(log) = &run.log {
+            if let Err(e) = log.reconcile(&run.metrics) {
+                unreachable!("centralized greedy: trace rollups diverged from Metrics: {e}");
+            }
+        }
+    }
+    Ok((
+        PortfolioRun {
+            set,
+            metrics: run.metrics,
+            logical_rounds: run.logical_rounds,
+        },
+        run.log,
+    ))
+}
+
+/// [`run_cgreedy_stack`] on the empty stack: the plain synchronous run.
+///
+/// # Errors
+///
+/// As [`run_cgreedy_stack`].
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::portfolio::run_cgreedy_protocol;
+/// use ftclust_core::validate::{is_k_dominating_instance, Semantics};
+/// use ftclust_core::Instance;
+/// use ftclust_graphs::generators;
+///
+/// let g = generators::gnp(40, 0.15, 7);
+/// let inst = Instance::uniform_clamped(&g, 2);
+/// let run = run_cgreedy_protocol(&inst)?;
+/// assert!(is_k_dominating_instance(&inst, &run.set, Semantics::CoverSelf));
+/// assert_eq!(run.metrics.rounds, 2);
+/// # Ok::<(), ftclust_core::KmdsError>(())
+/// ```
+pub fn run_cgreedy_protocol(inst: &Instance<'_>) -> Result<PortfolioRun, KmdsError> {
+    run_cgreedy_stack(inst, Stack::new()).map(|(run, _)| run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclust_graphs::generators;
+    use ftclust_netsim::transport::TransportConfig;
+    use ftclust_netsim::ChurnPlan;
+
+    #[test]
+    fn protocol_distributes_the_engine_set_in_two_rounds() {
+        let g = generators::gnp(50, 0.15, 4);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let engine = greedy_kmds(&inst, Semantics::CoverSelf);
+        let run = run_cgreedy_protocol(&inst).unwrap();
+        assert_eq!(run.set, engine);
+        assert_eq!(run.metrics.rounds, 2);
+        // Announce costs one beacon per member edge, nothing else.
+        assert_eq!(run.metrics.max_message_bits, 1);
+    }
+
+    #[test]
+    fn baseline_upper_bounds_the_distributed_protocols() {
+        for seed in [2u64, 8] {
+            let g = generators::gnp(70, 0.12, seed);
+            let inst = Instance::uniform_clamped(&g, 2);
+            let cg = run_cgreedy_protocol(&inst).unwrap();
+            let dkm = super::super::run_dkm_protocol(&inst).unwrap();
+            let pb = super::super::run_pb_protocol(&inst).unwrap();
+            assert!(cg.set.len() <= dkm.set.len());
+            assert!(cg.set.len() <= pb.set.len());
+        }
+    }
+
+    #[test]
+    fn lossy_transport_is_transparent() {
+        let g = generators::gnp(40, 0.15, 11);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let (lossless, _) = run_cgreedy_stack(&inst, Stack::new()).unwrap();
+        let (lossy, _) = run_cgreedy_stack(
+            &inst,
+            Stack::new()
+                .churned(ChurnPlan::none().drop_probability(0.2))
+                .transport(TransportConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(lossy.set, lossless.set, "loss changed the set");
+        assert!(lossy.metrics.retransmits > 0, "no loss exercised");
+    }
+}

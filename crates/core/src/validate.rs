@@ -11,7 +11,7 @@
 //!   what the LP pipeline (Algorithms 1 + 2) guarantees. `CoverSelf`
 //!   implies `Strict` for equal demands.
 
-use crate::{DominatingSet, Instance};
+use crate::{DominatingSet, Instance, KmdsError};
 use ftclust_graphs::{Graph, NodeId};
 
 /// Which k-domination definition to check. See the [module docs](self).
@@ -119,6 +119,37 @@ pub fn covered_fraction(graph: &Graph, set: &DominatingSet, k: u32) -> f64 {
     }
 }
 
+/// The certified approximation ratio `value / lower_bound`, guarded
+/// against degenerate certificates.
+///
+/// A dual certificate assembled from an empty solution, or an instance
+/// whose optimum has zero weight (all demands zero), yields
+/// `lower_bound ≤ 0`; dividing through would put `inf`/`NaN` in
+/// reports, which is exactly the bug this guard retires. Such inputs —
+/// as well as non-finite or negative values — surface a typed
+/// [`KmdsError::DegenerateCertificate`] instead.
+///
+/// # Errors
+///
+/// [`KmdsError::DegenerateCertificate`] when `lower_bound ≤ 0`, or when
+/// either argument is non-finite, or when `value < 0`.
+///
+/// # Example
+///
+/// ```
+/// use ftclust_core::validate::certified_ratio;
+///
+/// assert_eq!(certified_ratio(6.0, 3.0)?, 2.0);
+/// assert!(certified_ratio(6.0, 0.0).is_err());
+/// # Ok::<(), ftclust_core::KmdsError>(())
+/// ```
+pub fn certified_ratio(value: f64, lower_bound: f64) -> Result<f64, KmdsError> {
+    if !value.is_finite() || !lower_bound.is_finite() || value < 0.0 || lower_bound <= 0.0 {
+        return Err(KmdsError::DegenerateCertificate { value, lower_bound });
+    }
+    Ok(value / lower_bound)
+}
+
 fn satisfied(set: &DominatingSet, cov: &[u32], v: NodeId, k: u32, semantics: Semantics) -> bool {
     match semantics {
         Semantics::CoverSelf => cov[v.index()] >= k,
@@ -191,6 +222,51 @@ mod tests {
         assert!((covered_fraction(&g, &s, 1) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(covered_fraction(&g, &DominatingSet::full(4), 5), 1.0);
         assert_eq!(covered_fraction(&g, &DominatingSet::empty(4), 1), 0.0);
+    }
+
+    #[test]
+    fn certified_ratio_divides_sound_certificates() {
+        assert_eq!(certified_ratio(6.0, 2.0).unwrap(), 3.0);
+        assert_eq!(certified_ratio(0.0, 1.5).unwrap(), 0.0);
+    }
+
+    /// Regression: an **empty dual certificate** (zero nodes, so the dual
+    /// sum is empty and the assembled lower bound is 0) must surface a
+    /// typed error, not the `inf` that `|S| / 0.0` used to print.
+    #[test]
+    fn certified_ratio_rejects_empty_dual_certificate() {
+        use crate::fractional::{solve_fractional, FractionalParams};
+        let g = generators::empty(0);
+        let inst = Instance::uniform_clamped(&g, 2);
+        let sol = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
+        assert_eq!(sol.lower_bound, 0.0, "empty certificate has no weight");
+        let err = certified_ratio(0.0, sol.lower_bound).unwrap_err();
+        assert!(matches!(err, KmdsError::DegenerateCertificate { .. }));
+    }
+
+    /// Regression: a **zero-weight optimum** (all demands 0, so the LP
+    /// optimum and its dual bound are both 0) must surface a typed error,
+    /// not the `NaN` that `0.0 / 0.0` used to print.
+    #[test]
+    fn certified_ratio_rejects_zero_weight_optimum() {
+        use crate::fractional::{solve_fractional, FractionalParams};
+        let g = generators::path(5);
+        let inst = Instance::uniform_clamped(&g, 0);
+        let sol = solve_fractional(&inst, &FractionalParams::new(2)).unwrap();
+        assert_eq!(sol.lower_bound, 0.0, "zero demands admit the empty set");
+        let err = certified_ratio(sol.value, sol.lower_bound).unwrap_err();
+        assert!(matches!(
+            err,
+            KmdsError::DegenerateCertificate { lower_bound, .. } if lower_bound == 0.0
+        ));
+    }
+
+    #[test]
+    fn certified_ratio_rejects_nonfinite_inputs() {
+        assert!(certified_ratio(f64::INFINITY, 1.0).is_err());
+        assert!(certified_ratio(1.0, f64::NAN).is_err());
+        assert!(certified_ratio(-1.0, 1.0).is_err());
+        assert!(certified_ratio(1.0, -2.0).is_err());
     }
 
     #[test]

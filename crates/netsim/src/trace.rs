@@ -75,6 +75,15 @@ pub const REGISTERED_SPANS: &[&str] = &[
     // re-election, join, next probe).
     "monitor",
     "repair_continuous",
+    // Competitor portfolio (core::portfolio): Penso–Barbosa-style layered
+    // growth and the Deurer–Kuhn–Maus-style span-greedy run repeating
+    // 3-round iterations (status, candidacy, election); the centralized
+    // greedy baseline announces membership in one round and verifies
+    // coverage in a quiescence tail.
+    "pb_iter",
+    "dkm_iter",
+    "greedy_announce",
+    "greedy_verify",
 ];
 
 /// One structured trace event. All payloads are logical quantities

@@ -5,19 +5,24 @@
 //! 1 and the coverage repair with results identical to the lossless
 //! runs, byte-identical [`EventLog`]s at every `FTCLUST_THREADS`
 //! setting, and metrics satisfying the transport-extended conservation
-//! law.
+//! law. The portfolio protocols (`pb`, `dkm`, `cgreedy`) go through the
+//! same layers at the bottom of this file: fixed-seed thread
+//! invariance, lossy parity up to p = 0.2, and a churned+adversarial
+//! smoke per algorithm.
 
 use ftclust::core::fractional::protocol::run_fractional_stack;
 use ftclust::core::fractional::FractionalParams;
+use ftclust::core::portfolio::{run_cgreedy_stack, run_dkm_stack, run_pb_stack, PortfolioRun};
 use ftclust::core::repair::{run_repair_stack, RepairConfig};
 use ftclust::core::udg::UdgAlgorithm;
+use ftclust::core::validate::{is_k_dominating_instance, Semantics};
 use ftclust::core::Instance;
 use ftclust::graphs::generators;
 use ftclust::graphs::NodeId;
 use ftclust::netsim::exec::Stack;
 use ftclust::netsim::trace::{REGISTERED_SPANS, UNSPANNED};
 use ftclust::netsim::transport::TransportConfig;
-use ftclust::netsim::{ChurnPlan, EventLog, Metrics};
+use ftclust::netsim::{AdversaryPlan, ChurnPlan, EventLog, Metrics};
 use ftclust_par::with_threads;
 
 /// Thread counts compared against the single-thread reference.
@@ -233,5 +238,125 @@ fn repair_churned_lossy_is_thread_invariant_and_reconciles() {
         assert_eq!(ref_run.set, run.set, "t={t}");
         assert_eq!(ref_run.metrics, run.metrics, "t={t}");
         assert_eq!(ref_log, log, "log diverged t={t}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portfolio protocols through the same layer combinations.
+// ---------------------------------------------------------------------
+
+/// The three portfolio protocols, dispatched by stable name.
+const PORTFOLIO: [&str; 3] = ["pb", "dkm", "cgreedy"];
+
+fn run_portfolio(
+    name: &str,
+    inst: &Instance<'_>,
+    stack: Stack,
+) -> (PortfolioRun, Option<EventLog>) {
+    match name {
+        "pb" => run_pb_stack(inst, stack),
+        "dkm" => run_dkm_stack(inst, stack),
+        "cgreedy" => run_cgreedy_stack(inst, stack),
+        other => unreachable!("unknown portfolio protocol {other}"),
+    }
+    .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Fixed-seed determinism: every portfolio protocol, run lossy+traced,
+/// is bit-for-bit identical (set, metrics, event log, rendered JSONL)
+/// at 1, 2 and 7 worker threads.
+#[test]
+fn portfolio_protocols_are_thread_invariant() {
+    let g = generators::gnp(60, 0.12, 21);
+    let inst = Instance::uniform_clamped(&g, 2);
+    for name in PORTFOLIO {
+        let (ref_run, ref_log) = with_threads(1, || {
+            let (run, log) = run_portfolio(name, &inst, lossy_traced(0.1));
+            let log = log.expect("traced stack records a log");
+            check_log(&log, &run.metrics, name);
+            check_conservation(&run.metrics, name);
+            (run, log)
+        });
+        assert!(
+            is_k_dominating_instance(&inst, &ref_run.set, Semantics::CoverSelf),
+            "{name}: invalid set"
+        );
+        for &t in THREADS {
+            let (run, log) = with_threads(t, || {
+                let (run, log) = run_portfolio(name, &inst, lossy_traced(0.1));
+                (run, log.expect("traced stack records a log"))
+            });
+            assert_eq!(ref_run.set, run.set, "{name}: set diverged t={t}");
+            assert_eq!(
+                ref_run.metrics, run.metrics,
+                "{name}: metrics diverged t={t}"
+            );
+            assert_eq!(ref_log, log, "{name}: log diverged t={t}");
+            assert_eq!(
+                ref_log.to_jsonl(),
+                log.to_jsonl(),
+                "{name}: jsonl diverged t={t}"
+            );
+        }
+    }
+}
+
+/// Lossy parity: the transport masks i.i.d. loss up to p = 0.2 for the
+/// portfolio protocols exactly as for the paper's algorithms — same
+/// set, same logical round count, loss actually exercised.
+#[test]
+fn portfolio_protocols_survive_loss_unchanged() {
+    let g = generators::gnp(60, 0.12, 33);
+    let inst = Instance::uniform_clamped(&g, 2);
+    for name in PORTFOLIO {
+        let (lossless, _) = run_portfolio(name, &inst, Stack::new());
+        for p in [0.05, 0.2] {
+            let (lossy, _) = run_portfolio(name, &inst, lossy_traced(p));
+            assert_eq!(
+                lossy.set, lossless.set,
+                "{name}: loss changed the set at p={p}"
+            );
+            assert_eq!(
+                lossy.logical_rounds, lossless.logical_rounds,
+                "{name}: loss stretched logical rounds at p={p}"
+            );
+            assert!(
+                lossy.metrics.retransmits > 0,
+                "{name}: no loss exercised at p={p}"
+            );
+        }
+    }
+}
+
+/// Churned+adversarial smoke: a crash/recovery window plus a
+/// duplicating/corrupting adversary under the transport leaves every
+/// portfolio protocol's set unchanged and its books balanced.
+#[test]
+fn portfolio_protocols_survive_churn_and_adversary() {
+    let g = generators::gnp(60, 0.12, 44);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let chaos = || {
+        Stack::new()
+            .churned(
+                ChurnPlan::none()
+                    .drop_probability(0.05)
+                    .crash(NodeId::new(3), 2)
+                    .recover(NodeId::new(3), 8),
+            )
+            .adversarial(AdversaryPlan::new(0xC0).duplicate(0.05).corrupt(0.05))
+            .transport(TransportConfig::default())
+            .traced()
+    };
+    for name in PORTFOLIO {
+        let (lossless, _) = run_portfolio(name, &inst, Stack::new());
+        let (run, log) = run_portfolio(name, &inst, chaos());
+        let log = log.expect("traced stack records a log");
+        check_log(&log, &run.metrics, name);
+        check_conservation(&run.metrics, name);
+        assert_eq!(run.set, lossless.set, "{name}: chaos changed the set");
+        assert!(
+            is_k_dominating_instance(&inst, &run.set, Semantics::CoverSelf),
+            "{name}: invalid set under chaos"
+        );
     }
 }

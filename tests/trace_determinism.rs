@@ -9,23 +9,23 @@
 //! in-memory logs and the rendered JSONL byte-for-byte, then reconcile
 //! each log's rollups against the run's `Metrics` conservation law.
 //!
-//! The historical `run_*_traced` shims stay under test here to pin their
-//! parity with the executor stack they delegate to; the layer-composition
-//! combinations the old drivers never offered (lossy+traced,
-//! churned+lossy) are covered in `tests/exec_combos.rs`.
-#![allow(deprecated)]
+//! All main tests drive the composable executor stack directly
+//! (`run_*_stack` with `.traced()`); each historical `run_*_traced`
+//! shim keeps exactly one pinned parity test at the bottom of this file
+//! asserting it still delegates to the stack unchanged. The
+//! layer-composition combinations the old drivers never offered
+//! (lossy+traced, churned+lossy) are covered in `tests/exec_combos.rs`.
 
-use ftclust::core::fractional::protocol::{
-    run_fractional_protocol, run_fractional_protocol_traced,
-};
+use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_stack};
 use ftclust::core::fractional::FractionalParams;
-use ftclust::core::repair::{run_repair_protocol_traced, RepairConfig};
-use ftclust::core::rounding::protocol::run_rounding_protocol_traced;
+use ftclust::core::repair::{run_repair_stack, RepairConfig};
+use ftclust::core::rounding::protocol::run_rounding_stack;
 use ftclust::core::rounding::RoundingParams;
-use ftclust::core::udg::protocol::run_udg_protocol_traced;
+use ftclust::core::udg::protocol::run_udg_stack;
 use ftclust::core::udg::UdgAlgorithm;
 use ftclust::core::Instance;
 use ftclust::graphs::generators;
+use ftclust::netsim::exec::Stack;
 use ftclust::netsim::trace::{REGISTERED_SPANS, UNSPANNED};
 use ftclust::netsim::EventLog;
 use ftclust_par::with_threads;
@@ -57,32 +57,37 @@ fn fractional_and_rounding_traces_are_thread_invariant() {
         let g = generators::gnp(40, 0.15, seed);
         let inst = Instance::uniform_clamped(&g, 2);
         let params = FractionalParams::new(2);
+        let traced = || Stack::new().traced();
         let (ref_run, ref_lp_log, ref_round_log) = with_threads(1, || {
-            let (run, lp_log) = run_fractional_protocol_traced(&inst, &params).expect("lp");
-            let (round, round_log) = run_rounding_protocol_traced(
+            let (run, lp_log) = run_fractional_stack(&inst, &params, traced()).expect("lp");
+            let lp_log = lp_log.expect("traced stack must produce a log");
+            let (round, round_log) = run_rounding_stack(
                 &inst,
                 &run.solution.x,
                 run.solution.delta,
                 seed,
                 &RoundingParams::default(),
+                traced(),
             )
             .expect("rounding");
+            let round_log = round_log.expect("traced stack must produce a log");
             check_log(&lp_log, &run.metrics, "lp");
             check_log(&round_log, &round.metrics, "rounding");
             (run, lp_log, round_log)
         });
         for &t in THREADS {
             let (run, lp_log, round_log) = with_threads(t, || {
-                let (run, lp_log) = run_fractional_protocol_traced(&inst, &params).expect("lp");
-                let (_round, round_log) = run_rounding_protocol_traced(
+                let (run, lp_log) = run_fractional_stack(&inst, &params, traced()).expect("lp");
+                let (_round, round_log) = run_rounding_stack(
                     &inst,
                     &run.solution.x,
                     run.solution.delta,
                     seed,
                     &RoundingParams::default(),
+                    traced(),
                 )
                 .expect("rounding");
-                (run, lp_log, round_log)
+                (run, lp_log.unwrap(), round_log.unwrap())
             });
             assert_eq!(ref_run.solution, run.solution, "seed={seed} t={t}");
             assert_eq!(ref_lp_log, lp_log, "lp log diverged seed={seed} t={t}");
@@ -107,13 +112,16 @@ fn udg_traces_are_thread_invariant() {
         let udg = generators::random_udg(120, 8.0, 1.0, seed);
         let config = UdgAlgorithm::new(2).seed(seed);
         let (ref_run, ref_log) = with_threads(1, || {
-            let (run, log) = run_udg_protocol_traced(&udg, &config).expect("udg");
+            let (run, log) = run_udg_stack(&udg, &config, Stack::new().traced()).expect("udg");
+            let log = log.expect("traced stack must produce a log");
             check_log(&log, &run.metrics, "udg");
             (run, log)
         });
         for &t in THREADS {
-            let (run, log) =
-                with_threads(t, || run_udg_protocol_traced(&udg, &config).expect("udg"));
+            let (run, log) = with_threads(t, || {
+                let (run, log) = run_udg_stack(&udg, &config, Stack::new().traced()).expect("udg");
+                (run, log.unwrap())
+            });
             assert_eq!(ref_run.run, run.run, "seed={seed} t={t}");
             assert_eq!(ref_run.metrics, run.metrics, "seed={seed} t={t}");
             assert_eq!(ref_log, log, "udg log diverged seed={seed} t={t}");
@@ -143,14 +151,18 @@ fn repair_traces_are_thread_invariant() {
         }
         let cfg = RepairConfig::new(5);
         let (ref_run, ref_log) = with_threads(1, || {
-            let (run, log) =
-                run_repair_protocol_traced(g, &base.set, &alive, 2, &cfg).expect("repair");
+            let (run, log) = run_repair_stack(g, &base.set, &alive, 2, &cfg, Stack::new().traced())
+                .expect("repair");
+            let log = log.expect("traced stack must produce a log");
             check_log(&log, &run.metrics, "repair");
             (run, log)
         });
         for &t in THREADS {
             let (run, log) = with_threads(t, || {
-                run_repair_protocol_traced(g, &base.set, &alive, 2, &cfg).expect("repair")
+                let (run, log) =
+                    run_repair_stack(g, &base.set, &alive, 2, &cfg, Stack::new().traced())
+                        .expect("repair");
+                (run, log.unwrap())
             });
             assert_eq!(ref_run, run, "seed={seed} t={t}");
             assert_eq!(ref_log, log, "repair log diverged seed={seed} t={t}");
@@ -163,7 +175,7 @@ fn repair_traces_are_thread_invariant() {
     }
 }
 
-/// The traced fractional driver returns the same run as the untraced
+/// The traced fractional stack returns the same run as the untraced
 /// one — tracing is observation, never perturbation.
 #[test]
 fn traced_runs_equal_untraced_runs() {
@@ -171,7 +183,93 @@ fn traced_runs_equal_untraced_runs() {
     let inst = Instance::uniform_clamped(&g, 2);
     let params = FractionalParams::new(2);
     let untraced = run_fractional_protocol(&inst, &params).expect("untraced");
-    let (traced, _log) = run_fractional_protocol_traced(&inst, &params).expect("traced");
+    let (traced, log) =
+        run_fractional_stack(&inst, &params, Stack::new().traced()).expect("traced");
+    assert!(log.is_some());
     assert_eq!(untraced.solution, traced.solution);
     assert_eq!(untraced.metrics, traced.metrics);
+}
+
+// ---------------------------------------------------------------------
+// Pinned parity tests: one per deprecated `run_*_traced` shim. These
+// are the only remaining callers; they exist solely to catch the shims
+// drifting from the stack they delegate to.
+// ---------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn fractional_traced_shim_matches_stack() {
+    let g = generators::gnp(40, 0.15, 5);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let params = FractionalParams::new(2);
+    let (shim, shim_log) =
+        ftclust::core::fractional::protocol::run_fractional_protocol_traced(&inst, &params)
+            .expect("shim");
+    let (stack, stack_log) =
+        run_fractional_stack(&inst, &params, Stack::new().traced()).expect("stack");
+    assert_eq!(shim.solution, stack.solution);
+    assert_eq!(shim.metrics, stack.metrics);
+    assert_eq!(shim_log, stack_log.unwrap());
+}
+
+#[test]
+#[allow(deprecated)]
+fn rounding_traced_shim_matches_stack() {
+    let g = generators::gnp(40, 0.15, 5);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let frac = run_fractional_protocol(&inst, &FractionalParams::new(2)).expect("lp");
+    let params = RoundingParams::default();
+    let (shim, shim_log) = ftclust::core::rounding::protocol::run_rounding_protocol_traced(
+        &inst,
+        &frac.solution.x,
+        frac.solution.delta,
+        5,
+        &params,
+    )
+    .expect("shim");
+    let (stack, stack_log) = run_rounding_stack(
+        &inst,
+        &frac.solution.x,
+        frac.solution.delta,
+        5,
+        &params,
+        Stack::new().traced(),
+    )
+    .expect("stack");
+    assert_eq!(shim.outcome, stack.outcome);
+    assert_eq!(shim.metrics, stack.metrics);
+    assert_eq!(shim_log, stack_log.unwrap());
+}
+
+#[test]
+#[allow(deprecated)]
+fn udg_traced_shim_matches_stack() {
+    let udg = generators::random_udg(120, 8.0, 1.0, 5);
+    let config = UdgAlgorithm::new(2).seed(5);
+    let (shim, shim_log) =
+        ftclust::core::udg::protocol::run_udg_protocol_traced(&udg, &config).expect("shim");
+    let (stack, stack_log) = run_udg_stack(&udg, &config, Stack::new().traced()).expect("stack");
+    assert_eq!(shim.run, stack.run);
+    assert_eq!(shim.metrics, stack.metrics);
+    assert_eq!(shim_log, stack_log.unwrap());
+}
+
+#[test]
+#[allow(deprecated)]
+fn repair_traced_shim_matches_stack() {
+    let udg = generators::random_udg(120, 8.0, 1.0, 5);
+    let base = UdgAlgorithm::new(2).seed(5).run(&udg).expect("base");
+    let g = udg.graph();
+    let mut alive = vec![true; g.node_count()];
+    for v in base.set.ids().take(6) {
+        alive[v.index()] = false;
+    }
+    let cfg = RepairConfig::new(3);
+    let (shim, shim_log) =
+        ftclust::core::repair::run_repair_protocol_traced(g, &base.set, &alive, 2, &cfg)
+            .expect("shim");
+    let (stack, stack_log) =
+        run_repair_stack(g, &base.set, &alive, 2, &cfg, Stack::new().traced()).expect("stack");
+    assert_eq!(shim, stack);
+    assert_eq!(shim_log, stack_log.unwrap());
 }

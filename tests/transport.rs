@@ -4,19 +4,21 @@
 //! whole lossy execution (results *and* metered metrics) is bit-for-bit
 //! identical at every `FTCLUST_THREADS` setting.
 //!
-//! The historical `run_*_lossy` shims stay under test here to pin their
-//! parity with the executor stack they delegate to.
-#![allow(deprecated)]
+//! All main tests drive the composable executor stack directly
+//! (`run_*_stack` with `.churned(..).transport(..)`); each historical
+//! `run_*_lossy` shim keeps exactly one pinned parity test at the bottom
+//! of this file asserting it still delegates to the stack unchanged.
 
-use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_protocol_lossy};
+use ftclust::core::fractional::protocol::{run_fractional_protocol, run_fractional_stack};
 use ftclust::core::fractional::FractionalParams;
-use ftclust::core::repair::{run_repair_protocol, run_repair_protocol_lossy, RepairConfig};
-use ftclust::core::rounding::protocol::{run_rounding_protocol, run_rounding_protocol_lossy};
+use ftclust::core::repair::{run_repair_protocol, run_repair_stack, RepairConfig};
+use ftclust::core::rounding::protocol::{run_rounding_protocol, run_rounding_stack};
 use ftclust::core::rounding::RoundingParams;
-use ftclust::core::udg::protocol::{run_udg_protocol, run_udg_protocol_lossy};
+use ftclust::core::udg::protocol::{run_udg_protocol, run_udg_stack};
 use ftclust::core::udg::UdgAlgorithm;
 use ftclust::core::Instance;
 use ftclust::graphs::generators;
+use ftclust::netsim::exec::Stack;
 use ftclust::netsim::transport::TransportConfig;
 use ftclust::netsim::{ChurnPlan, Metrics};
 use ftclust_par::with_threads;
@@ -25,6 +27,13 @@ const DROPS: [f64; 3] = [0.01, 0.05, 0.2];
 
 fn lossy(p: f64) -> ChurnPlan {
     ChurnPlan::none().drop_probability(p)
+}
+
+/// Transport over i.i.d. loss: the canonical lossy stack.
+fn lossy_stack(p: f64) -> Stack {
+    Stack::new()
+        .churned(lossy(p))
+        .transport(TransportConfig::default())
 }
 
 /// The fields of [`Metrics`] that must agree bit-for-bit across thread
@@ -53,18 +62,15 @@ fn algorithms_1_and_2_survive_loss_unchanged() {
     let rounded =
         run_rounding_protocol(&inst, &frac.solution.x, frac.solution.delta, 3, &rparams).unwrap();
     for p in DROPS {
-        let f =
-            run_fractional_protocol_lossy(&inst, &fparams, lossy(p), TransportConfig::default())
-                .unwrap();
+        let (f, _) = run_fractional_stack(&inst, &fparams, lossy_stack(p)).unwrap();
         assert_eq!(f.solution, frac.solution, "Algorithm 1 diverged at p = {p}");
-        let r = run_rounding_protocol_lossy(
+        let (r, _) = run_rounding_stack(
             &inst,
             &f.solution.x,
             f.solution.delta,
             3,
             &rparams,
-            lossy(p),
-            TransportConfig::default(),
+            lossy_stack(p),
         )
         .unwrap();
         assert_eq!(
@@ -84,8 +90,7 @@ fn algorithm_3_survives_loss_unchanged() {
     let config = UdgAlgorithm::new(2).seed(7);
     let direct = run_udg_protocol(&udg, &config).unwrap();
     for p in DROPS {
-        let r =
-            run_udg_protocol_lossy(&udg, &config, lossy(p), TransportConfig::default()).unwrap();
+        let (r, _) = run_udg_stack(&udg, &config, lossy_stack(p)).unwrap();
         assert_eq!(r.run, direct.run, "Algorithm 3 diverged at p = {p}");
     }
 }
@@ -103,16 +108,7 @@ fn repair_survives_loss_unchanged() {
     let direct = run_repair_protocol(g, &base.set, &alive, 2, &cfg).unwrap();
     assert!(!direct.added.is_empty(), "fixture repairs nothing");
     for p in DROPS {
-        let r = run_repair_protocol_lossy(
-            g,
-            &base.set,
-            &alive,
-            2,
-            &cfg,
-            lossy(p),
-            TransportConfig::default(),
-        )
-        .unwrap();
+        let (r, _) = run_repair_stack(g, &base.set, &alive, 2, &cfg, lossy_stack(p)).unwrap();
         assert_eq!(r.set, direct.set, "repair set diverged at p = {p}");
         assert_eq!(
             r.added, direct.added,
@@ -130,23 +126,19 @@ fn lossy_executions_are_thread_invariant() {
     let fparams = FractionalParams::new(2);
     let config = UdgAlgorithm::new(2).seed(5);
     let run_all = || {
-        let f =
-            run_fractional_protocol_lossy(&inst, &fparams, lossy(0.1), TransportConfig::default())
-                .unwrap();
-        let u =
-            run_udg_protocol_lossy(&udg, &config, lossy(0.1), TransportConfig::default()).unwrap();
+        let (f, _) = run_fractional_stack(&inst, &fparams, lossy_stack(0.1)).unwrap();
+        let (u, _) = run_udg_stack(&udg, &config, lossy_stack(0.1)).unwrap();
         let mut alive = vec![true; g.node_count()];
         for v in u.run.set.ids().take(8) {
             alive[v.index()] = false;
         }
-        let r = run_repair_protocol_lossy(
+        let (r, _) = run_repair_stack(
             g,
             &u.run.set,
             &alive,
             2,
             &RepairConfig::new(1),
-            lossy(0.1),
-            TransportConfig::default(),
+            lossy_stack(0.1),
         )
         .unwrap();
         (
@@ -167,4 +159,102 @@ fn lossy_executions_are_thread_invariant() {
             "lossy execution diverged at {threads} threads"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Pinned parity tests: one per deprecated `run_*_lossy` shim. These are
+// the only remaining callers; they exist solely to catch the shims
+// drifting from the stack they delegate to.
+// ---------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn fractional_lossy_shim_matches_stack() {
+    let g = generators::gnp(50, 0.12, 9);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let params = FractionalParams::new(2);
+    let shim = ftclust::core::fractional::protocol::run_fractional_protocol_lossy(
+        &inst,
+        &params,
+        lossy(0.1),
+        TransportConfig::default(),
+    )
+    .unwrap();
+    let (stack, _) = run_fractional_stack(&inst, &params, lossy_stack(0.1)).unwrap();
+    assert_eq!(shim.solution, stack.solution);
+    assert_eq!(fingerprint(&shim.metrics), fingerprint(&stack.metrics));
+}
+
+#[test]
+#[allow(deprecated)]
+fn rounding_lossy_shim_matches_stack() {
+    let g = generators::gnp(50, 0.12, 9);
+    let inst = Instance::uniform_clamped(&g, 2);
+    let frac = run_fractional_protocol(&inst, &FractionalParams::new(2)).unwrap();
+    let params = RoundingParams::default();
+    let shim = ftclust::core::rounding::protocol::run_rounding_protocol_lossy(
+        &inst,
+        &frac.solution.x,
+        frac.solution.delta,
+        3,
+        &params,
+        lossy(0.1),
+        TransportConfig::default(),
+    )
+    .unwrap();
+    let (stack, _) = run_rounding_stack(
+        &inst,
+        &frac.solution.x,
+        frac.solution.delta,
+        3,
+        &params,
+        lossy_stack(0.1),
+    )
+    .unwrap();
+    assert_eq!(shim.outcome, stack.outcome);
+    assert_eq!(fingerprint(&shim.metrics), fingerprint(&stack.metrics));
+}
+
+#[test]
+#[allow(deprecated)]
+fn udg_lossy_shim_matches_stack() {
+    let udg = generators::random_udg(120, 8.0, 1.0, 17);
+    let config = UdgAlgorithm::new(2).seed(3);
+    let shim = ftclust::core::udg::protocol::run_udg_protocol_lossy(
+        &udg,
+        &config,
+        lossy(0.1),
+        TransportConfig::default(),
+    )
+    .unwrap();
+    let (stack, _) = run_udg_stack(&udg, &config, lossy_stack(0.1)).unwrap();
+    assert_eq!(shim.run, stack.run);
+    assert_eq!(fingerprint(&shim.metrics), fingerprint(&stack.metrics));
+}
+
+#[test]
+#[allow(deprecated)]
+fn repair_lossy_shim_matches_stack() {
+    let udg = generators::random_udg(120, 8.0, 1.0, 17);
+    let base = UdgAlgorithm::new(2).seed(3).run(&udg).unwrap();
+    let g = udg.graph();
+    let mut alive = vec![true; g.node_count()];
+    for v in base.set.ids().take(6) {
+        alive[v.index()] = false;
+    }
+    let cfg = RepairConfig::new(3);
+    let shim = ftclust::core::repair::run_repair_protocol_lossy(
+        g,
+        &base.set,
+        &alive,
+        2,
+        &cfg,
+        lossy(0.1),
+        TransportConfig::default(),
+    )
+    .unwrap();
+    let (stack, _) = run_repair_stack(g, &base.set, &alive, 2, &cfg, lossy_stack(0.1)).unwrap();
+    assert_eq!(shim.set, stack.set);
+    assert_eq!(shim.added, stack.added);
+    assert_eq!(fingerprint(&shim.metrics), fingerprint(&stack.metrics));
 }

@@ -165,6 +165,7 @@ const CONGEST_SCOPES: &[(&str, bool)] = &[
     ("crates/core/src/rounding/protocol.rs", true),
     ("crates/core/src/udg/protocol.rs", true),
     ("crates/core/src/repair.rs", true),
+    ("crates/core/src/portfolio", true),
 ];
 
 fn main() -> ExitCode {

@@ -31,6 +31,7 @@ pub(crate) const SPAN_SCOPES: &[&str] = &[
     "crates/core/src/rounding/protocol.rs",
     "crates/core/src/udg/protocol.rs",
     "crates/core/src/repair.rs",
+    "crates/core/src/portfolio",
 ];
 
 /// Parses the registered span names out of the trace module.
